@@ -1,0 +1,107 @@
+"""Fig. 7: power-grid interconnect width prediction for ibmpg2.
+
+Fig. 7(a) is the correlation scatter of predicted versus golden widths and
+Fig. 7(b) the error histogram of (golden - predicted), both for the ibmpg2
+benchmark.  The paper's observation is that the scatter hugs the diagonal
+and the histogram peaks at zero error.
+
+This bench evaluates the trained width model on the gamma = 10 % perturbed
+test set of ibmpg2 (the paper's test-set construction), writes both figure
+artefacts as CSV, prints an ASCII histogram and times the width-prediction
+forward pass — the operation whose speed makes Table IV possible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import format_key_values, width_prediction_study
+from repro.io import ascii_histogram, write_csv, write_json
+
+
+def test_fig7_width_prediction_correlation_and_histogram(
+    benchmark, prepared_ibmpg2, results_dir
+):
+    """Regenerate Fig. 7(a,b) and time the per-interconnect width prediction."""
+    framework = prepared_ibmpg2.framework
+    spec = framework.default_perturbation(gamma=0.10)
+    _, test_dataset, _ = framework.predict_for_perturbation(prepared_ibmpg2.benchmark, spec)
+
+    predictions = benchmark(
+        framework.width_predictor.predict_samples, test_dataset.features
+    )
+
+    study = width_prediction_study(test_dataset.widths, predictions, num_bins=41)
+    print()
+    print(
+        format_key_values(
+            {
+                "benchmark": "ibmpg2",
+                "interconnect samples": study.golden.size,
+                "pearson correlation (Fig. 7a)": study.correlation,
+                "r2 score": study.r2,
+                "mse (um^2)": study.mse,
+                "overpredicted": study.histogram.overpredicted,
+                "underpredicted": study.histogram.underpredicted,
+                "histogram peak (um)": study.histogram.peak_bin_center,
+            },
+            title="Fig. 7: width prediction quality (ibmpg2)",
+        )
+    )
+    print()
+    print(
+        ascii_histogram(
+            study.histogram.counts,
+            study.histogram.bin_edges,
+            width=40,
+            title="Fig. 7(b): golden - predicted width error histogram (um)",
+        )
+    )
+
+    write_csv(
+        [
+            {"golden_um": float(g), "predicted_um": float(p)}
+            for g, p in zip(study.golden, study.predicted)
+        ],
+        results_dir / "fig7a_correlation_scatter.csv",
+    )
+    write_csv(
+        [
+            {
+                "bin_center_um": float(
+                    (study.histogram.bin_edges[i] + study.histogram.bin_edges[i + 1]) / 2
+                ),
+                "count": int(study.histogram.counts[i]),
+            }
+            for i in range(study.histogram.counts.size)
+        ],
+        results_dir / "fig7b_error_histogram.csv",
+    )
+    write_json(
+        {
+            "correlation": study.correlation,
+            "r2": study.r2,
+            "mse": study.mse,
+            "peak_bin_center": study.histogram.peak_bin_center,
+        },
+        results_dir / "fig7_summary.json",
+    )
+
+    # Paper shape: predictions strongly correlated with golden widths and the
+    # error histogram peaks at (near) zero.
+    assert study.correlation > 0.9
+    assert abs(study.histogram.peak_bin_center) < 0.5 * np.std(study.golden)
+
+
+def test_fig7_line_width_aggregation(benchmark, prepared_ibmpg2):
+    """Time the per-line aggregation step and check it tracks the golden widths."""
+    framework = prepared_ibmpg2.framework
+    bench_obj = prepared_ibmpg2.benchmark
+
+    result = benchmark(
+        framework.width_predictor.predict_design, bench_obj.floorplan, bench_obj.topology
+    )
+    golden = prepared_ibmpg2.golden_plan.widths
+    correlation = float(np.corrcoef(result.line_widths, golden)[0, 1])
+    print(f"\nper-line width correlation vs golden (ibmpg2): {correlation:.3f}")
+    assert correlation > 0.8

@@ -1,0 +1,86 @@
+"""Fig. 9: prediction MSE versus perturbation size gamma.
+
+The paper sweeps the test-set perturbation size from 10 % to 30 % for three
+perturbation families (node voltages, current workloads, both) on ibmpg2 and
+ibmpg6, and observes that the MSE grows with gamma — the basis of its
+recommendation that PowerPlanningDL suits *incremental* power-grid design.
+
+This bench regenerates both subfigures as MSE(%) series, prints them, writes
+them as CSV and times a single perturbed-test evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import format_table
+from repro.grid import PerturbationKind, PerturbationSpec
+from repro.io import ascii_series, write_csv
+
+_GAMMAS = (0.10, 0.15, 0.20, 0.25, 0.30)
+
+
+def _sweep(prepared):
+    framework = prepared.framework
+    rows = []
+    for gamma in _GAMMAS:
+        row = {"gamma_percent": int(round(gamma * 100))}
+        for kind in PerturbationKind:
+            spec = PerturbationSpec(gamma=gamma, kind=kind, seed=int(gamma * 1000))
+            _, test_dataset, _ = framework.predict_for_perturbation(prepared.benchmark, spec)
+            metrics = framework.evaluate(test_dataset)
+            row[kind.value] = round(metrics.mse_percent, 2)
+        rows.append(row)
+    return rows
+
+
+def _check_shape(rows):
+    """MSE grows with gamma for every perturbation family (paper's finding)."""
+    for kind in PerturbationKind:
+        series = [row[kind.value] for row in rows]
+        assert series[-1] > series[0], f"MSE should grow with gamma for {kind.value}"
+
+
+def test_fig9a_perturbation_sweep_ibmpg2(benchmark, prepared_ibmpg2, results_dir):
+    """Regenerate Fig. 9(a) for ibmpg2; time one perturbed evaluation."""
+    framework = prepared_ibmpg2.framework
+    spec = PerturbationSpec(gamma=0.10, kind=PerturbationKind.BOTH, seed=100)
+
+    def one_evaluation():
+        _, test_dataset, _ = framework.predict_for_perturbation(prepared_ibmpg2.benchmark, spec)
+        return framework.evaluate(test_dataset)
+
+    benchmark.pedantic(one_evaluation, rounds=1, iterations=1)
+
+    rows = _sweep(prepared_ibmpg2)
+    print()
+    print(format_table(rows, title="Fig. 9(a): MSE(%) vs perturbation size (ibmpg2)"))
+    print(
+        ascii_series(
+            np.asarray([row["gamma_percent"] for row in rows], dtype=float),
+            np.asarray([row["both"] for row in rows]),
+            width=40,
+            height=10,
+            title="MSE(%) vs gamma, perturbation in both (ibmpg2)",
+        )
+    )
+    write_csv(rows, results_dir / "fig9a_perturbation_ibmpg2.csv")
+    _check_shape(rows)
+
+
+def test_fig9b_perturbation_sweep_ibmpg6(benchmark, prepared_ibmpg6, results_dir):
+    """Regenerate Fig. 9(b) for ibmpg6; time one perturbed evaluation."""
+    framework = prepared_ibmpg6.framework
+    spec = PerturbationSpec(gamma=0.10, kind=PerturbationKind.BOTH, seed=100)
+
+    def one_evaluation():
+        _, test_dataset, _ = framework.predict_for_perturbation(prepared_ibmpg6.benchmark, spec)
+        return framework.evaluate(test_dataset)
+
+    benchmark.pedantic(one_evaluation, rounds=1, iterations=1)
+
+    rows = _sweep(prepared_ibmpg6)
+    print()
+    print(format_table(rows, title="Fig. 9(b): MSE(%) vs perturbation size (ibmpg6)"))
+    write_csv(rows, results_dir / "fig9b_perturbation_ibmpg6.csv")
+    _check_shape(rows)

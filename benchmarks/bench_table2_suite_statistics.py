@@ -1,0 +1,72 @@
+"""Table II: benchmark-suite statistics (#n, #r, #v, #i).
+
+Table II of the paper lists the sizes of the IBM power-grid benchmarks.  The
+synthetic suite is deliberately scaled down (see DESIGN.md), so the absolute
+counts differ by roughly two orders of magnitude, but the *relative*
+ordering — ibmpg1 smallest, the pg6/new1 class largest — must be preserved
+because the speedup trend of Table IV depends on it.
+
+This bench prints the synthetic Table II, writes it as CSV and times grid
+construction for the largest benchmark.
+"""
+
+from __future__ import annotations
+
+from conftest import suite_names
+
+from repro.core import format_table
+from repro.grid import GridBuilder
+from repro.io import write_csv
+
+_PAPER_NODE_COUNTS = {
+    "ibmpg1": 30638,
+    "ibmpg2": 127238,
+    "ibmpg3": 851584,
+    "ibmpg4": 953583,
+    "ibmpg5": 1079310,
+    "ibmpg6": 1670494,
+    "ibmpgnew1": 1461036,
+    "ibmpgnew2": 1461039,
+}
+
+
+def test_table2_suite_statistics(benchmark, benchmark_cache, results_dir):
+    """Regenerate (the synthetic analogue of) Table II; time one grid build."""
+    rows = []
+    for name in suite_names():
+        prepared = benchmark_cache.get(name)
+        stats = prepared.golden_plan.network.statistics()
+        rows.append(
+            {
+                "benchmark": name,
+                "nodes": stats.num_nodes,
+                "resistors": stats.num_resistors,
+                "sources": stats.num_sources,
+                "loads": stats.num_loads,
+                "paper_nodes": _PAPER_NODE_COUNTS[name],
+            }
+        )
+
+    prepared_largest = benchmark_cache.get("ibmpgnew1")
+    builder = GridBuilder(prepared_largest.benchmark.technology)
+    benchmark.pedantic(
+        builder.build,
+        args=(
+            prepared_largest.benchmark.floorplan,
+            prepared_largest.benchmark.topology,
+            prepared_largest.golden_plan.widths,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(format_table(rows, title="Table II (synthetic analogue): power-grid statistics"))
+    write_csv(rows, results_dir / "table2_suite_statistics.csv")
+
+    # Relative-size claim: the synthetic node counts preserve the ordering of
+    # the paper's smallest and largest benchmarks.
+    synthetic = {row["benchmark"]: row["nodes"] for row in rows}
+    if len(synthetic) == len(_PAPER_NODE_COUNTS):
+        assert min(synthetic, key=synthetic.get) == "ibmpg1"
+        assert synthetic["ibmpg6"] > synthetic["ibmpg2"] > synthetic["ibmpg1"]

@@ -1,0 +1,124 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper.  The
+expensive artefacts — the conventional golden plan and the trained
+PowerPlanningDL framework for each synthetic benchmark — are built once per
+session and cached here, so the individual benches only time the operation
+they are about.
+
+Environment variables:
+    REPRO_BENCH_SUITE: Comma-separated benchmark names to run (default: the
+        full 8-benchmark suite of the paper's Table II).
+    REPRO_BENCH_EPOCHS: Training epochs for the width model (default 60).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+
+from repro.core import PowerPlanningDL, PredictedDesign
+from repro.design import ConventionalPowerPlanner, PowerPlanResult
+from repro.grid import SUITE_NAMES, SyntheticBenchmark, SyntheticIBMSuite
+from repro.nn import RegressorConfig, TrainingConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+"""Directory where every bench writes its CSV/JSON artefacts."""
+
+
+def suite_names() -> tuple[str, ...]:
+    """Benchmarks to run, controlled by REPRO_BENCH_SUITE."""
+    override = os.environ.get("REPRO_BENCH_SUITE", "").strip()
+    if not override:
+        return SUITE_NAMES
+    names = tuple(name.strip() for name in override.split(",") if name.strip())
+    unknown = [name for name in names if name not in SUITE_NAMES]
+    if unknown:
+        raise ValueError(f"unknown benchmarks in REPRO_BENCH_SUITE: {unknown}")
+    return names
+
+
+def training_epochs() -> int:
+    """Width-model training epochs, controlled by REPRO_BENCH_EPOCHS."""
+    return int(os.environ.get("REPRO_BENCH_EPOCHS", "60"))
+
+
+def bench_regressor_config() -> RegressorConfig:
+    """The paper's 10-hidden-layer topology with harness-friendly epochs."""
+    return RegressorConfig(
+        hidden_layers=10,
+        hidden_width=32,
+        training=TrainingConfig(
+            epochs=training_epochs(),
+            batch_size=128,
+            optimizer="adam",
+            loss="mse",
+            early_stopping_patience=0,
+            seed=0,
+        ),
+        seed=0,
+    )
+
+
+@dataclass
+class PreparedBenchmark:
+    """Everything the benches need for one synthetic IBM benchmark."""
+
+    benchmark: SyntheticBenchmark
+    framework: PowerPlanningDL
+    golden_plan: PowerPlanResult
+    nominal_prediction: PredictedDesign
+
+    @property
+    def name(self) -> str:
+        return self.benchmark.name
+
+
+class BenchmarkCache:
+    """Session-level cache of prepared benchmarks (train each at most once)."""
+
+    def __init__(self) -> None:
+        self._suite = SyntheticIBMSuite()
+        self._prepared: dict[str, PreparedBenchmark] = {}
+
+    def get(self, name: str) -> PreparedBenchmark:
+        if name not in self._prepared:
+            benchmark = self._suite.load(name)
+            framework = PowerPlanningDL(benchmark.technology, bench_regressor_config())
+            trained = framework.train_on_benchmark(benchmark)
+            nominal = framework.predict_design(benchmark.floorplan, benchmark.topology)
+            self._prepared[name] = PreparedBenchmark(
+                benchmark=benchmark,
+                framework=framework,
+                golden_plan=trained.benchmark_dataset.golden_plan,
+                nominal_prediction=nominal,
+            )
+        return self._prepared[name]
+
+
+@pytest.fixture(scope="session")
+def benchmark_cache() -> BenchmarkCache:
+    """Cache of trained frameworks shared across all bench modules."""
+    return BenchmarkCache()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory for result artefacts (created on first use)."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def prepared_ibmpg2(benchmark_cache) -> PreparedBenchmark:
+    """ibmpg2, the benchmark the paper uses for Figs. 7, 8(a,b), 9(a), 10(a)."""
+    return benchmark_cache.get("ibmpg2")
+
+
+@pytest.fixture(scope="session")
+def prepared_ibmpg6(benchmark_cache) -> PreparedBenchmark:
+    """ibmpg6, the benchmark the paper uses for Figs. 8(c,d), 9(b), 10(b)."""
+    return benchmark_cache.get("ibmpg6")

@@ -1,0 +1,101 @@
+"""Full benchmark-suite report: regenerate the paper's headline tables.
+
+Runs the whole synthetic IBM suite through both flows and prints the three
+headline tables of the paper in one go:
+
+* Table III — worst-case IR drop, conventional vs. PowerPlanningDL;
+* Table IV — convergence time and speedup (the ~6x headline result);
+* Table V  — r² score, MSE and peak memory.
+
+This is the script to run for a quick end-to-end health check of the whole
+reproduction (the pytest benches under ``benchmarks/`` add the figures and
+write CSV artefacts).
+
+Run with:  python examples/benchmark_suite_report.py [benchmark ...]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import PowerPlanningDL, SyntheticIBMSuite
+from repro.core import (
+    PeakMemoryProfiler,
+    compare_convergence,
+    compare_worst_ir_drop,
+    format_speedup,
+    format_table,
+)
+from repro.nn import RegressorConfig, TrainingConfig
+
+
+def run_suite(names: list[str]) -> None:
+    suite = SyntheticIBMSuite()
+    config = RegressorConfig(
+        hidden_layers=10,
+        hidden_width=32,
+        training=TrainingConfig(epochs=60, batch_size=128, early_stopping_patience=0, seed=0),
+        seed=0,
+    )
+
+    table3, table4, table5 = [], [], []
+    for name in names:
+        bench = suite.load(name)
+        framework = PowerPlanningDL(bench.technology, config)
+        trained = framework.train_on_benchmark(bench)
+        golden = trained.benchmark_dataset.golden_plan
+
+        predicted = framework.predict_design(bench.floorplan, bench.topology)
+        spec = framework.default_perturbation(gamma=0.10)
+        _, test_dataset, _ = framework.predict_for_perturbation(bench, spec)
+        metrics = framework.evaluate(test_dataset)
+        profile = PeakMemoryProfiler(sample_interval=0.01).profile(
+            lambda: framework.predict_design(bench.floorplan, bench.topology), label=name
+        )
+
+        ir_row = compare_worst_ir_drop(golden, predicted)
+        time_row = compare_convergence(golden, predicted)
+        table3.append(
+            {
+                "benchmark": name,
+                "conventional_mV": round(ir_row.conventional_mv, 1),
+                "powerplanningdl_mV": round(ir_row.predicted_mv, 1),
+            }
+        )
+        table4.append(
+            {
+                "benchmark": name,
+                "conventional_s": round(time_row.conventional_seconds, 4),
+                "powerplanningdl_s": round(time_row.powerplanningdl_seconds, 4),
+                "speedup": format_speedup(time_row.speedup),
+            }
+        )
+        table5.append(
+            {
+                "benchmark": name,
+                "interconnects": metrics.num_interconnects,
+                "r2_score": round(metrics.r2, 3),
+                "mse": round(metrics.mse, 4),
+                "peak_memory_MiB": round(profile.peak_mib, 1),
+            }
+        )
+        print(f"finished {name}")
+
+    print()
+    print(format_table(table3, title="Table III: worst-case IR drop (mV)"))
+    print()
+    print(format_table(table4, title="Table IV: convergence time and speedup"))
+    print()
+    print(format_table(table5, title="Table V: accuracy and peak memory"))
+
+
+def main() -> None:
+    names = sys.argv[1:] or list(SyntheticIBMSuite().names())
+    unknown = [name for name in names if name not in SyntheticIBMSuite().names()]
+    if unknown:
+        raise SystemExit(f"unknown benchmarks: {unknown}")
+    run_suite(names)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Incremental power-grid redesign under specification changes (Fig. 9 study).
+
+The paper's main recommendation is that PowerPlanningDL shines for
+*incremental* design: when the specification changes a little (an ECO, a
+re-budgeted block, a small floorplan tweak), the trained model predicts the
+new grid instantly instead of re-running the analyse-and-resize loop — but
+its error grows with the size of the change.
+
+This script reproduces that study on ibmpg6: it sweeps the perturbation size
+gamma from 10 % to 30 % for the three perturbation families of the paper,
+reports the prediction MSE for each, and shows the break-even point where
+retraining would be advisable.
+
+Run with:  python examples/incremental_redesign.py
+"""
+
+from __future__ import annotations
+
+from repro import PowerPlanningDL, load_benchmark
+from repro.core import format_table
+from repro.grid import PerturbationKind, PerturbationSpec
+from repro.io import ascii_series
+from repro.nn import RegressorConfig
+
+import numpy as np
+
+
+def main() -> None:
+    bench = load_benchmark("ibmpg6")
+    framework = PowerPlanningDL(bench.technology, RegressorConfig.paper_default(epochs=60))
+    framework.train_on_benchmark(bench)
+    baseline = framework.evaluate(framework.trained.benchmark_dataset.training)
+    print(f"trained on {bench.name}: training r2 = {baseline.r2:.3f}")
+
+    gammas = (0.10, 0.15, 0.20, 0.25, 0.30)
+    rows = []
+    for gamma in gammas:
+        row = {"gamma": f"{int(gamma * 100)}%"}
+        for kind in PerturbationKind:
+            spec = PerturbationSpec(gamma=gamma, kind=kind, seed=int(gamma * 1000))
+            _, test_dataset, _ = framework.predict_for_perturbation(bench, spec)
+            metrics = framework.evaluate(test_dataset)
+            row[kind.value] = round(metrics.mse_percent, 2)
+        rows.append(row)
+
+    print()
+    print(
+        format_table(
+            rows,
+            columns=["gamma", "node_voltages", "current_workloads", "both"],
+            title="prediction MSE(%) vs. perturbation size (ibmpg6, Fig. 9b study)",
+        )
+    )
+    print()
+    print(
+        ascii_series(
+            np.asarray([float(row["gamma"].rstrip("%")) for row in rows]),
+            np.asarray([row["both"] for row in rows]),
+            width=40,
+            height=10,
+            title="MSE(%) vs gamma ('both' perturbation)",
+        )
+    )
+
+    worst = rows[-1]["both"]
+    print()
+    if worst > 3 * rows[0]["both"]:
+        print(
+            "conclusion: beyond ~20-30 % specification change the prediction error grows "
+            "quickly — matching the paper's advice to use PowerPlanningDL for incremental "
+            "changes and to retrain (or fall back to the conventional flow) for large ones."
+        )
+    else:
+        print("conclusion: prediction error stays flat over this perturbation range.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Quickstart: train PowerPlanningDL on one benchmark and predict a design.
+
+This script walks through the whole flow of the paper's Fig. 2 on the
+smallest synthetic benchmark (ibmpg1):
+
+1. generate the benchmark (floorplan + power-grid topology);
+2. run the conventional iterative planner to obtain the golden design
+   ("historical data");
+3. train the neural width model on the extracted (X, Y, Id, w) quadruples;
+4. predict the design for a 10 %-perturbed specification and estimate its
+   IR drop without any power-grid analysis;
+5. report accuracy (r², MSE) and the speedup over the conventional step.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import PowerPlanningDL, load_benchmark
+from repro.core import compare_convergence, compare_worst_ir_drop, format_key_values
+from repro.nn import RegressorConfig
+
+
+def main() -> None:
+    # 1. Generate the synthetic ibmpg1 benchmark.
+    bench = load_benchmark("ibmpg1")
+    print(f"benchmark: {bench.name}")
+    print(f"  core: {bench.floorplan.core_width:.0f} x {bench.floorplan.core_height:.0f} um")
+    print(f"  blocks: {len(bench.floorplan.blocks)}, pads: {len(bench.floorplan.pads)}")
+    print(f"  power-grid lines: {bench.topology.num_lines}")
+
+    # 2-3. Train the framework: this runs the conventional planner once to
+    # produce golden widths, then fits the 10-hidden-layer width model.
+    framework = PowerPlanningDL(bench.technology, RegressorConfig.paper_default(epochs=80))
+    trained = framework.train_on_benchmark(bench)
+    golden = trained.benchmark_dataset.golden_plan
+    print()
+    print(
+        format_key_values(
+            {
+                "golden worst-case IR drop (mV)": golden.ir_result.worst_ir_drop_mv,
+                "golden design converged": golden.converged,
+                "training samples (crossings)": trained.benchmark_dataset.training.num_samples,
+                "training time (s)": trained.training_time,
+                "epochs run": trained.training_history.epochs_run,
+            },
+            title="training (conventional golden design + width model)",
+        )
+    )
+
+    # 4. Predict the design for a perturbed specification (incremental redesign).
+    spec = framework.default_perturbation(gamma=0.10)
+    predicted, test_dataset, perturbed_golden = framework.predict_for_perturbation(bench, spec)
+
+    # 5. Evaluate.
+    metrics = framework.evaluate(test_dataset)
+    ir_row = compare_worst_ir_drop(perturbed_golden, predicted)
+    time_row = compare_convergence(perturbed_golden, predicted)
+    print()
+    print(
+        format_key_values(
+            {
+                "test r2 score": metrics.r2,
+                "test MSE (um^2)": metrics.mse,
+                "conventional worst IR drop (mV)": ir_row.conventional_mv,
+                "predicted worst IR drop (mV)": ir_row.predicted_mv,
+                "conventional step time (s)": time_row.conventional_seconds,
+                "PowerPlanningDL time (s)": time_row.powerplanningdl_seconds,
+                "speedup": f"{time_row.speedup:.2f}x",
+            },
+            title="prediction on the gamma=10% perturbed specification",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Conventional power-grid analysis engine (the paper's baseline).
+
+Provides modified nodal analysis assembly, sparse direct / iterative solvers,
+static IR-drop analysis with map rasterisation, branch-current extraction,
+electromigration checking against ``Jmax`` and an early vectorless bound
+analysis — i.e. the time-consuming steps of the conventional power-planning
+flow that PowerPlanningDL is designed to avoid.
+"""
+
+from .currents import (
+    BranchCurrent,
+    branch_currents,
+    current_conservation_error,
+    line_currents,
+    pad_currents,
+    total_dissipated_power,
+)
+from .em import EMChecker, EMReport, EMViolation, em_lifetime_ratio, required_width_for_current
+from .irdrop import IRDropAnalyzer, IRDropResult, ir_drop_map
+from .mna import MNAAssembler, MNASystem, assemble
+from .solver import LinearSolverError, PowerGridSolver, SolveResult, SolverMethod
+from .vectorless import VectorlessAnalyzer, VectorlessBudget, VectorlessResult, uniform_budget
+
+__all__ = [
+    "BranchCurrent",
+    "EMChecker",
+    "EMReport",
+    "EMViolation",
+    "IRDropAnalyzer",
+    "IRDropResult",
+    "LinearSolverError",
+    "MNAAssembler",
+    "MNASystem",
+    "PowerGridSolver",
+    "SolveResult",
+    "SolverMethod",
+    "VectorlessAnalyzer",
+    "VectorlessBudget",
+    "VectorlessResult",
+    "assemble",
+    "branch_currents",
+    "current_conservation_error",
+    "em_lifetime_ratio",
+    "ir_drop_map",
+    "line_currents",
+    "pad_currents",
+    "required_width_for_current",
+    "total_dissipated_power",
+    "uniform_budget",
+]

@@ -1,0 +1,132 @@
+"""Branch-current extraction from a solved power grid.
+
+Given the node voltages produced by the IR-drop analysis, the current through
+every resistive branch follows from Ohm's law, ``I = (V_a - V_b) / R``.
+Branch currents feed two consumers:
+
+* the electromigration checker (:mod:`repro.analysis.em`), which compares the
+  per-unit-width current density against ``Jmax``; and
+* the conventional planner's resizing step, which upsizes lines whose
+  segments carry too much current.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..grid.elements import GROUND_NODE, Resistor
+from ..grid.network import PowerGridNetwork
+from .irdrop import IRDropResult
+
+
+@dataclass(frozen=True)
+class BranchCurrent:
+    """Current through one resistive branch.
+
+    Attributes:
+        resistor: The branch element.
+        current: Signed current flowing from ``node_a`` to ``node_b`` in
+            amperes.
+    """
+
+    resistor: Resistor
+    current: float
+
+    @property
+    def magnitude(self) -> float:
+        """Absolute branch current in amperes."""
+        return abs(self.current)
+
+    @property
+    def current_density(self) -> float:
+        """Current per unit width in A/um; infinite for zero-width branches."""
+        if self.resistor.width <= 0:
+            return float("inf") if self.magnitude > 0 else 0.0
+        return self.magnitude / self.resistor.width
+
+
+def branch_currents(network: PowerGridNetwork, result: IRDropResult) -> list[BranchCurrent]:
+    """Compute the current through every resistive branch of the grid."""
+    currents: list[BranchCurrent] = []
+    voltages = result.node_voltages
+    for resistor in network.iter_resistors():
+        v_a = 0.0 if resistor.node_a == GROUND_NODE else voltages[resistor.node_a]
+        v_b = 0.0 if resistor.node_b == GROUND_NODE else voltages[resistor.node_b]
+        currents.append(
+            BranchCurrent(resistor=resistor, current=(v_a - v_b) / resistor.resistance)
+        )
+    return currents
+
+
+def line_currents(network: PowerGridNetwork, result: IRDropResult) -> dict[int, float]:
+    """Return the maximum segment current of every power-grid line.
+
+    The per-line maximum is the quantity the EM constraint (paper eq. 4)
+    limits, since the most loaded segment of a stripe is the one that fails
+    first.
+    """
+    maxima: dict[int, float] = {}
+    for branch in branch_currents(network, result):
+        line_id = branch.resistor.line_id
+        if line_id < 0:
+            continue
+        maxima[line_id] = max(maxima.get(line_id, 0.0), branch.magnitude)
+    return maxima
+
+
+def pad_currents(network: PowerGridNetwork, result: IRDropResult) -> dict[str, float]:
+    """Estimate the current delivered by each supply pad.
+
+    The pad current is the net current flowing out of the pad node through
+    its resistive branches (plus any load attached directly to the pad node).
+    """
+    voltages = result.node_voltages
+    totals: dict[str, float] = {pad.name: 0.0 for pad in network.iter_pads()}
+    pads_by_node = {pad.node: pad.name for pad in network.iter_pads()}
+    for resistor in network.iter_resistors():
+        for node, other in ((resistor.node_a, resistor.node_b), (resistor.node_b, resistor.node_a)):
+            pad_name = pads_by_node.get(node)
+            if pad_name is None:
+                continue
+            v_node = voltages[node]
+            v_other = 0.0 if other == GROUND_NODE else voltages[other]
+            totals[pad_name] += (v_node - v_other) / resistor.resistance
+    loads_by_node = network.load_by_node()
+    for node, pad_name in pads_by_node.items():
+        totals[pad_name] += loads_by_node.get(node, 0.0)
+    return totals
+
+
+def total_dissipated_power(network: PowerGridNetwork, result: IRDropResult) -> float:
+    """Return the total ohmic power dissipated in the grid wires, in watts."""
+    power = 0.0
+    for branch in branch_currents(network, result):
+        power += branch.current**2 * branch.resistor.resistance
+    return power
+
+
+def current_conservation_error(network: PowerGridNetwork, result: IRDropResult) -> float:
+    """Return the worst KCL violation over the non-pad nodes, in amperes.
+
+    A correctly solved grid satisfies Kirchhoff's current law at every
+    non-pad node: the resistive currents leaving the node equal the load
+    current drawn there.  This is used as a physics-level invariant in the
+    test-suite.
+    """
+    voltages = result.node_voltages
+    net_injection: dict[str, float] = {name: 0.0 for name in network.nodes}
+    for resistor in network.iter_resistors():
+        v_a = 0.0 if resistor.node_a == GROUND_NODE else voltages[resistor.node_a]
+        v_b = 0.0 if resistor.node_b == GROUND_NODE else voltages[resistor.node_b]
+        current = (v_a - v_b) / resistor.resistance
+        if resistor.node_a != GROUND_NODE:
+            net_injection[resistor.node_a] -= current
+        if resistor.node_b != GROUND_NODE:
+            net_injection[resistor.node_b] += current
+    for load in network.iter_loads():
+        net_injection[load.node] -= load.current
+    pad_nodes = network.pad_nodes()
+    errors = [abs(value) for name, value in net_injection.items() if name not in pad_nodes]
+    return max(errors) if errors else 0.0

@@ -1,0 +1,158 @@
+"""Electromigration (EM) checking against the Jmax current-density limit.
+
+The paper's reliability constraint (eq. 4) bounds the current density of
+every power-grid line: ``I_i / w_i <= Jmax``.  This module evaluates that
+constraint over a solved grid, reports violations per segment and per line,
+and provides the simple Black-equation-style lifetime ratio that designers
+use to rank how severe a violation is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..grid.network import PowerGridNetwork
+from ..grid.technology import Technology
+from .currents import BranchCurrent, branch_currents
+from .irdrop import IRDropResult
+
+
+@dataclass(frozen=True)
+class EMViolation:
+    """One segment exceeding the EM current-density limit.
+
+    Attributes:
+        resistor_name: Name of the violating wire segment.
+        line_id: Power-grid line the segment belongs to (-1 for vias).
+        current: Segment current magnitude in amperes.
+        width: Segment width in um.
+        current_density: Current density in A/um.
+        jmax: The limit that was exceeded, in A/um.
+    """
+
+    resistor_name: str
+    line_id: int
+    current: float
+    width: float
+    current_density: float
+    jmax: float
+
+    @property
+    def severity(self) -> float:
+        """Ratio of the current density to the limit (>= 1 for violations)."""
+        return self.current_density / self.jmax
+
+
+@dataclass
+class EMReport:
+    """Outcome of an EM check over a whole grid.
+
+    Attributes:
+        network_name: Name of the checked grid.
+        jmax: Current-density limit in A/um.
+        violations: All violating segments, worst first.
+        worst_density: Worst observed current density in A/um.
+        checked_segments: Number of wire segments that were checked (vias and
+            zero-width branches are skipped).
+    """
+
+    network_name: str
+    jmax: float
+    violations: list[EMViolation]
+    worst_density: float
+    checked_segments: int
+
+    @property
+    def passed(self) -> bool:
+        """True if no segment violates the EM limit."""
+        return not self.violations
+
+    @property
+    def violating_lines(self) -> set[int]:
+        """Ids of the power-grid lines that contain at least one violation."""
+        return {violation.line_id for violation in self.violations if violation.line_id >= 0}
+
+
+class EMChecker:
+    """Check a solved power grid against the EM constraint of eq. (4).
+
+    Args:
+        technology: Provides the ``Jmax`` limit.
+        margin: Extra safety factor applied to the limit (0.1 means segments
+            must stay 10 % below ``Jmax``).
+    """
+
+    def __init__(self, technology: Technology, margin: float = 0.0) -> None:
+        if not 0 <= margin < 1:
+            raise ValueError("margin must be in [0, 1)")
+        self.technology = technology
+        self.margin = margin
+
+    @property
+    def effective_jmax(self) -> float:
+        """The limit actually enforced, after applying the margin."""
+        return self.technology.jmax * (1.0 - self.margin)
+
+    def check(self, network: PowerGridNetwork, result: IRDropResult) -> EMReport:
+        """Evaluate the EM constraint on every sized wire segment."""
+        violations: list[EMViolation] = []
+        worst_density = 0.0
+        checked = 0
+        limit = self.effective_jmax
+        for branch in branch_currents(network, result):
+            resistor = branch.resistor
+            if resistor.width <= 0:
+                continue
+            checked += 1
+            density = branch.current_density
+            worst_density = max(worst_density, density)
+            if density > limit:
+                violations.append(
+                    EMViolation(
+                        resistor_name=resistor.name,
+                        line_id=resistor.line_id,
+                        current=branch.magnitude,
+                        width=resistor.width,
+                        current_density=density,
+                        jmax=limit,
+                    )
+                )
+        violations.sort(key=lambda violation: violation.severity, reverse=True)
+        return EMReport(
+            network_name=network.name,
+            jmax=limit,
+            violations=violations,
+            worst_density=worst_density,
+            checked_segments=checked,
+        )
+
+
+def required_width_for_current(current: float, jmax: float) -> float:
+    """Return the minimum wire width satisfying the EM limit for ``current``.
+
+    Direct rearrangement of eq. (4): ``w >= I / Jmax``.
+
+    Raises:
+        ValueError: If ``jmax`` is not positive or ``current`` is negative.
+    """
+    if jmax <= 0:
+        raise ValueError("jmax must be positive")
+    if current < 0:
+        raise ValueError("current must be non-negative")
+    return current / jmax
+
+
+def em_lifetime_ratio(current_density: float, jmax: float, exponent: float = 2.0) -> float:
+    """Relative median-time-to-failure versus a wire running exactly at Jmax.
+
+    Black's equation gives MTTF proportional to ``J^-n`` (n ~ 2 for copper).
+    A ratio above 1 means the wire outlives the reference; below 1 means it
+    fails sooner.  Used for reporting, not for pass/fail decisions.
+    """
+    if current_density <= 0:
+        return float("inf")
+    if jmax <= 0:
+        raise ValueError("jmax must be positive")
+    return (jmax / current_density) ** exponent

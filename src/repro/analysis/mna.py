@@ -1,0 +1,161 @@
+"""Modified nodal analysis (MNA) assembly for power-grid networks.
+
+The "conventional approach" in the paper is the standard power-grid analysis
+flow: build the nodal conductance matrix of the resistive network, stamp the
+workload currents on the right-hand side, fix the pad nodes at the supply
+voltage and solve the resulting sparse linear system for the node voltages.
+The IR drop of a node is then ``Vdd - V(node)``.
+
+Because every voltage source in an IBM-style power-grid netlist connects a
+node directly to ground, we do not need the full MNA formulation with extra
+branch-current unknowns: pad nodes are eliminated from the unknown vector
+(Dirichlet boundary conditions), which keeps the system symmetric positive
+definite and lets the solvers use Cholesky / conjugate-gradient methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..grid.elements import GROUND_NODE
+from ..grid.network import PowerGridNetwork
+
+
+@dataclass
+class MNASystem:
+    """A reduced nodal system ``G v = b`` for the unknown node voltages.
+
+    Attributes:
+        matrix: Sparse SPD conductance matrix over the unknown (non-pad)
+            nodes, in CSR format.
+        rhs: Right-hand side vector (injected currents plus contributions of
+            the fixed pad voltages).
+        unknown_nodes: Names of the unknown nodes, in matrix row order.
+        fixed_voltages: Mapping of pad node name to its fixed voltage.
+        ground_connected: True if at least one resistor references the ground
+            node directly (rare in power nets, but supported).
+    """
+
+    matrix: sp.csr_matrix
+    rhs: np.ndarray
+    unknown_nodes: list[str]
+    fixed_voltages: dict[str, float]
+    ground_connected: bool
+
+    @property
+    def size(self) -> int:
+        """Number of unknown node voltages."""
+        return len(self.unknown_nodes)
+
+    def full_solution(self, unknown_voltages: np.ndarray) -> dict[str, float]:
+        """Combine solved unknowns with the fixed pad voltages.
+
+        Args:
+            unknown_voltages: Solution vector for the unknown nodes, in the
+                same order as :attr:`unknown_nodes`.
+
+        Returns:
+            Mapping of every grid node name to its voltage.
+        """
+        if unknown_voltages.shape != (self.size,):
+            raise ValueError(
+                f"expected solution of shape ({self.size},), got {unknown_voltages.shape}"
+            )
+        voltages = dict(self.fixed_voltages)
+        for name, value in zip(self.unknown_nodes, unknown_voltages):
+            voltages[name] = float(value)
+        return voltages
+
+
+class MNAAssembler:
+    """Assemble the reduced nodal system of a power-grid network."""
+
+    def assemble(self, network: PowerGridNetwork) -> MNASystem:
+        """Build ``G v = b`` for the non-pad nodes of ``network``.
+
+        Raises:
+            ValueError: If the network has no supply pads (the system would
+                be singular) or a pad node also appears as a load-only island.
+        """
+        fixed_voltages: dict[str, float] = {}
+        for source in network.iter_pads():
+            fixed_voltages[source.node] = source.voltage
+        if not fixed_voltages:
+            raise ValueError("network has no voltage sources; the nodal system is singular")
+
+        node_names = list(network.nodes)
+        unknown_nodes = [name for name in node_names if name not in fixed_voltages]
+        index = {name: i for i, name in enumerate(unknown_nodes)}
+        n = len(unknown_nodes)
+
+        rows: list[int] = []
+        cols: list[int] = []
+        data: list[float] = []
+        rhs = np.zeros(n, dtype=float)
+        ground_connected = False
+
+        def stamp_diagonal(node: str, conductance: float) -> None:
+            i = index[node]
+            rows.append(i)
+            cols.append(i)
+            data.append(conductance)
+
+        for resistor in network.iter_resistors():
+            conductance = 1.0 / resistor.resistance
+            a, b = resistor.node_a, resistor.node_b
+            a_ground = a == GROUND_NODE
+            b_ground = b == GROUND_NODE
+            if a_ground and b_ground:
+                continue
+            if a_ground or b_ground:
+                ground_connected = True
+                node = b if a_ground else a
+                if node in index:
+                    stamp_diagonal(node, conductance)
+                # A resistor from a pad node to ground only affects the pad
+                # current, not the reduced system.
+                continue
+
+            a_fixed = a in fixed_voltages
+            b_fixed = b in fixed_voltages
+            if a_fixed and b_fixed:
+                continue
+            if a_fixed or b_fixed:
+                fixed, free = (a, b) if a_fixed else (b, a)
+                i = index[free]
+                stamp_diagonal(free, conductance)
+                rhs[i] += conductance * fixed_voltages[fixed]
+                continue
+
+            i, j = index[a], index[b]
+            stamp_diagonal(a, conductance)
+            stamp_diagonal(b, conductance)
+            rows.extend((i, j))
+            cols.extend((j, i))
+            data.extend((-conductance, -conductance))
+
+        for load in network.iter_loads():
+            if load.node in index:
+                rhs[index[load.node]] -= load.current
+            # Loads attached directly to pad nodes draw current from the
+            # ideal source and do not change the reduced system.
+
+        matrix = sp.csr_matrix(
+            (np.asarray(data), (np.asarray(rows), np.asarray(cols))), shape=(n, n)
+        )
+        matrix.sum_duplicates()
+        return MNASystem(
+            matrix=matrix,
+            rhs=rhs,
+            unknown_nodes=unknown_nodes,
+            fixed_voltages=fixed_voltages,
+            ground_connected=ground_connected,
+        )
+
+
+def assemble(network: PowerGridNetwork) -> MNASystem:
+    """Convenience wrapper around :class:`MNAAssembler`."""
+    return MNAAssembler().assemble(network)

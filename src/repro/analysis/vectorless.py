@@ -1,0 +1,122 @@
+"""Early vectorless power-grid analysis.
+
+The conventional power-planning flow (paper Fig. 1) runs an *early vectorless*
+analysis before placement and routing: the exact current traces of the blocks
+are not yet known, so the grid is checked against conservative current
+budgets instead.  This module implements the standard budget-based
+over-approximation: every block draws its maximum budgeted current
+simultaneously, optionally with a global utilisation bound that caps the
+total drawn current (a simplified form of the linear-programming-based
+vectorless formulations in the literature).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..grid.elements import CurrentSource
+from ..grid.network import PowerGridNetwork
+from .irdrop import IRDropAnalyzer, IRDropResult
+
+
+@dataclass(frozen=True)
+class VectorlessBudget:
+    """Current budgets for the vectorless analysis.
+
+    Attributes:
+        per_load_max: Mapping of load (current-source) name to its maximum
+            budgeted current in amperes.  Loads not listed keep their nominal
+            current.
+        global_utilisation: Upper bound on the sum of all load currents as a
+            fraction of the sum of per-load maxima (1.0 disables the global
+            constraint).
+    """
+
+    per_load_max: dict[str, float]
+    global_utilisation: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.global_utilisation <= 1.0:
+            raise ValueError("global_utilisation must be in (0, 1]")
+        for name, value in self.per_load_max.items():
+            if value < 0:
+                raise ValueError(f"budget for {name!r} must be non-negative")
+
+
+@dataclass
+class VectorlessResult:
+    """Outcome of the vectorless (worst-case bound) analysis.
+
+    Attributes:
+        bound_result: IR-drop analysis at the budgeted worst-case currents.
+        nominal_result: IR-drop analysis at the nominal currents.
+        pessimism: Ratio of the bounded worst-case IR drop to the nominal
+            worst-case IR drop (>= 1 by construction when budgets dominate).
+    """
+
+    bound_result: IRDropResult
+    nominal_result: IRDropResult
+    pessimism: float
+
+    @property
+    def worst_case_bound(self) -> float:
+        """Upper bound on the worst-case IR drop, in volts."""
+        return self.bound_result.worst_ir_drop
+
+
+class VectorlessAnalyzer:
+    """Budget-based vectorless IR-drop bound analysis.
+
+    Args:
+        analyzer: The IR-drop analyzer to use for both the nominal and the
+            bounded solve.
+    """
+
+    def __init__(self, analyzer: IRDropAnalyzer | None = None) -> None:
+        self.analyzer = analyzer or IRDropAnalyzer()
+
+    def analyze(self, network: PowerGridNetwork, budget: VectorlessBudget) -> VectorlessResult:
+        """Run nominal and worst-case-budget analyses and compare them.
+
+        The worst-case network replaces each budgeted load by its maximum
+        value, then scales all loads uniformly so that the total respects the
+        global utilisation bound.
+        """
+        nominal = self.analyzer.analyze(network)
+
+        budgeted_loads: list[CurrentSource] = []
+        for load in network.iter_loads():
+            maximum = budget.per_load_max.get(load.name, load.current)
+            budgeted_loads.append(
+                CurrentSource(name=load.name, node=load.node, current=maximum, block=load.block)
+            )
+        total_maximum = sum(load.current for load in budgeted_loads)
+        allowed_total = total_maximum * budget.global_utilisation
+        if total_maximum > 0 and allowed_total < total_maximum:
+            scale = allowed_total / total_maximum
+            budgeted_loads = [load.scaled(scale) for load in budgeted_loads]
+
+        bounded_network = network.replace_loads(
+            budgeted_loads, name=f"{network.name}_vectorless"
+        )
+        bound = self.analyzer.analyze(bounded_network)
+        pessimism = (
+            bound.worst_ir_drop / nominal.worst_ir_drop
+            if nominal.worst_ir_drop > 0
+            else float("inf")
+        )
+        return VectorlessResult(bound_result=bound, nominal_result=nominal, pessimism=pessimism)
+
+
+def uniform_budget(network: PowerGridNetwork, headroom: float = 1.5, utilisation: float = 1.0) -> VectorlessBudget:
+    """Build a budget where every load may exceed its nominal value by ``headroom``.
+
+    Args:
+        network: The grid whose loads are budgeted.
+        headroom: Multiplicative headroom on each nominal load (>= 1).
+        utilisation: Global utilisation bound passed through to the budget.
+    """
+    if headroom < 1.0:
+        raise ValueError("headroom must be >= 1")
+    per_load = {load.name: load.current * headroom for load in network.iter_loads()}
+    return VectorlessBudget(per_load_max=per_load, global_utilisation=utilisation)

@@ -1,0 +1,252 @@
+"""Command-line interface for the PowerPlanningDL reproduction.
+
+Installed as the ``powerplanningdl`` console script, the CLI exposes the
+library's main flows to users who do not want to write Python:
+
+* ``generate``  — write a synthetic IBM-style benchmark as a SPICE netlist;
+* ``analyze``   — run the conventional static IR-drop analysis on a netlist;
+* ``plan``      — run the conventional iterative planner on a benchmark;
+* ``train``     — train the PowerPlanningDL width model on a benchmark and
+  save it to disk;
+* ``predict``   — load a trained model and predict the design (widths +
+  IR drop) for a benchmark specification, optionally perturbed by gamma.
+
+All subcommands print human-readable tables and exit non-zero on error, so
+they compose with shell scripts and CI jobs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .analysis import EMChecker, IRDropAnalyzer
+from .core import PowerPlanningDL, format_key_values, format_table
+from .design import ConventionalPowerPlanner
+from .grid import (
+    PerturbationKind,
+    PerturbationSpec,
+    SUITE_NAMES,
+    SyntheticIBMSuite,
+    read_netlist,
+    write_netlist,
+)
+from .nn import RegressorConfig, TrainingConfig, load_regressor, save_regressor
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="powerplanningdl",
+        description="Reliability-aware power-grid design with deep learning (DATE 2020 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="write a synthetic benchmark netlist")
+    generate.add_argument("benchmark", choices=SUITE_NAMES, help="benchmark name")
+    generate.add_argument("output", type=Path, help="output SPICE netlist path")
+    generate.add_argument(
+        "--width", type=float, default=None,
+        help="uniform stripe width in um (default: run the conventional sizer)",
+    )
+
+    analyze = subparsers.add_parser("analyze", help="static IR-drop analysis of a SPICE netlist")
+    analyze.add_argument("netlist", type=Path, help="input SPICE netlist")
+    analyze.add_argument("--top", type=int, default=5, help="number of worst nodes to list")
+
+    plan = subparsers.add_parser("plan", help="conventional iterative power planning")
+    plan.add_argument("benchmark", choices=SUITE_NAMES, help="benchmark name")
+    plan.add_argument("--netlist-out", type=Path, default=None, help="write the sized grid here")
+
+    train = subparsers.add_parser("train", help="train the width model on a benchmark")
+    train.add_argument("benchmark", choices=SUITE_NAMES, help="benchmark name")
+    train.add_argument("model", type=Path, help="output model file (.npz)")
+    train.add_argument("--epochs", type=int, default=80, help="training epochs")
+    train.add_argument("--hidden-layers", type=int, default=10, help="hidden layers")
+    train.add_argument("--hidden-width", type=int, default=32, help="units per hidden layer")
+
+    predict = subparsers.add_parser("predict", help="predict a design with a trained model")
+    predict.add_argument("benchmark", choices=SUITE_NAMES, help="benchmark specification")
+    predict.add_argument("model", type=Path, help="trained model file (.npz)")
+    predict.add_argument("--gamma", type=float, default=0.0, help="perturbation size (0-0.5)")
+    predict.add_argument(
+        "--verify", action="store_true",
+        help="also run the conventional analysis on the predicted design",
+    )
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations
+# ----------------------------------------------------------------------
+def _cmd_generate(args: argparse.Namespace) -> int:
+    bench = SyntheticIBMSuite().load(args.benchmark)
+    if args.width is not None:
+        network = bench.build_uniform_grid(args.width)
+    else:
+        plan = ConventionalPowerPlanner(bench.technology).plan(bench.floorplan, bench.topology)
+        network = plan.network
+    path = write_netlist(network, args.output)
+    stats = network.statistics()
+    print(
+        format_key_values(
+            {
+                "benchmark": bench.name,
+                "netlist": str(path),
+                "nodes": stats.num_nodes,
+                "resistors": stats.num_resistors,
+                "voltage sources": stats.num_sources,
+                "current loads": stats.num_loads,
+            },
+            title="generated netlist",
+        )
+    )
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    if not args.netlist.exists():
+        print(f"error: netlist {args.netlist} does not exist", file=sys.stderr)
+        return 2
+    network = read_netlist(args.netlist)
+    result = IRDropAnalyzer().analyze(network)
+    print(
+        format_key_values(
+            {
+                "netlist": str(args.netlist),
+                "nodes": len(network.nodes),
+                "worst-case IR drop (mV)": result.worst_ir_drop_mv,
+                "average IR drop (mV)": result.average_ir_drop * 1000.0,
+                "worst node": result.worst_node,
+                "solver": result.solver_method,
+                "analysis time (s)": result.analysis_time,
+            },
+            title="static IR-drop analysis",
+        )
+    )
+    worst = sorted(result.node_ir_drop.items(), key=lambda item: item[1], reverse=True)
+    rows = [
+        {"node": name, "ir_drop_mV": round(value * 1000.0, 3)}
+        for name, value in worst[: max(args.top, 0)]
+    ]
+    if rows:
+        print()
+        print(format_table(rows, title=f"{len(rows)} worst nodes"))
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    bench = SyntheticIBMSuite().load(args.benchmark)
+    plan = ConventionalPowerPlanner(bench.technology).plan(bench.floorplan, bench.topology)
+    print(
+        format_key_values(
+            {
+                "benchmark": bench.name,
+                "converged": plan.converged,
+                "iterations": plan.num_iterations,
+                "worst-case IR drop (mV)": plan.ir_result.worst_ir_drop_mv,
+                "EM violations": len(plan.em_report.violations),
+                "median width (um)": float(np.median(plan.widths)),
+                "total time (s)": plan.total_time,
+            },
+            title="conventional power planning",
+        )
+    )
+    if args.netlist_out is not None:
+        write_netlist(plan.network, args.netlist_out)
+        print(f"sized netlist written to {args.netlist_out}")
+    return 0 if plan.converged else 1
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    bench = SyntheticIBMSuite().load(args.benchmark)
+    config = RegressorConfig(
+        hidden_layers=args.hidden_layers,
+        hidden_width=args.hidden_width,
+        training=TrainingConfig(epochs=args.epochs, batch_size=128, early_stopping_patience=0, seed=0),
+        seed=0,
+    )
+    framework = PowerPlanningDL(bench.technology, config)
+    trained = framework.train_on_benchmark(bench)
+    metrics = framework.evaluate(trained.benchmark_dataset.training)
+    path = save_regressor(framework.width_predictor.regressor, args.model)
+    print(
+        format_key_values(
+            {
+                "benchmark": bench.name,
+                "training samples": trained.benchmark_dataset.training.num_samples,
+                "epochs run": trained.training_history.epochs_run,
+                "training r2": metrics.r2,
+                "training MSE (um^2)": metrics.mse,
+                "training time (s)": trained.training_time,
+                "model": str(path),
+            },
+            title="PowerPlanningDL training",
+        )
+    )
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    if not args.model.exists():
+        print(f"error: model {args.model} does not exist", file=sys.stderr)
+        return 2
+    if not 0 <= args.gamma < 0.5:
+        print("error: --gamma must be in [0, 0.5)", file=sys.stderr)
+        return 2
+    bench = SyntheticIBMSuite().load(args.benchmark)
+    framework = PowerPlanningDL(bench.technology)
+    framework.width_predictor.regressor = load_regressor(args.model)
+
+    floorplan = bench.floorplan
+    if args.gamma > 0:
+        from .grid import FloorplanPerturbator
+
+        spec = PerturbationSpec(gamma=args.gamma, kind=PerturbationKind.CURRENT_WORKLOADS, seed=1)
+        floorplan = FloorplanPerturbator(spec).perturb(floorplan)
+
+    predicted = framework.predict_design(floorplan, bench.topology)
+    summary = {
+        "benchmark": bench.name,
+        "perturbation gamma": args.gamma,
+        "power-grid lines": bench.topology.num_lines,
+        "median predicted width (um)": float(np.median(predicted.line_widths)),
+        "predicted worst IR drop (mV)": predicted.ir_drop.worst_ir_drop_mv,
+        "prediction time (s)": predicted.convergence_time,
+    }
+    if args.verify:
+        from .grid import GridBuilder
+
+        network = GridBuilder(bench.technology).build(
+            floorplan, bench.topology, predicted.line_widths
+        )
+        analysis = IRDropAnalyzer().analyze(network)
+        em = EMChecker(bench.technology).check(network, analysis)
+        summary["verified worst IR drop (mV)"] = analysis.worst_ir_drop_mv
+        summary["verified EM violations"] = len(em.violations)
+    print(format_key_values(summary, title="PowerPlanningDL prediction"))
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "analyze": _cmd_analyze,
+    "plan": _cmd_plan,
+    "train": _cmd_train,
+    "predict": _cmd_predict,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _COMMANDS[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    raise SystemExit(main())

@@ -1,0 +1,65 @@
+"""PowerPlanningDL core: the paper's deep-learning power-planning framework.
+
+Contains feature extraction (X, Y, Id, w quadruples), dataset preparation
+from golden conventional designs and gamma-perturbed test specifications,
+the neural width predictor (Algorithm 1), the Kirchhoff IR-drop estimator
+(Algorithm 2), the end-to-end :class:`PowerPlanningDL` framework, the
+experiment-level evaluation helpers behind every table and figure, the
+tracemalloc-based memory profiler and plain-text report formatting.
+"""
+
+from .dataset import BenchmarkDataset, DatasetBuilder, RegressionDataset
+from .evaluation import (
+    AccuracyRow,
+    ConvergenceComparison,
+    FeatureScoreStudy,
+    IRDropComparison,
+    WidthPredictionStudy,
+    compare_convergence,
+    compare_worst_ir_drop,
+    feature_r2_study,
+    per_interconnect_r2_series,
+    width_prediction_study,
+)
+from .features import FEATURE_NAMES, FeatureExtractor, InterconnectSample, single_feature_columns
+from .framework import EvaluationMetrics, PowerPlanningDL, PredictedDesign, TrainedFramework
+from .irdrop_model import IRDropPrediction, KirchhoffIRDropEstimator, pg_line_count
+from .memory import MemoryProfile, MemorySample, PeakMemoryProfiler, peak_memory_of
+from .report import format_key_values, format_speedup, format_table
+from .width_model import WidthPredictionResult, WidthPredictor
+
+__all__ = [
+    "AccuracyRow",
+    "BenchmarkDataset",
+    "ConvergenceComparison",
+    "DatasetBuilder",
+    "EvaluationMetrics",
+    "FEATURE_NAMES",
+    "FeatureExtractor",
+    "FeatureScoreStudy",
+    "IRDropComparison",
+    "IRDropPrediction",
+    "InterconnectSample",
+    "KirchhoffIRDropEstimator",
+    "MemoryProfile",
+    "MemorySample",
+    "PeakMemoryProfiler",
+    "PowerPlanningDL",
+    "PredictedDesign",
+    "RegressionDataset",
+    "TrainedFramework",
+    "WidthPredictionResult",
+    "WidthPredictionStudy",
+    "WidthPredictor",
+    "compare_convergence",
+    "compare_worst_ir_drop",
+    "feature_r2_study",
+    "format_key_values",
+    "format_speedup",
+    "format_table",
+    "peak_memory_of",
+    "per_interconnect_r2_series",
+    "pg_line_count",
+    "single_feature_columns",
+    "width_prediction_study",
+]

@@ -1,0 +1,263 @@
+"""Experiment-level evaluation utilities shared by the benchmark harness.
+
+The functions here compute the exact quantities the paper's tables and
+figures report, from the objects the framework and the conventional planner
+produce: feature r² studies (Table I / Fig. 4b), width-prediction
+correlation and error histograms (Fig. 7), worst-case IR-drop comparisons
+(Table III), convergence-time speedups (Table IV) and accuracy/memory rows
+(Table V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..design.planner import PowerPlanResult
+from ..nn.metrics import (
+    ErrorHistogram,
+    error_histogram,
+    mean_squared_error,
+    pearson_correlation,
+    r2_score,
+)
+from ..nn.regression import MultiTargetRegressor, RegressorConfig
+from .dataset import RegressionDataset
+from .features import FEATURE_NAMES, single_feature_columns
+from .framework import PredictedDesign
+
+
+# ----------------------------------------------------------------------
+# Table I / Fig. 4(b): feature r2 study
+# ----------------------------------------------------------------------
+@dataclass
+class FeatureScoreStudy:
+    """r² of each individual feature and of the combined feature set.
+
+    Attributes:
+        scores: Mapping of feature name (plus ``"combined"``) to r² score.
+        per_interconnect: Optional mapping of feature name to an array of
+            per-interconnect r² scores (the Fig. 4b series).
+    """
+
+    scores: dict[str, float]
+    per_interconnect: dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def best_feature(self) -> str:
+        """Name of the feature set with the highest r² score."""
+        return max(self.scores, key=self.scores.get)
+
+
+def feature_r2_study(
+    dataset: RegressionDataset,
+    config: RegressorConfig | None = None,
+    test_fraction: float = 0.25,
+    seed: int = 0,
+) -> FeatureScoreStudy:
+    """Reproduce the Table I study: r² of X, Y, Id and the combined features.
+
+    A separate regressor is trained per feature subset on a train split and
+    scored on the held-out split.
+    """
+    config = config or RegressorConfig.fast()
+    train, test = dataset.split(test_fraction=test_fraction, seed=seed)
+    scores: dict[str, float] = {}
+
+    for name, column_getter in _feature_subsets().items():
+        model = MultiTargetRegressor(config)
+        model.fit(column_getter(train.features), train.widths)
+        predictions = model.predict(column_getter(test.features))
+        scores[name] = r2_score(test.widths, predictions)
+    return FeatureScoreStudy(scores=scores)
+
+
+def per_interconnect_r2_series(
+    dataset: RegressionDataset,
+    config: RegressorConfig | None = None,
+    num_interconnects: int = 1000,
+    window: int = 50,
+    seed: int = 0,
+) -> FeatureScoreStudy:
+    """Reproduce Fig. 4(b): r² variation over a window sweep of interconnects.
+
+    The paper plots, for 1000 interconnects of ibmpg1, how well each feature
+    subset predicts the width.  We evaluate a model per feature subset once,
+    then compute r² over a sliding window of ``window`` consecutive test
+    interconnects to obtain a per-interconnect series of the same shape.
+    """
+    config = config or RegressorConfig.fast()
+    train, test = dataset.split(test_fraction=0.5, seed=seed)
+    limit = min(num_interconnects, test.num_samples)
+    series: dict[str, np.ndarray] = {}
+    scores: dict[str, float] = {}
+
+    for name, column_getter in _feature_subsets().items():
+        model = MultiTargetRegressor(config)
+        model.fit(column_getter(train.features), train.widths)
+        predictions = model.predict(column_getter(test.features))
+        scores[name] = r2_score(test.widths, predictions)
+        values = np.empty(limit)
+        for index in range(limit):
+            start = max(0, index - window // 2)
+            stop = min(test.num_samples, start + window)
+            values[index] = r2_score(test.widths[start:stop], predictions[start:stop])
+        series[name] = values
+    return FeatureScoreStudy(scores=scores, per_interconnect=series)
+
+
+def _feature_subsets():
+    subsets = {
+        name: (lambda features, index=index: features[:, [index]])
+        for index, name in enumerate(FEATURE_NAMES)
+    }
+    subsets["combined"] = lambda features: features
+    return subsets
+
+
+# ----------------------------------------------------------------------
+# Fig. 7: width prediction correlation and error histogram
+# ----------------------------------------------------------------------
+@dataclass
+class WidthPredictionStudy:
+    """Correlation scatter and error histogram data for width prediction.
+
+    Attributes:
+        golden: Golden sample widths in um.
+        predicted: Predicted sample widths in um.
+        correlation: Pearson correlation (Fig. 7a).
+        r2: r² score of the predictions.
+        mse: MSE of the predictions in um².
+        histogram: Error histogram of golden minus predicted (Fig. 7b).
+    """
+
+    golden: np.ndarray
+    predicted: np.ndarray
+    correlation: float
+    r2: float
+    mse: float
+    histogram: ErrorHistogram
+
+
+def width_prediction_study(golden: np.ndarray, predicted: np.ndarray, num_bins: int = 41) -> WidthPredictionStudy:
+    """Build the Fig. 7 artefacts from golden and predicted sample widths."""
+    golden = np.asarray(golden, dtype=float).ravel()
+    predicted = np.asarray(predicted, dtype=float).ravel()
+    return WidthPredictionStudy(
+        golden=golden,
+        predicted=predicted,
+        correlation=pearson_correlation(golden, predicted),
+        r2=r2_score(golden, predicted),
+        mse=mean_squared_error(golden, predicted),
+        histogram=error_histogram(golden, predicted, num_bins=num_bins),
+    )
+
+
+# ----------------------------------------------------------------------
+# Table III: worst-case IR drop comparison
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class IRDropComparison:
+    """Worst-case IR-drop of the conventional vs. the DL flow (one benchmark).
+
+    Attributes:
+        benchmark: Benchmark name.
+        conventional_mv: Conventional (full-analysis) worst-case drop in mV.
+        predicted_mv: PowerPlanningDL predicted worst-case drop in mV.
+    """
+
+    benchmark: str
+    conventional_mv: float
+    predicted_mv: float
+
+    @property
+    def absolute_error_mv(self) -> float:
+        """Absolute difference between the two worst-case drops in mV."""
+        return abs(self.conventional_mv - self.predicted_mv)
+
+    @property
+    def relative_error(self) -> float:
+        """Relative error of the prediction against the conventional value."""
+        if self.conventional_mv == 0:
+            return 0.0 if self.predicted_mv == 0 else float("inf")
+        return self.absolute_error_mv / self.conventional_mv
+
+
+def compare_worst_ir_drop(plan: PowerPlanResult, predicted: PredictedDesign) -> IRDropComparison:
+    """Build one Table III row from a golden plan and a predicted design."""
+    return IRDropComparison(
+        benchmark=plan.benchmark,
+        conventional_mv=plan.ir_result.worst_ir_drop_mv,
+        predicted_mv=predicted.ir_drop.worst_ir_drop_mv,
+    )
+
+
+# ----------------------------------------------------------------------
+# Table IV: convergence time and speedup
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ConvergenceComparison:
+    """Convergence time of the conventional vs. the DL flow (one benchmark).
+
+    Attributes:
+        benchmark: Benchmark name.
+        conventional_seconds: Conventional analysis time in seconds (the
+            paper counts the IR-drop analysis as the dominant cost and the
+            best case of a single design iteration).
+        powerplanningdl_seconds: PowerPlanningDL prediction time in seconds
+            (width prediction + IR-drop prediction).
+    """
+
+    benchmark: str
+    conventional_seconds: float
+    powerplanningdl_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        """``T_conventional / T_PowerPlanningDL`` (Table IV rightmost column)."""
+        if self.powerplanningdl_seconds <= 0:
+            return float("inf")
+        return self.conventional_seconds / self.powerplanningdl_seconds
+
+
+def compare_convergence(plan: PowerPlanResult, predicted: PredictedDesign) -> ConvergenceComparison:
+    """Build one Table IV row.
+
+    Following the paper, the conventional time is the best case of a single
+    design iteration and is dominated by the power-grid analysis: here it is
+    the time to construct the power-grid netlist plus the IR-drop analysis
+    of the first iteration.  The PowerPlanningDL time is the width + IR-drop
+    prediction time, which needs neither.
+    """
+    if plan.iterations:
+        single_iteration = plan.iterations[0].step_time
+    else:
+        single_iteration = plan.analysis_time
+    return ConvergenceComparison(
+        benchmark=plan.benchmark,
+        conventional_seconds=single_iteration,
+        powerplanningdl_seconds=predicted.convergence_time,
+    )
+
+
+# ----------------------------------------------------------------------
+# Table V: accuracy and memory rows
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AccuracyRow:
+    """One Table V row: interconnect count, r², MSE and peak memory.
+
+    Attributes:
+        benchmark: Benchmark name.
+        num_interconnects: Number of interconnect samples evaluated.
+        r2: r² score on the test dataset.
+        mse: MSE on the test dataset in um².
+        peak_memory_mib: Peak memory of the DL flow in MiB.
+    """
+
+    benchmark: str
+    num_interconnects: int
+    r2: float
+    mse: float
+    peak_memory_mib: float

@@ -1,0 +1,221 @@
+"""The end-to-end PowerPlanningDL framework (paper Fig. 2 / Fig. 6).
+
+:class:`PowerPlanningDL` ties the pieces together exactly as the paper's
+simulation-setup figure describes:
+
+1. run the conventional flow on a benchmark netlist to obtain the golden
+   ("historical") power-grid design;
+2. extract per-interconnect features (X, Y, Id) and golden widths, forming
+   the training dataset;
+3. train the neural-network width model (Algorithm 1);
+4. for a new (perturbed) specification, predict the interconnect widths and
+   then the IR drop via the Kirchhoff estimator (Algorithm 2), measuring the
+   prediction ("convergence") time that Table IV compares against the
+   conventional approach;
+5. compute the evaluation metrics (MSE, r² score) of Table V.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..design.planner import ConventionalPowerPlanner, PowerPlanResult
+from ..design.rules import DesignRules
+from ..grid.benchmarks import SyntheticBenchmark
+from ..grid.floorplan import Floorplan
+from ..grid.perturbation import PerturbationKind, PerturbationSpec
+from ..nn.metrics import mean_squared_error, pearson_correlation, r2_score, relative_mse_percent
+from ..nn.regression import RegressorConfig
+from ..nn.training import TrainingHistory
+from .dataset import BenchmarkDataset, DatasetBuilder, RegressionDataset
+from .irdrop_model import IRDropPrediction, KirchhoffIRDropEstimator
+from .width_model import WidthPredictionResult, WidthPredictor
+
+
+@dataclass
+class PredictedDesign:
+    """A power-grid design predicted by PowerPlanningDL for one specification.
+
+    Attributes:
+        name: Name of the specification (floorplan) the design is for.
+        line_widths: Predicted per-line widths in um.
+        width_result: Full per-sample width prediction result.
+        ir_drop: Kirchhoff-based IR-drop prediction.
+        convergence_time: Total prediction time (width + IR drop), seconds —
+            the PowerPlanningDL column of Table IV.
+    """
+
+    name: str
+    line_widths: np.ndarray
+    width_result: WidthPredictionResult
+    ir_drop: IRDropPrediction
+    convergence_time: float
+
+
+@dataclass
+class EvaluationMetrics:
+    """Accuracy metrics of the framework on a labeled test dataset (Table V).
+
+    Attributes:
+        dataset_name: Name of the evaluated dataset.
+        num_interconnects: Number of evaluated interconnect samples.
+        r2: r² score between golden and predicted sample widths.
+        mse: Mean squared error in um².
+        mse_percent: Variance-normalised MSE in percent (Fig. 9 units).
+        correlation: Pearson correlation between golden and predicted widths
+            (Fig. 7a).
+    """
+
+    dataset_name: str
+    num_interconnects: int
+    r2: float
+    mse: float
+    mse_percent: float
+    correlation: float
+
+
+@dataclass
+class TrainedFramework:
+    """Everything produced by training the framework on one benchmark.
+
+    Attributes:
+        benchmark_dataset: The golden plan and training dataset.
+        training_history: Neural-network training history.
+        training_time: Wall-clock training time in seconds.
+        feature_extraction_time: Time spent building the training dataset
+            (conventional golden plan excluded), in seconds.
+    """
+
+    benchmark_dataset: BenchmarkDataset
+    training_history: TrainingHistory
+    training_time: float
+    feature_extraction_time: float
+
+
+class PowerPlanningDL:
+    """Reliability-aware deep-learning power-planning framework.
+
+    Args:
+        technology: Technology shared by training and prediction.
+        regressor_config: Width-model configuration; the paper's default
+            (10 hidden layers, Adam, MSE) is used when omitted.
+        rules: Design rules used to legalise predicted widths; derived from
+            the technology when omitted.
+        planner: Conventional planner used to create golden designs; a
+            default planner is created when omitted.
+    """
+
+    def __init__(
+        self,
+        technology,
+        regressor_config: RegressorConfig | None = None,
+        rules: DesignRules | None = None,
+        planner: ConventionalPowerPlanner | None = None,
+    ) -> None:
+        self.technology = technology
+        self.rules = rules or DesignRules.from_technology(technology)
+        self.width_predictor = WidthPredictor(
+            config=regressor_config or RegressorConfig.paper_default(),
+            rules=self.rules,
+        )
+        self.ir_estimator = KirchhoffIRDropEstimator(technology)
+        self.dataset_builder = DatasetBuilder(planner or ConventionalPowerPlanner(technology))
+        self._trained: TrainedFramework | None = None
+
+    # ------------------------------------------------------------------
+    # Training (Fig. 2 upper path)
+    # ------------------------------------------------------------------
+    def train_on_benchmark(self, benchmark: SyntheticBenchmark) -> TrainedFramework:
+        """Run the golden flow, extract features and train the width model."""
+        start = time.perf_counter()
+        benchmark_dataset = self.dataset_builder.build_training(benchmark)
+        feature_time = time.perf_counter() - start - benchmark_dataset.golden_plan.total_time
+
+        history = self.width_predictor.fit(benchmark_dataset.training)
+        trained = TrainedFramework(
+            benchmark_dataset=benchmark_dataset,
+            training_history=history,
+            training_time=self.width_predictor.training_time,
+            feature_extraction_time=max(feature_time, 0.0),
+        )
+        self._trained = trained
+        return trained
+
+    def train_on_dataset(self, dataset: RegressionDataset) -> TrainingHistory:
+        """Train the width model directly on a pre-built dataset."""
+        return self.width_predictor.fit(dataset)
+
+    @property
+    def is_trained(self) -> bool:
+        """True once the width model has been trained."""
+        return self.width_predictor.is_fitted
+
+    @property
+    def trained(self) -> TrainedFramework:
+        """The result of the last :meth:`train_on_benchmark` call.
+
+        Raises:
+            RuntimeError: If the framework was not trained on a benchmark.
+        """
+        if self._trained is None:
+            raise RuntimeError("the framework has not been trained on a benchmark")
+        return self._trained
+
+    # ------------------------------------------------------------------
+    # Prediction (Fig. 2 lower path)
+    # ------------------------------------------------------------------
+    def predict_design(self, floorplan: Floorplan, topology) -> PredictedDesign:
+        """Predict a full power-grid design for a new specification.
+
+        This is the PowerPlanningDL "convergence" path of Table IV: a width
+        prediction (Algorithm 1) followed by the Kirchhoff IR-drop
+        estimation (Algorithm 2), with no power-grid analysis.
+        """
+        start = time.perf_counter()
+        width_result = self.width_predictor.predict_design(floorplan, topology)
+        ir_prediction = self.ir_estimator.predict(floorplan, topology, width_result.line_widths)
+        elapsed = time.perf_counter() - start
+        return PredictedDesign(
+            name=floorplan.name,
+            line_widths=width_result.line_widths,
+            width_result=width_result,
+            ir_drop=ir_prediction,
+            convergence_time=elapsed,
+        )
+
+    def predict_for_perturbation(
+        self, benchmark: SyntheticBenchmark, spec: PerturbationSpec
+    ) -> tuple[PredictedDesign, RegressionDataset, PowerPlanResult]:
+        """Predict the design for a perturbed specification of a benchmark.
+
+        Returns the predicted design, the labeled perturbed test dataset and
+        the conventional plan of the perturbed design (for golden
+        comparisons).
+        """
+        test_dataset, perturbed_floorplan, perturbed_plan = (
+            self.dataset_builder.build_perturbed_test(benchmark, spec)
+        )
+        predicted = self.predict_design(perturbed_floorplan, benchmark.topology)
+        return predicted, test_dataset, perturbed_plan
+
+    # ------------------------------------------------------------------
+    # Evaluation (Table V metrics)
+    # ------------------------------------------------------------------
+    def evaluate(self, dataset: RegressionDataset) -> EvaluationMetrics:
+        """Compute r², MSE, MSE% and correlation on a labeled dataset."""
+        predictions = self.width_predictor.predict_samples(dataset.features)
+        return EvaluationMetrics(
+            dataset_name=dataset.name,
+            num_interconnects=dataset.num_interconnects,
+            r2=r2_score(dataset.widths, predictions),
+            mse=mean_squared_error(dataset.widths, predictions),
+            mse_percent=relative_mse_percent(dataset.widths, predictions),
+            correlation=pearson_correlation(dataset.widths, predictions),
+        )
+
+    def default_perturbation(self, gamma: float = 0.10, kind: PerturbationKind = PerturbationKind.BOTH, seed: int = 1) -> PerturbationSpec:
+        """The paper's default test-set perturbation: gamma = 10 %, both kinds."""
+        return PerturbationSpec(gamma=gamma, kind=kind, seed=seed)

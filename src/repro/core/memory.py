@@ -1,0 +1,136 @@
+"""Peak-memory profiling (the paper's mprof study, Table V / Fig. 10).
+
+The paper profiles its framework with the ``mprof`` tool and reports peak
+memory per benchmark (Table V) and memory-versus-time curves (Fig. 10).
+``mprof`` is not available offline, so this module provides a
+``tracemalloc``-based profiler that measures the Python-level heap: the
+current and peak allocated bytes are sampled over the run of a callable,
+yielding the same two artefacts (a peak figure and a time series).
+
+Note: ``tracemalloc`` tracks Python allocations (including NumPy array
+buffers), not the process RSS that ``mprof`` reports, so absolute numbers
+are smaller than the paper's; relative ordering across benchmarks is the
+comparable quantity.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+_BYTES_PER_MIB = 1024.0 * 1024.0
+
+
+@dataclass
+class MemorySample:
+    """One sample of the memory profile.
+
+    Attributes:
+        elapsed: Seconds since profiling started.
+        current_mib: Currently allocated Python heap in MiB.
+        peak_mib: Peak allocated Python heap so far in MiB.
+    """
+
+    elapsed: float
+    current_mib: float
+    peak_mib: float
+
+
+@dataclass
+class MemoryProfile:
+    """Memory usage of one profiled call.
+
+    Attributes:
+        label: Name of the profiled activity.
+        samples: Time-ordered memory samples (the Fig. 10 series).
+        peak_mib: Peak allocated memory over the whole call, in MiB.
+        duration: Total wall-clock duration of the call, in seconds.
+        result: Return value of the profiled callable.
+    """
+
+    label: str
+    samples: list[MemorySample]
+    peak_mib: float
+    duration: float
+    result: Any = None
+
+    def series(self) -> tuple[list[float], list[float]]:
+        """Return the ``(times, current_mib)`` series for plotting."""
+        return (
+            [sample.elapsed for sample in self.samples],
+            [sample.current_mib for sample in self.samples],
+        )
+
+
+class PeakMemoryProfiler:
+    """Profile the peak memory and memory-over-time of a callable.
+
+    Args:
+        sample_interval: Seconds between background samples of the heap.
+    """
+
+    def __init__(self, sample_interval: float = 0.05) -> None:
+        if sample_interval <= 0:
+            raise ValueError("sample_interval must be positive")
+        self.sample_interval = sample_interval
+
+    def profile(self, func: Callable[[], Any], label: str = "run") -> MemoryProfile:
+        """Run ``func`` under the profiler and return its memory profile.
+
+        The profiler owns the ``tracemalloc`` session: it is started before
+        the call and stopped afterwards, even if the callable raises.
+        """
+        samples: list[MemorySample] = []
+        stop_event = threading.Event()
+        was_tracing = tracemalloc.is_tracing()
+        if not was_tracing:
+            tracemalloc.start()
+        tracemalloc.reset_peak()
+        start = time.perf_counter()
+
+        def sampler() -> None:
+            while not stop_event.wait(self.sample_interval):
+                current, peak = tracemalloc.get_traced_memory()
+                samples.append(
+                    MemorySample(
+                        elapsed=time.perf_counter() - start,
+                        current_mib=current / _BYTES_PER_MIB,
+                        peak_mib=peak / _BYTES_PER_MIB,
+                    )
+                )
+
+        thread = threading.Thread(target=sampler, daemon=True)
+        thread.start()
+        try:
+            result = func()
+        finally:
+            stop_event.set()
+            thread.join()
+            current, peak = tracemalloc.get_traced_memory()
+            duration = time.perf_counter() - start
+            if not was_tracing:
+                tracemalloc.stop()
+
+        samples.append(
+            MemorySample(
+                elapsed=duration,
+                current_mib=current / _BYTES_PER_MIB,
+                peak_mib=peak / _BYTES_PER_MIB,
+            )
+        )
+        return MemoryProfile(
+            label=label,
+            samples=samples,
+            peak_mib=peak / _BYTES_PER_MIB,
+            duration=duration,
+            result=result,
+        )
+
+
+def peak_memory_of(func: Callable[[], Any], label: str = "run") -> tuple[float, Any]:
+    """Convenience wrapper: return ``(peak_mib, result)`` of one call."""
+    profile = PeakMemoryProfiler().profile(func, label=label)
+    return profile.peak_mib, profile.result

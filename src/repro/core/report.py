@@ -1,0 +1,78 @@
+"""Plain-text table formatting for the benchmark harness.
+
+Every bench prints the same rows the paper's tables report; this module
+renders those rows with aligned columns so the harness output is directly
+comparable with the paper (and with EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render dict rows as an aligned text table.
+
+    Args:
+        rows: Row dictionaries.
+        columns: Column order; inferred from the first row when omitted.
+        title: Optional title line printed above the table.
+        float_format: Format applied to float cells.
+
+    Returns:
+        A multi-line string with a header, a separator and one line per row.
+
+    Raises:
+        ValueError: If there are no rows and no explicit columns.
+    """
+    rows = list(rows)
+    if columns is None:
+        if not rows:
+            raise ValueError("cannot infer columns from an empty table")
+        columns = list(rows[0].keys())
+
+    def render(value: Any) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(line[index]) for line in rendered)) if rendered else len(str(column))
+        for index, column in enumerate(columns)
+    ]
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(column).ljust(width) for column, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * width for width in widths))
+    for line in rendered:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def format_key_values(values: Mapping[str, Any], title: str | None = None, float_format: str = "{:.4g}") -> str:
+    """Render a mapping as aligned ``key : value`` lines."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if not values:
+        return "\n".join(lines)
+    key_width = max(len(str(key)) for key in values)
+    for key, value in values.items():
+        if isinstance(value, float):
+            value = float_format.format(value)
+        lines.append(f"{str(key).ljust(key_width)} : {value}")
+    return "\n".join(lines)
+
+
+def format_speedup(speedup: float) -> str:
+    """Render a speedup factor the way the paper prints it (e.g. ``5.87x``)."""
+    return f"{speedup:.2f}x"

@@ -1,0 +1,30 @@
+"""Conventional power-planning flow: rules, sizing, constraints, planner.
+
+This package implements the baseline the paper compares against — the
+iterative analyse-and-resize loop of Fig. 1 — as well as the analytical
+eq. (1) sizing and the reliability constraints (IR-drop margin, EM ``Jmax``,
+core-width budget of eq. 3) shared with the PowerPlanningDL framework.
+"""
+
+from .constraints import ConstraintEvaluation, ReliabilityConstraints
+from .decap import DecapPlacement, DecapPlan, DecapPlanner, DecapTechnology
+from .planner import ConventionalPowerPlanner, PlanningIteration, PowerPlanResult
+from .rules import DesignRules
+from .sizing import AnalyticalSizer, SizingParameters, estimate_line_currents, width_from_ir_budget
+
+__all__ = [
+    "AnalyticalSizer",
+    "ConstraintEvaluation",
+    "ConventionalPowerPlanner",
+    "DecapPlacement",
+    "DecapPlan",
+    "DecapPlanner",
+    "DecapTechnology",
+    "DesignRules",
+    "PlanningIteration",
+    "PowerPlanResult",
+    "ReliabilityConstraints",
+    "SizingParameters",
+    "estimate_line_currents",
+    "width_from_ir_budget",
+]

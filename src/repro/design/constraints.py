@@ -1,0 +1,151 @@
+"""Reliability constraints for power-grid design.
+
+Collects the three constraint families of the paper's Section III into a
+single object the planner and the DL framework share:
+
+* the worst-case **IR-drop** margin (a fraction of Vdd),
+* the **electromigration** current-density limit ``I_i / w_i <= Jmax``
+  (eq. 4), and
+* the **core-width** budget, eq. (3): the sum of line widths and spacings
+  along one direction must fit inside ``Wcore``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.em import EMReport
+from ..analysis.irdrop import IRDropResult
+from ..grid.technology import Technology
+from .rules import DesignRules
+
+
+@dataclass(frozen=True)
+class ReliabilityConstraints:
+    """The reliability targets a power-grid design must satisfy.
+
+    Attributes:
+        ir_drop_limit: Allowed worst-case IR drop in volts.
+        jmax: EM current-density limit in A/um.
+        core_width: Core width ``Wcore`` in um (for the eq. 3 budget).
+        core_height: Core height in um.
+    """
+
+    ir_drop_limit: float
+    jmax: float
+    core_width: float
+    core_height: float
+
+    def __post_init__(self) -> None:
+        if self.ir_drop_limit <= 0:
+            raise ValueError("ir_drop_limit must be positive")
+        if self.jmax <= 0:
+            raise ValueError("jmax must be positive")
+        if self.core_width <= 0 or self.core_height <= 0:
+            raise ValueError("core dimensions must be positive")
+
+    @classmethod
+    def from_technology(cls, technology: Technology, core_width: float, core_height: float) -> "ReliabilityConstraints":
+        """Derive the constraints from a technology's budgets."""
+        return cls(
+            ir_drop_limit=technology.ir_drop_limit,
+            jmax=technology.jmax,
+            core_width=core_width,
+            core_height=core_height,
+        )
+
+    # ------------------------------------------------------------------
+    # Checks
+    # ------------------------------------------------------------------
+    def ir_drop_satisfied(self, result: IRDropResult) -> bool:
+        """True if the worst-case IR drop is within the margin."""
+        return result.worst_ir_drop <= self.ir_drop_limit
+
+    def em_satisfied(self, report: EMReport) -> bool:
+        """True if the EM check found no violations."""
+        return report.passed
+
+    def core_budget_satisfied(
+        self, widths: np.ndarray | list[float], rules: DesignRules, vertical: bool = True
+    ) -> bool:
+        """Check the eq. (3) budget for one routing direction.
+
+        ``sum(w_i) + sum(s_i) <= Wcore`` with the minimum spacing as ``s_i``.
+
+        Args:
+            widths: Widths of the parallel lines in the chosen direction.
+            rules: Design rules supplying the minimum spacing.
+            vertical: If True, the lines run vertically and the relevant
+                budget is the core *width*; otherwise the core height.
+        """
+        widths = np.asarray(widths, dtype=float)
+        budget = self.core_width if vertical else self.core_height
+        occupied = float(np.sum(widths) + rules.min_spacing * len(widths))
+        return occupied <= budget
+
+    def evaluate(
+        self,
+        ir_result: IRDropResult,
+        em_report: EMReport,
+        vertical_widths: np.ndarray | list[float],
+        horizontal_widths: np.ndarray | list[float],
+        rules: DesignRules,
+    ) -> "ConstraintEvaluation":
+        """Evaluate all constraint families at once."""
+        return ConstraintEvaluation(
+            ir_drop_ok=self.ir_drop_satisfied(ir_result),
+            em_ok=self.em_satisfied(em_report),
+            vertical_budget_ok=self.core_budget_satisfied(vertical_widths, rules, vertical=True),
+            horizontal_budget_ok=self.core_budget_satisfied(horizontal_widths, rules, vertical=False),
+            worst_ir_drop=ir_result.worst_ir_drop,
+            ir_drop_limit=self.ir_drop_limit,
+            worst_current_density=em_report.worst_density,
+            jmax=self.jmax,
+        )
+
+
+@dataclass(frozen=True)
+class ConstraintEvaluation:
+    """Result of evaluating every reliability constraint on one design.
+
+    Attributes:
+        ir_drop_ok: Worst-case IR drop within the margin.
+        em_ok: No EM current-density violations.
+        vertical_budget_ok: Vertical lines fit in the core-width budget.
+        horizontal_budget_ok: Horizontal lines fit in the core-height budget.
+        worst_ir_drop: Observed worst-case IR drop in volts.
+        ir_drop_limit: The IR-drop limit that was checked against.
+        worst_current_density: Observed worst current density in A/um.
+        jmax: The EM limit that was checked against.
+    """
+
+    ir_drop_ok: bool
+    em_ok: bool
+    vertical_budget_ok: bool
+    horizontal_budget_ok: bool
+    worst_ir_drop: float
+    ir_drop_limit: float
+    worst_current_density: float
+    jmax: float
+
+    @property
+    def all_satisfied(self) -> bool:
+        """True if every constraint family is satisfied."""
+        return (
+            self.ir_drop_ok
+            and self.em_ok
+            and self.vertical_budget_ok
+            and self.horizontal_budget_ok
+        )
+
+    @property
+    def ir_drop_slack(self) -> float:
+        """Remaining IR-drop margin in volts (negative when violated)."""
+        return self.ir_drop_limit - self.worst_ir_drop
+
+    @property
+    def em_slack(self) -> float:
+        """Remaining EM margin in A/um (negative when violated)."""
+        return self.jmax - self.worst_current_density

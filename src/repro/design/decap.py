@@ -1,0 +1,222 @@
+"""Decoupling-capacitor planning (the paper's stated future work).
+
+The paper excludes decap placement from its scope and names "decap
+placement-aware power grid design" as future work.  This module provides that
+extension in the simplest industrially meaningful form: a greedy hot-spot
+driven planner that places decoupling capacitance in the free floorplan area
+around the locations with the worst *dynamic* IR-drop exposure, sized by the
+standard charge-sharing budget
+
+    C_decap >= I_transient * t_response / dV_allowed
+
+where ``I_transient`` is the local switching current, ``t_response`` the time
+the package/regulator needs to respond and ``dV_allowed`` the transient noise
+budget.  The planner consumes the same floorplan and IR-drop artefacts the
+rest of the library produces, so it composes with both the conventional flow
+(use the analysed map) and the PowerPlanningDL flow (use the predicted map).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..grid.floorplan import Floorplan
+from ..grid.technology import Technology
+
+
+@dataclass(frozen=True)
+class DecapTechnology:
+    """Decap-relevant technology parameters.
+
+    Attributes:
+        capacitance_density: MOS decap capacitance per unit area, in F/um².
+        response_time: Time the upstream supply needs to take over, seconds.
+        transient_voltage_budget: Allowed transient droop in volts.
+        max_area_fraction: Maximum fraction of the free core area that may be
+            filled with decap cells.
+    """
+
+    capacitance_density: float = 1.5e-15
+    response_time: float = 2e-9
+    transient_voltage_budget: float = 0.05
+    max_area_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.capacitance_density <= 0:
+            raise ValueError("capacitance_density must be positive")
+        if self.response_time <= 0:
+            raise ValueError("response_time must be positive")
+        if self.transient_voltage_budget <= 0:
+            raise ValueError("transient_voltage_budget must be positive")
+        if not 0 < self.max_area_fraction <= 1:
+            raise ValueError("max_area_fraction must be in (0, 1]")
+
+    def required_capacitance(self, transient_current: float) -> float:
+        """Charge-sharing decap requirement for a transient current, in farads."""
+        if transient_current < 0:
+            raise ValueError("transient_current must be non-negative")
+        return transient_current * self.response_time / self.transient_voltage_budget
+
+    def area_for_capacitance(self, capacitance: float) -> float:
+        """Silicon area needed to implement ``capacitance``, in um²."""
+        if capacitance < 0:
+            raise ValueError("capacitance must be non-negative")
+        return capacitance / self.capacitance_density
+
+
+@dataclass(frozen=True)
+class DecapPlacement:
+    """One placed decoupling capacitor.
+
+    Attributes:
+        name: Placement name.
+        x: X coordinate of the decap cell centre, um.
+        y: Y coordinate, um.
+        capacitance: Implemented capacitance in farads.
+        area: Occupied area in um².
+        target_block: Block whose transient demand this decap serves.
+    """
+
+    name: str
+    x: float
+    y: float
+    capacitance: float
+    area: float
+    target_block: str
+
+
+@dataclass
+class DecapPlan:
+    """Outcome of decap planning for one floorplan.
+
+    Attributes:
+        placements: Placed decap cells, highest-priority first.
+        total_capacitance: Total placed capacitance, farads.
+        total_area: Total decap area, um².
+        demand_coverage: Fraction of the total required capacitance actually
+            placed (1.0 when the area budget sufficed everywhere).
+    """
+
+    placements: list[DecapPlacement]
+    total_capacitance: float
+    total_area: float
+    demand_coverage: float
+
+
+class DecapPlanner:
+    """Hot-spot-driven decoupling-capacitor planner.
+
+    Blocks are ranked by their transient exposure (switching current weighted
+    by the local IR drop when a drop map is supplied) and each gets the
+    charge-sharing capacitance it needs; when the free-area budget cannot
+    cover the total demand, every allocation is scaled down proportionally so
+    the highest-priority blocks are listed first but all blocks keep a share.
+
+    Args:
+        technology: Power-grid technology (for Vdd-referenced defaults).
+        decap_technology: Decap sizing parameters.
+    """
+
+    def __init__(
+        self,
+        technology: Technology,
+        decap_technology: DecapTechnology | None = None,
+    ) -> None:
+        self.technology = technology
+        self.decap_technology = decap_technology or DecapTechnology(
+            transient_voltage_budget=technology.ir_drop_limit / 2.0
+        )
+
+    def plan(
+        self,
+        floorplan: Floorplan,
+        ir_drop_map: np.ndarray | None = None,
+    ) -> DecapPlan:
+        """Place decaps for every block of ``floorplan``.
+
+        Args:
+            floorplan: The floorplan to protect.
+            ir_drop_map: Optional square IR-drop map (volts) used to weight
+                block priority; without it blocks are ranked by switching
+                current alone.
+
+        Returns:
+            The decap plan (possibly partial if the area budget runs out).
+        """
+        decap = self.decap_technology
+        blocks = list(floorplan.iter_blocks())
+        if not blocks:
+            return DecapPlan(placements=[], total_capacitance=0.0, total_area=0.0, demand_coverage=1.0)
+
+        priorities = []
+        for block in blocks:
+            weight = block.switching_current
+            if ir_drop_map is not None:
+                weight *= 1.0 + self._map_value_at(ir_drop_map, floorplan, *block.center) / max(
+                    self.technology.ir_drop_limit, 1e-12
+                )
+            priorities.append(weight)
+        order = np.argsort(priorities)[::-1]
+
+        occupied_block_area = sum(block.area for block in blocks)
+        free_area = max(floorplan.core_area - occupied_block_area, 0.0)
+        area_budget = free_area * decap.max_area_fraction
+
+        # Size every block's requirement first; when the free-area budget
+        # cannot cover the total demand, scale all allocations down uniformly
+        # so every block keeps a proportional share of protection.
+        required_areas = np.asarray(
+            [
+                decap.area_for_capacitance(
+                    decap.required_capacitance(blocks[index].switching_current)
+                )
+                for index in order
+            ]
+        )
+        total_required = float(required_areas.sum())
+        shrink = 1.0 if total_required <= area_budget else area_budget / max(total_required, 1e-30)
+
+        placements: list[DecapPlacement] = []
+        total_capacitance = 0.0
+        total_area = 0.0
+        total_demand = 0.0
+        for rank, index in enumerate(order):
+            block = blocks[index]
+            required_c = decap.required_capacitance(block.switching_current)
+            total_demand += required_c
+            placed_area = required_areas[rank] * shrink
+            if placed_area <= 0:
+                continue
+            placed_c = placed_area * decap.capacitance_density
+            cx, cy = block.center
+            placements.append(
+                DecapPlacement(
+                    name=f"decap_{rank}_{block.name}",
+                    x=cx,
+                    y=cy,
+                    capacitance=placed_c,
+                    area=placed_area,
+                    target_block=block.name,
+                )
+            )
+            total_capacitance += placed_c
+            total_area += placed_area
+
+        coverage = 1.0 if total_demand == 0 else min(total_capacitance / total_demand, 1.0)
+        return DecapPlan(
+            placements=placements,
+            total_capacitance=total_capacitance,
+            total_area=total_area,
+            demand_coverage=coverage,
+        )
+
+    @staticmethod
+    def _map_value_at(ir_map: np.ndarray, floorplan: Floorplan, x: float, y: float) -> float:
+        """Sample a square IR-drop map at a floorplan coordinate."""
+        ir_map = np.atleast_2d(ir_map)
+        rows, cols = ir_map.shape
+        col = int(np.clip(x / max(floorplan.core_width, 1e-12) * cols, 0, cols - 1))
+        row = int(np.clip(y / max(floorplan.core_height, 1e-12) * rows, 0, rows - 1))
+        return float(ir_map[row, col])

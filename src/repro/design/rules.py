@@ -1,0 +1,119 @@
+"""Design rules for power-grid line sizing.
+
+Power-grid stripes must respect the metal layer's minimum and maximum width,
+the minimum spacing to the neighbouring stripe, and — because eq. (3) of the
+paper ties the sum of widths and spacings to the core width ``Wcore`` — an
+upper bound on how much of the core the power routing may consume (the
+"metal utilisation" budget that the paper's over-design discussion refers
+to).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..grid.technology import MetalLayerSpec, Technology
+
+
+@dataclass(frozen=True)
+class DesignRules:
+    """Sizing rules applied to every power-grid line.
+
+    Attributes:
+        min_width: Minimum legal line width in um.
+        max_width: Maximum legal line width in um.
+        min_spacing: Minimum spacing between adjacent lines in um.
+        width_step: Manufacturing grid for widths in um; legalised widths are
+            rounded up to a multiple of this step.
+        max_utilisation: Maximum fraction of the core width that all parallel
+            lines together may occupy (paper eq. 3 rearranged as a budget).
+    """
+
+    min_width: float
+    max_width: float
+    min_spacing: float
+    width_step: float = 0.05
+    max_utilisation: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.min_width <= 0:
+            raise ValueError("min_width must be positive")
+        if self.max_width < self.min_width:
+            raise ValueError("max_width must be >= min_width")
+        if self.min_spacing <= 0:
+            raise ValueError("min_spacing must be positive")
+        if self.width_step <= 0:
+            raise ValueError("width_step must be positive")
+        if not 0 < self.max_utilisation <= 1:
+            raise ValueError("max_utilisation must be in (0, 1]")
+
+    @classmethod
+    def from_layer(cls, layer: MetalLayerSpec, width_step: float = 0.05, max_utilisation: float = 0.35) -> "DesignRules":
+        """Derive design rules from a metal-layer specification."""
+        return cls(
+            min_width=layer.min_width,
+            max_width=layer.max_width,
+            min_spacing=layer.min_spacing,
+            width_step=width_step,
+            max_utilisation=max_utilisation,
+        )
+
+    @classmethod
+    def from_technology(cls, technology: Technology, width_step: float = 0.05, max_utilisation: float = 0.35) -> "DesignRules":
+        """Derive rules covering both power layers of a technology.
+
+        The tightest minimum width and the loosest maximum width across the
+        power layers are used so that a single width vector can legally drive
+        both routing directions.
+        """
+        min_width = max(layer.min_width for layer in technology.layers)
+        max_width = min(layer.max_width for layer in technology.layers)
+        min_spacing = max(layer.min_spacing for layer in technology.layers)
+        return cls(
+            min_width=min_width,
+            max_width=max_width,
+            min_spacing=min_spacing,
+            width_step=width_step,
+            max_utilisation=max_utilisation,
+        )
+
+    # ------------------------------------------------------------------
+    # Legalisation
+    # ------------------------------------------------------------------
+    def legalize_width(self, width: float) -> float:
+        """Clamp a width into the legal range and snap it up to the width grid."""
+        clamped = min(max(width, self.min_width), self.max_width)
+        steps = np.ceil(round(clamped / self.width_step, 9))
+        snapped = steps * self.width_step
+        return float(min(snapped, self.max_width))
+
+    def legalize_widths(self, widths: np.ndarray | list[float]) -> np.ndarray:
+        """Vectorised :meth:`legalize_width`."""
+        array = np.asarray(widths, dtype=float)
+        clamped = np.clip(array, self.min_width, self.max_width)
+        snapped = np.ceil(np.round(clamped / self.width_step, 9)) * self.width_step
+        return np.minimum(snapped, self.max_width)
+
+    def routing_utilisation(self, widths: np.ndarray | list[float], core_width: float) -> float:
+        """Fraction of the core width consumed by the given parallel lines."""
+        if core_width <= 0:
+            raise ValueError("core_width must be positive")
+        return float(np.sum(np.asarray(widths, dtype=float)) / core_width)
+
+    def check_utilisation(self, widths: np.ndarray | list[float], core_width: float) -> bool:
+        """True if the lines fit inside the utilisation budget."""
+        return self.routing_utilisation(widths, core_width) <= self.max_utilisation
+
+    def max_line_count(self, core_width: float, width: float) -> int:
+        """Maximum number of lines of ``width`` that fit across ``core_width``.
+
+        Implements the pitch-based version of paper eq. (6):
+        ``#PG lines = Wcore / (w + s)`` rounded down, with at least one line.
+        """
+        if core_width <= 0:
+            raise ValueError("core_width must be positive")
+        legal = self.legalize_width(width)
+        pitch = legal + self.min_spacing
+        return max(1, int(core_width // pitch))

@@ -1,0 +1,179 @@
+"""Analytical initial sizing of power-grid line widths.
+
+The conventional flow starts from an analytical estimate of each line's
+width before any analysis has been run.  The estimate implements eq. (1) of
+the paper: ``w_i = rho * l_i * I_i / V_IR``, where ``I_i`` is the current a
+line is expected to carry and ``V_IR`` is the per-line IR-drop budget, and
+then takes the maximum with the EM-driven width ``I_i / Jmax`` (eq. 4) so
+that both reliability mechanisms are honoured from the start.
+
+The per-line current ``I_i`` is estimated geometrically (before analysis the
+true branch currents are unknown): every functional block's switching
+current is split over the grid lines that cross the block, in proportion to
+how close each line is to the block centre — the same current-allocation
+idea as eqs. (7)-(9) of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..grid.builder import GridTopology
+from ..grid.floorplan import Floorplan
+from ..grid.technology import Technology
+from .rules import DesignRules
+
+
+@dataclass(frozen=True)
+class SizingParameters:
+    """Tuning knobs of the analytical sizing.
+
+    Attributes:
+        ir_budget_fraction: Fraction of the total IR-drop limit allocated to
+            a single line (a line is one stripe of a two-layer mesh, so a
+            value around 0.5 leaves headroom for the orthogonal layer and the
+            vias).
+        em_safety_factor: Multiplier (> 1) applied to the EM-required width.
+        distance_decay: Exponential decay length, as a fraction of the core
+            size, used when splitting block currents over nearby lines.
+    """
+
+    ir_budget_fraction: float = 0.5
+    em_safety_factor: float = 1.2
+    distance_decay: float = 0.15
+
+    def __post_init__(self) -> None:
+        if not 0 < self.ir_budget_fraction <= 1:
+            raise ValueError("ir_budget_fraction must be in (0, 1]")
+        if self.em_safety_factor < 1:
+            raise ValueError("em_safety_factor must be >= 1")
+        if self.distance_decay <= 0:
+            raise ValueError("distance_decay must be positive")
+
+
+def estimate_line_currents(
+    floorplan: Floorplan,
+    topology: GridTopology,
+    decay_fraction: float = 0.15,
+) -> np.ndarray:
+    """Estimate the current each power-grid line must deliver.
+
+    Every block's switching current is distributed over all lines of each
+    direction with exponentially decaying weights in the distance between the
+    line and the block centre, then the two directions are each assumed to
+    carry the full block current (both layers deliver current in a mesh, and
+    sizing each for the full share is the conservative choice the
+    conventional flow makes before analysis).
+
+    Returns:
+        Array of length ``topology.num_lines`` with the estimated current per
+        line in amperes (vertical lines first, then horizontal).
+    """
+    if decay_fraction <= 0:
+        raise ValueError("decay_fraction must be positive")
+    currents = np.zeros(topology.num_lines, dtype=float)
+    v_positions = np.asarray(topology.vertical_positions)
+    h_positions = np.asarray(topology.horizontal_positions)
+    v_decay = max(floorplan.core_width * decay_fraction, 1e-9)
+    h_decay = max(floorplan.core_height * decay_fraction, 1e-9)
+
+    for block in floorplan.iter_blocks():
+        if block.switching_current <= 0:
+            continue
+        cx, cy = block.center
+        v_weights = np.exp(-np.abs(v_positions - cx) / v_decay)
+        h_weights = np.exp(-np.abs(h_positions - cy) / h_decay)
+        v_weights = v_weights / v_weights.sum()
+        h_weights = h_weights / h_weights.sum()
+        currents[: topology.num_vertical] += block.switching_current * v_weights
+        currents[topology.num_vertical :] += block.switching_current * h_weights
+    return currents
+
+
+class AnalyticalSizer:
+    """Compute initial line widths from eq. (1) and the EM constraint.
+
+    Args:
+        technology: Sheet resistances, Vdd, Jmax and IR-drop budget.
+        rules: Design rules used to legalise the computed widths.
+        parameters: Sizing tuning knobs.
+    """
+
+    def __init__(
+        self,
+        technology: Technology,
+        rules: DesignRules | None = None,
+        parameters: SizingParameters | None = None,
+    ) -> None:
+        self.technology = technology
+        self.rules = rules or DesignRules.from_technology(technology)
+        self.parameters = parameters or SizingParameters()
+
+    def size(self, floorplan: Floorplan, topology: GridTopology) -> np.ndarray:
+        """Return legalised initial widths for every power-grid line.
+
+        The width of line ``i`` is the larger of the IR-drop-driven width
+        (eq. 1) and the EM-driven width (eq. 4), legalised against the design
+        rules.
+        """
+        params = self.parameters
+        line_currents = estimate_line_currents(
+            floorplan, topology, decay_fraction=params.distance_decay
+        )
+        ir_budget = self.technology.ir_drop_limit * params.ir_budget_fraction
+        widths = np.empty(topology.num_lines, dtype=float)
+
+        v_layer = self.technology.vertical_layer
+        h_layer = self.technology.horizontal_layer
+        for line_id in range(topology.num_lines):
+            vertical = topology.is_vertical(line_id)
+            layer = v_layer if vertical else h_layer
+            length = floorplan.core_height if vertical else floorplan.core_width
+            current = line_currents[line_id]
+            # Current only has to travel from a load to the nearest supply
+            # pad, so the effective length is half the pad pitch (bounded by
+            # a quarter of the span for pad-starved floorplans).
+            effective_length = min(
+                length / 4.0, self._pad_pitch(floorplan, vertical) / 2.0
+            )
+            ir_width = (
+                self.technology_sheet_width(layer.sheet_resistance, effective_length, current, ir_budget)
+            )
+            em_width = params.em_safety_factor * current / self.technology.jmax
+            widths[line_id] = max(ir_width, em_width, self.rules.min_width)
+
+        return self.rules.legalize_widths(widths)
+
+    @staticmethod
+    def _pad_pitch(floorplan: Floorplan, vertical: bool) -> float:
+        """Approximate pad pitch along a line direction from the pad count."""
+        num_pads = len(floorplan.pads)
+        span = floorplan.core_height if vertical else floorplan.core_width
+        if num_pads <= 0:
+            return span
+        pads_per_side = max(1.0, np.sqrt(num_pads))
+        return span / pads_per_side
+
+    @staticmethod
+    def technology_sheet_width(
+        sheet_resistance: float, length: float, current: float, ir_budget: float
+    ) -> float:
+        """Implement eq. (1): ``w = rho * l * I / V_IR``.
+
+        Raises:
+            ValueError: If the IR budget is not positive.
+        """
+        if ir_budget <= 0:
+            raise ValueError("ir_budget must be positive")
+        if current <= 0 or length <= 0:
+            return 0.0
+        return sheet_resistance * length * current / ir_budget
+
+
+def width_from_ir_budget(
+    sheet_resistance: float, length: float, current: float, ir_budget: float
+) -> float:
+    """Module-level convenience wrapper around eq. (1)."""
+    return AnalyticalSizer.technology_sheet_width(sheet_resistance, length, current, ir_budget)

@@ -1,0 +1,98 @@
+"""Power-grid substrate: network model, floorplans, netlists, benchmarks.
+
+This subpackage provides everything the PowerPlanningDL framework and the
+conventional baseline operate on:
+
+* :class:`~repro.grid.network.PowerGridNetwork` — the flat resistive network
+  (nodes, resistors, pads, loads);
+* :class:`~repro.grid.floorplan.Floorplan` — core area, functional blocks and
+  power pads with switching currents;
+* :class:`~repro.grid.builder.GridBuilder` — mesh-grid construction from a
+  floorplan and per-line widths;
+* :class:`~repro.grid.benchmarks.SyntheticIBMSuite` — synthetic stand-ins for
+  the IBM power-grid benchmarks of the paper's Table II;
+* :mod:`~repro.grid.netlist` — IBM-style SPICE netlist reader/writer;
+* :mod:`~repro.grid.perturbation` — the gamma-perturbation engine used for
+  test-set generation (paper Section IV-D).
+"""
+
+from .benchmarks import (
+    BenchmarkConfig,
+    SUITE_NAMES,
+    SyntheticBenchmark,
+    SyntheticIBMSuite,
+    benchmark_config,
+    generate_floorplan,
+    generate_topology,
+    load_benchmark,
+)
+from .builder import GridBuilder, GridTopology, uniform_topology
+from .elements import GROUND_NODE, CurrentSource, GridNode, Resistor, VoltageSource
+from .floorplan import Floorplan, FunctionalBlock, PowerPad
+from .netlist import (
+    NetlistFormatError,
+    NetlistReader,
+    NetlistWriter,
+    node_name,
+    parse_node_name,
+    parse_spice_value,
+    read_netlist,
+    write_netlist,
+)
+from .network import GridStatistics, PowerGridNetwork
+from .perturbation import (
+    FloorplanPerturbator,
+    NetworkPerturbator,
+    PerturbationKind,
+    PerturbationSpec,
+    perturbation_sweep,
+)
+from .technology import (
+    DEFAULT_TECHNOLOGY,
+    MetalLayerSpec,
+    Technology,
+    generic_45nm,
+    generic_65nm,
+)
+
+__all__ = [
+    "BenchmarkConfig",
+    "CurrentSource",
+    "DEFAULT_TECHNOLOGY",
+    "Floorplan",
+    "FloorplanPerturbator",
+    "FunctionalBlock",
+    "GROUND_NODE",
+    "GridBuilder",
+    "GridNode",
+    "GridStatistics",
+    "GridTopology",
+    "MetalLayerSpec",
+    "NetlistFormatError",
+    "NetlistReader",
+    "NetlistWriter",
+    "NetworkPerturbator",
+    "PerturbationKind",
+    "PerturbationSpec",
+    "PowerGridNetwork",
+    "PowerPad",
+    "Resistor",
+    "SUITE_NAMES",
+    "SyntheticBenchmark",
+    "SyntheticIBMSuite",
+    "Technology",
+    "VoltageSource",
+    "benchmark_config",
+    "generate_floorplan",
+    "generate_topology",
+    "generic_45nm",
+    "generic_65nm",
+    "load_benchmark",
+    "node_name",
+    "parse_node_name",
+    "parse_spice_value",
+    "perturbation_sweep",
+    "read_netlist",
+    "uniform_topology",
+    "write_netlist",
+]

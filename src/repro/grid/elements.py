@@ -1,0 +1,155 @@
+"""Circuit elements of a power-grid netlist.
+
+The IBM power-grid benchmarks (Nassif, ASP-DAC 2008) describe a power grid as
+a flat SPICE netlist made of three element types:
+
+* resistors (``R``) for the metal wire segments and vias,
+* independent voltage sources (``V``) for the Vdd / ground pads, and
+* independent current sources (``I``) for the workloads (switching current
+  drawn by the underlying functional blocks).
+
+This module defines small immutable dataclasses for those elements plus the
+grid node.  The elements reference nodes by name; the
+:class:`repro.grid.network.PowerGridNetwork` container owns the name ->
+:class:`GridNode` mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+GROUND_NODE = "0"
+"""Conventional name of the ground / reference node in SPICE netlists."""
+
+
+@dataclass(frozen=True)
+class GridNode:
+    """A node of the power-grid network.
+
+    Attributes:
+        name: Unique node name (e.g. ``"n1_120_340"``).
+        x: X coordinate in um within the core area.
+        y: Y coordinate in um within the core area.
+        layer: Name of the metal layer the node lies on (``"M5"``, ``"M6"``,
+            ...) or ``"PAD"`` for package bump locations.
+    """
+
+    name: str
+    x: float
+    y: float
+    layer: str = "M6"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("node name must be non-empty")
+        if self.name == GROUND_NODE:
+            raise ValueError("the ground node is implicit and cannot be added")
+
+    @property
+    def position(self) -> tuple[float, float]:
+        """Return the ``(x, y)`` position of the node."""
+        return (self.x, self.y)
+
+
+@dataclass(frozen=True)
+class Resistor:
+    """A resistive branch (wire segment or via) of the power grid.
+
+    Attributes:
+        name: Unique element name, e.g. ``"R12"``.
+        node_a: Name of the first terminal node.
+        node_b: Name of the second terminal node.
+        resistance: Resistance in ohms (must be positive).
+        layer: Metal layer of the segment, or ``"VIA"`` for a via.
+        width: Drawn wire width in um (0 for vias / unknown).
+        length: Segment length in um (0 for vias / unknown).
+        line_id: Index of the power-grid line (stripe) this segment belongs
+            to, or ``-1`` if it is not part of a stripe (e.g. a via).
+    """
+
+    name: str
+    node_a: str
+    node_b: str
+    resistance: float
+    layer: str = "M6"
+    width: float = 0.0
+    length: float = 0.0
+    line_id: int = -1
+
+    def __post_init__(self) -> None:
+        if self.resistance <= 0:
+            raise ValueError(f"resistor {self.name!r} must have positive resistance")
+        if self.node_a == self.node_b:
+            raise ValueError(f"resistor {self.name!r} connects a node to itself")
+
+    @property
+    def is_via(self) -> bool:
+        """True if this resistor models a via between two metal layers."""
+        return self.layer.upper() == "VIA"
+
+    def other(self, node: str) -> str:
+        """Return the terminal opposite to ``node``.
+
+        Raises:
+            ValueError: If ``node`` is not a terminal of this resistor.
+        """
+        if node == self.node_a:
+            return self.node_b
+        if node == self.node_b:
+            return self.node_a
+        raise ValueError(f"{node!r} is not a terminal of resistor {self.name!r}")
+
+
+@dataclass(frozen=True)
+class CurrentSource:
+    """A workload current drawn from the grid by a functional block.
+
+    The source sinks ``current`` amperes from ``node`` to ground, modelling
+    the switching current of the logic underneath that grid location.
+
+    Attributes:
+        name: Unique element name, e.g. ``"I37"``.
+        node: Grid node the current is drawn from.
+        current: Drawn current in amperes (non-negative).
+        block: Optional name of the functional block this load belongs to.
+    """
+
+    name: str
+    node: str
+    current: float
+    block: str = ""
+
+    def __post_init__(self) -> None:
+        if self.current < 0:
+            raise ValueError(f"current source {self.name!r} must be non-negative")
+
+    def scaled(self, factor: float) -> "CurrentSource":
+        """Return a copy of this source with its current multiplied by ``factor``."""
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        return CurrentSource(
+            name=self.name,
+            node=self.node,
+            current=self.current * factor,
+            block=self.block,
+        )
+
+
+@dataclass(frozen=True)
+class VoltageSource:
+    """An ideal supply pad (Vdd bump) tying a grid node to the supply rail.
+
+    Attributes:
+        name: Unique element name, e.g. ``"V3"``.
+        node: Grid node the pad is attached to.
+        voltage: Pad voltage in volts (non-negative; Vdd for power nets,
+            0 for ground nets).
+    """
+
+    name: str
+    node: str
+    voltage: float
+
+    def __post_init__(self) -> None:
+        if self.voltage < 0:
+            raise ValueError(f"voltage source {self.name!r} must be non-negative")

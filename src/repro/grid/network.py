@@ -1,0 +1,305 @@
+"""In-memory model of a power-grid network.
+
+:class:`PowerGridNetwork` is the central data structure of the substrate: it
+owns the grid nodes, the resistive branches, the supply pads (voltage
+sources) and the workload current loads.  Every other part of the library —
+the conventional MNA-based analysis engine, the conventional iterative
+planner and the PowerPlanningDL feature extractor — operates on this class.
+
+The statistics exposed by :meth:`PowerGridNetwork.statistics` intentionally
+mirror Table II of the paper (``#n``, ``#r``, ``#v``, ``#i``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import networkx as nx
+
+from .elements import GROUND_NODE, CurrentSource, GridNode, Resistor, VoltageSource
+
+
+@dataclass(frozen=True)
+class GridStatistics:
+    """Size statistics of a power grid, mirroring Table II of the paper.
+
+    Attributes:
+        num_nodes: Total number of grid nodes (``#n``).
+        num_resistors: Total number of resistive branches (``#r``).
+        num_sources: Total number of supply voltage sources (``#v``).
+        num_loads: Total number of workload current sources (``#i``).
+    """
+
+    num_nodes: int
+    num_resistors: int
+    num_sources: int
+    num_loads: int
+
+    def as_row(self) -> tuple[int, int, int, int]:
+        """Return the statistics as the ``(#n, #r, #v, #i)`` tuple."""
+        return (self.num_nodes, self.num_resistors, self.num_sources, self.num_loads)
+
+
+class PowerGridNetwork:
+    """A flat resistive power-grid network.
+
+    The network is a container of :class:`~repro.grid.elements.GridNode`,
+    :class:`~repro.grid.elements.Resistor`,
+    :class:`~repro.grid.elements.VoltageSource` and
+    :class:`~repro.grid.elements.CurrentSource` objects.  Element names are
+    unique within their element class; node names are unique overall.  The
+    ground node ``"0"`` is implicit and never stored.
+
+    Args:
+        name: Human-readable name of the grid (benchmark name).
+        vdd: Nominal supply voltage the grid is designed for, in volts.
+    """
+
+    def __init__(self, name: str = "grid", vdd: float = 1.0) -> None:
+        if vdd <= 0:
+            raise ValueError("vdd must be positive")
+        self.name = name
+        self.vdd = vdd
+        self._nodes: dict[str, GridNode] = {}
+        self._resistors: dict[str, Resistor] = {}
+        self._voltage_sources: dict[str, VoltageSource] = {}
+        self._current_sources: dict[str, CurrentSource] = {}
+        self._node_index: dict[str, int] | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: GridNode) -> GridNode:
+        """Add a node to the grid.
+
+        Adding a node with a name that already exists returns the existing
+        node unchanged (idempotent), but adding a different node under an
+        existing name raises.
+
+        Raises:
+            ValueError: If a different node is already registered under the
+                same name.
+        """
+        existing = self._nodes.get(node.name)
+        if existing is not None:
+            if existing != node:
+                raise ValueError(f"node {node.name!r} already exists with different attributes")
+            return existing
+        self._nodes[node.name] = node
+        self._node_index = None
+        return node
+
+    def add_resistor(self, resistor: Resistor) -> Resistor:
+        """Add a resistive branch.
+
+        Both terminals must be existing nodes or the ground node.
+
+        Raises:
+            ValueError: If the name is already used or a terminal is unknown.
+        """
+        if resistor.name in self._resistors:
+            raise ValueError(f"resistor {resistor.name!r} already exists")
+        self._require_node(resistor.node_a)
+        self._require_node(resistor.node_b)
+        self._resistors[resistor.name] = resistor
+        return resistor
+
+    def add_voltage_source(self, source: VoltageSource) -> VoltageSource:
+        """Add a supply pad (voltage source to ground).
+
+        Raises:
+            ValueError: If the name is already used or the node is unknown.
+        """
+        if source.name in self._voltage_sources:
+            raise ValueError(f"voltage source {source.name!r} already exists")
+        self._require_node(source.node)
+        self._voltage_sources[source.name] = source
+        return source
+
+    def add_current_source(self, source: CurrentSource) -> CurrentSource:
+        """Add a workload current source (load).
+
+        Raises:
+            ValueError: If the name is already used or the node is unknown.
+        """
+        if source.name in self._current_sources:
+            raise ValueError(f"current source {source.name!r} already exists")
+        self._require_node(source.node)
+        self._current_sources[source.name] = source
+        return source
+
+    def _require_node(self, name: str) -> None:
+        if name != GROUND_NODE and name not in self._nodes:
+            raise ValueError(f"unknown node {name!r}")
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> dict[str, GridNode]:
+        """Mapping of node name to node (excluding the implicit ground)."""
+        return self._nodes
+
+    @property
+    def resistors(self) -> dict[str, Resistor]:
+        """Mapping of resistor name to resistor."""
+        return self._resistors
+
+    @property
+    def voltage_sources(self) -> dict[str, VoltageSource]:
+        """Mapping of voltage-source name to voltage source."""
+        return self._voltage_sources
+
+    @property
+    def current_sources(self) -> dict[str, CurrentSource]:
+        """Mapping of current-source name to current source."""
+        return self._current_sources
+
+    def node(self, name: str) -> GridNode:
+        """Return the node called ``name``.
+
+        Raises:
+            KeyError: If the node does not exist.
+        """
+        return self._nodes[name]
+
+    def __contains__(self, node_name: str) -> bool:
+        return node_name in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def iter_resistors(self) -> Iterator[Resistor]:
+        """Iterate over the resistive branches in insertion order."""
+        return iter(self._resistors.values())
+
+    def iter_loads(self) -> Iterator[CurrentSource]:
+        """Iterate over the workload current sources in insertion order."""
+        return iter(self._current_sources.values())
+
+    def iter_pads(self) -> Iterator[VoltageSource]:
+        """Iterate over the supply pads in insertion order."""
+        return iter(self._voltage_sources.values())
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def node_index(self) -> dict[str, int]:
+        """Return a stable node-name -> dense index mapping.
+
+        The mapping is cached and invalidated when nodes are added.  The
+        ground node is not part of the mapping.
+        """
+        if self._node_index is None:
+            self._node_index = {name: i for i, name in enumerate(self._nodes)}
+        return self._node_index
+
+    def statistics(self) -> GridStatistics:
+        """Return the Table II-style size statistics of the grid."""
+        return GridStatistics(
+            num_nodes=len(self._nodes),
+            num_resistors=len(self._resistors),
+            num_sources=len(self._voltage_sources),
+            num_loads=len(self._current_sources),
+        )
+
+    def total_load_current(self) -> float:
+        """Return the total workload current drawn from the grid, in amperes."""
+        return sum(source.current for source in self._current_sources.values())
+
+    def pad_nodes(self) -> set[str]:
+        """Return the set of node names that carry a supply pad."""
+        return {source.node for source in self._voltage_sources.values()}
+
+    def load_by_node(self) -> dict[str, float]:
+        """Return the total load current attached to each node."""
+        loads: dict[str, float] = {}
+        for source in self._current_sources.values():
+            loads[source.node] = loads.get(source.node, 0.0) + source.current
+        return loads
+
+    def lines(self) -> dict[int, list[Resistor]]:
+        """Group wire-segment resistors by their power-grid line id.
+
+        Vias and resistors without a line id (``line_id == -1``) are not
+        included.
+        """
+        groups: dict[int, list[Resistor]] = {}
+        for resistor in self._resistors.values():
+            if resistor.line_id < 0:
+                continue
+            groups.setdefault(resistor.line_id, []).append(resistor)
+        return groups
+
+    def to_graph(self) -> nx.Graph:
+        """Return an undirected NetworkX graph of the resistive network.
+
+        Nodes keep their coordinates and layer as attributes; edges carry the
+        branch resistance and the originating resistor name.  The ground node
+        is included if any resistor references it.
+        """
+        graph = nx.Graph()
+        for node in self._nodes.values():
+            graph.add_node(node.name, x=node.x, y=node.y, layer=node.layer)
+        for resistor in self._resistors.values():
+            graph.add_edge(
+                resistor.node_a,
+                resistor.node_b,
+                resistance=resistor.resistance,
+                name=resistor.name,
+            )
+        return graph
+
+    def is_connected_to_pads(self) -> bool:
+        """Check that every node can reach at least one supply pad.
+
+        A disconnected node would make the conductance matrix singular, so
+        the analysis engine and the grid builder use this check as a guard.
+        """
+        pads = self.pad_nodes()
+        if not pads:
+            return False
+        graph = self.to_graph()
+        reachable: set[str] = set()
+        for pad in pads:
+            if pad in graph:
+                reachable |= nx.node_connected_component(graph, pad)
+        return all(name in reachable for name in self._nodes)
+
+    # ------------------------------------------------------------------
+    # Copying / modification helpers
+    # ------------------------------------------------------------------
+    def copy(self, name: str | None = None) -> "PowerGridNetwork":
+        """Return a shallow copy of the grid (elements are immutable)."""
+        clone = PowerGridNetwork(name=name or self.name, vdd=self.vdd)
+        clone._nodes = dict(self._nodes)
+        clone._resistors = dict(self._resistors)
+        clone._voltage_sources = dict(self._voltage_sources)
+        clone._current_sources = dict(self._current_sources)
+        return clone
+
+    def with_scaled_loads(self, factor: float, name: str | None = None) -> "PowerGridNetwork":
+        """Return a copy of the grid with every load current scaled by ``factor``."""
+        clone = self.copy(name=name)
+        clone._current_sources = {
+            src_name: source.scaled(factor)
+            for src_name, source in self._current_sources.items()
+        }
+        return clone
+
+    def replace_loads(self, loads: Iterable[CurrentSource], name: str | None = None) -> "PowerGridNetwork":
+        """Return a copy of the grid with its loads replaced by ``loads``."""
+        clone = self.copy(name=name)
+        clone._current_sources = {}
+        for source in loads:
+            clone.add_current_source(source)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        stats = self.statistics()
+        return (
+            f"PowerGridNetwork(name={self.name!r}, nodes={stats.num_nodes}, "
+            f"resistors={stats.num_resistors}, sources={stats.num_sources}, "
+            f"loads={stats.num_loads})"
+        )

@@ -1,0 +1,169 @@
+"""Perturbation engine for test-set generation.
+
+Section IV-D of the paper generates the *test* dataset by perturbing the same
+designs used for training: branch currents, node voltages and the switching
+current of the functional blocks are changed by a perturbation size
+``gamma`` (10 % by default), and Section V-F sweeps ``gamma`` from 10 % to
+30 % to study how the prediction error grows.
+
+This module implements that perturbation on both levels of the model:
+
+* :class:`FloorplanPerturbator` perturbs the block switching currents and pad
+  voltages of a :class:`~repro.grid.floorplan.Floorplan` (the representation
+  the DL flow consumes), and
+* :class:`NetworkPerturbator` perturbs the loads / pad voltages of an already
+  built :class:`~repro.grid.network.PowerGridNetwork` (the representation the
+  conventional analysis consumes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from .elements import CurrentSource, VoltageSource
+from .floorplan import Floorplan
+from .network import PowerGridNetwork
+
+
+class PerturbationKind(str, Enum):
+    """Which quantities are perturbed, matching the three curves of Fig. 9."""
+
+    NODE_VOLTAGES = "node_voltages"
+    CURRENT_WORKLOADS = "current_workloads"
+    BOTH = "both"
+
+
+@dataclass(frozen=True)
+class PerturbationSpec:
+    """Specification of a perturbation experiment.
+
+    Attributes:
+        gamma: Perturbation size as a fraction (0.10 for the paper's 10 %).
+        kind: Which quantities to perturb.
+        seed: Random seed for reproducibility.
+    """
+
+    gamma: float
+    kind: PerturbationKind = PerturbationKind.BOTH
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.gamma < 1:
+            raise ValueError("gamma must be in [0, 1)")
+
+    @property
+    def perturbs_currents(self) -> bool:
+        """True if workload currents are perturbed."""
+        return self.kind in (PerturbationKind.CURRENT_WORKLOADS, PerturbationKind.BOTH)
+
+    @property
+    def perturbs_voltages(self) -> bool:
+        """True if supply/node voltages are perturbed."""
+        return self.kind in (PerturbationKind.NODE_VOLTAGES, PerturbationKind.BOTH)
+
+
+def _relative_jitter(rng: np.random.Generator, size: int, gamma: float) -> np.ndarray:
+    """Return multiplicative factors uniformly distributed in ``1 +/- gamma``."""
+    return 1.0 + rng.uniform(-gamma, gamma, size=size)
+
+
+class FloorplanPerturbator:
+    """Perturb the switching currents and pad voltages of a floorplan."""
+
+    def __init__(self, spec: PerturbationSpec) -> None:
+        self.spec = spec
+
+    def perturb(self, floorplan: Floorplan, name: str | None = None) -> Floorplan:
+        """Return a perturbed copy of ``floorplan``.
+
+        Block switching currents are scaled by independent factors in
+        ``1 +/- gamma`` when the spec perturbs currents; pad voltages are
+        scaled similarly when the spec perturbs voltages.
+        """
+        rng = np.random.default_rng(self.spec.seed)
+        blocks = list(floorplan.iter_blocks())
+        pads = list(floorplan.iter_pads())
+
+        if self.spec.perturbs_currents and blocks:
+            factors = _relative_jitter(rng, len(blocks), self.spec.gamma)
+            blocks = [
+                block.with_current(block.switching_current * factor)
+                for block, factor in zip(blocks, factors)
+            ]
+        if self.spec.perturbs_voltages and pads:
+            factors = _relative_jitter(rng, len(pads), self.spec.gamma)
+            pads = [
+                type(pad)(name=pad.name, x=pad.x, y=pad.y, voltage=pad.voltage * factor)
+                for pad, factor in zip(pads, factors)
+            ]
+
+        return Floorplan(
+            name=name or f"{floorplan.name}_perturbed",
+            core_width=floorplan.core_width,
+            core_height=floorplan.core_height,
+            blocks=blocks,
+            pads=pads,
+        )
+
+
+class NetworkPerturbator:
+    """Perturb the loads and pad voltages of a built power-grid network."""
+
+    def __init__(self, spec: PerturbationSpec) -> None:
+        self.spec = spec
+
+    def perturb(self, network: PowerGridNetwork, name: str | None = None) -> PowerGridNetwork:
+        """Return a perturbed copy of ``network``.
+
+        Load currents (the benchmark's ``I`` elements) and pad voltages (the
+        ``V`` elements) are scaled by independent factors in ``1 +/- gamma``
+        according to the perturbation kind.  Wire resistances are left
+        untouched: the paper perturbs the electrical operating point, not the
+        extracted geometry.
+        """
+        rng = np.random.default_rng(self.spec.seed)
+        clone = network.copy(name=name or f"{network.name}_perturbed")
+
+        if self.spec.perturbs_currents and clone.current_sources:
+            loads = list(clone.current_sources.values())
+            factors = _relative_jitter(rng, len(loads), self.spec.gamma)
+            clone._current_sources = {
+                load.name: CurrentSource(
+                    name=load.name,
+                    node=load.node,
+                    current=load.current * factor,
+                    block=load.block,
+                )
+                for load, factor in zip(loads, factors)
+            }
+
+        if self.spec.perturbs_voltages and clone.voltage_sources:
+            pads = list(clone.voltage_sources.values())
+            factors = _relative_jitter(rng, len(pads), self.spec.gamma)
+            clone._voltage_sources = {
+                pad.name: VoltageSource(
+                    name=pad.name,
+                    node=pad.node,
+                    voltage=pad.voltage * factor,
+                )
+                for pad, factor in zip(pads, factors)
+            }
+        return clone
+
+
+def perturbation_sweep(gammas: list[float] | None = None) -> list[PerturbationSpec]:
+    """Return the Fig. 9 sweep: every gamma x every perturbation kind.
+
+    Args:
+        gammas: Perturbation sizes; defaults to the paper's 10-30 % range.
+    """
+    if gammas is None:
+        gammas = [0.10, 0.15, 0.20, 0.25, 0.30]
+    specs = []
+    for gamma in gammas:
+        for kind in PerturbationKind:
+            specs.append(PerturbationSpec(gamma=gamma, kind=kind, seed=int(gamma * 1000)))
+    return specs

@@ -1,0 +1,223 @@
+"""Technology parameters for on-chip power grid design.
+
+The paper sizes power-grid interconnects against three technology-level
+quantities (Section III of the paper):
+
+* the sheet resistance ``rho`` of the metal layers, which converts a wire
+  geometry (length, width) into an electrical resistance ``R = rho * l / w``;
+* the maximum allowed current density ``Jmax`` used for the electromigration
+  (EM) constraint ``I_i / w_i <= Jmax`` (eq. 4);
+* the supply voltage ``Vdd`` and the allowed worst-case IR-drop margin,
+  usually expressed as a percentage of ``Vdd``.
+
+All geometric quantities in this package are expressed in micrometres (um),
+currents in amperes (A), voltages in volts (V) and resistances in ohms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class MetalLayerSpec:
+    """Physical description of one metal layer used for power routing.
+
+    Attributes:
+        name: Layer name, e.g. ``"M5"``.
+        sheet_resistance: Sheet resistance in ohm/square.
+        min_width: Minimum drawable wire width in um.
+        max_width: Maximum wire width allowed by the design rules in um.
+        min_spacing: Minimum spacing between two parallel wires in um.
+        direction: Preferred routing direction, ``"horizontal"`` or
+            ``"vertical"``.
+        thickness: Metal thickness in um (used only for reporting; the EM
+            constraint in the paper is expressed per unit width).
+    """
+
+    name: str
+    sheet_resistance: float
+    min_width: float
+    max_width: float
+    min_spacing: float
+    direction: str
+    thickness: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.sheet_resistance <= 0:
+            raise ValueError("sheet_resistance must be positive")
+        if self.min_width <= 0:
+            raise ValueError("min_width must be positive")
+        if self.max_width < self.min_width:
+            raise ValueError("max_width must be >= min_width")
+        if self.min_spacing <= 0:
+            raise ValueError("min_spacing must be positive")
+        if self.direction not in ("horizontal", "vertical"):
+            raise ValueError("direction must be 'horizontal' or 'vertical'")
+
+    def wire_resistance(self, length: float, width: float) -> float:
+        """Return the resistance of a wire segment on this layer.
+
+        Implements ``R = rho * l / w`` (paper eq. 1 rearranged).
+
+        Args:
+            length: Segment length in um.
+            width: Segment width in um.
+
+        Returns:
+            Resistance in ohms.
+
+        Raises:
+            ValueError: If ``length`` is negative or ``width`` is not positive.
+        """
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        if width <= 0:
+            raise ValueError("width must be positive")
+        return self.sheet_resistance * length / width
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A named collection of technology parameters for power planning.
+
+    Attributes:
+        name: Technology node name, e.g. ``"generic-45nm"``.
+        vdd: Nominal supply voltage in volts.
+        jmax: Maximum current density for EM, in A per um of wire width.
+        ir_drop_limit_fraction: Allowed worst-case IR drop as a fraction of
+            ``vdd`` (a common sign-off budget is 5-10 %).
+        layers: Metal layers available for power routing, ordered from the
+            lower layer to the upper layer.
+        via_resistance: Resistance of a single via cut between two adjacent
+            power layers, in ohms.
+    """
+
+    name: str
+    vdd: float
+    jmax: float
+    ir_drop_limit_fraction: float
+    layers: tuple[MetalLayerSpec, ...]
+    via_resistance: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.vdd <= 0:
+            raise ValueError("vdd must be positive")
+        if self.jmax <= 0:
+            raise ValueError("jmax must be positive")
+        if not 0 < self.ir_drop_limit_fraction < 1:
+            raise ValueError("ir_drop_limit_fraction must be in (0, 1)")
+        if not self.layers:
+            raise ValueError("at least one metal layer is required")
+        if self.via_resistance < 0:
+            raise ValueError("via_resistance must be non-negative")
+
+    @property
+    def ir_drop_limit(self) -> float:
+        """Allowed worst-case IR drop in volts."""
+        return self.vdd * self.ir_drop_limit_fraction
+
+    def layer(self, name: str) -> MetalLayerSpec:
+        """Return the metal layer called ``name``.
+
+        Raises:
+            KeyError: If no layer with that name exists.
+        """
+        for layer in self.layers:
+            if layer.name == name:
+                return layer
+        raise KeyError(f"unknown metal layer {name!r}")
+
+    @property
+    def horizontal_layer(self) -> MetalLayerSpec:
+        """The first layer whose preferred direction is horizontal."""
+        for layer in self.layers:
+            if layer.direction == "horizontal":
+                return layer
+        raise ValueError("technology has no horizontal power layer")
+
+    @property
+    def vertical_layer(self) -> MetalLayerSpec:
+        """The first layer whose preferred direction is vertical."""
+        for layer in self.layers:
+            if layer.direction == "vertical":
+                return layer
+        raise ValueError("technology has no vertical power layer")
+
+    def with_vdd(self, vdd: float) -> "Technology":
+        """Return a copy of this technology with a different supply voltage."""
+        return replace(self, vdd=vdd)
+
+
+def generic_45nm() -> Technology:
+    """Return a generic 45 nm-class technology for synthetic benchmarks.
+
+    The values are representative of published 45 nm power-delivery numbers
+    (sheet resistance of a few tens of milliohm/square on thick upper metals,
+    1.0-1.1 V supply, EM limits of a few mA per um of width). They are not
+    tied to any proprietary PDK.
+    """
+    layers = (
+        MetalLayerSpec(
+            name="M5",
+            sheet_resistance=0.08,
+            min_width=0.4,
+            max_width=30.0,
+            min_spacing=0.4,
+            direction="vertical",
+            thickness=0.45,
+        ),
+        MetalLayerSpec(
+            name="M6",
+            sheet_resistance=0.04,
+            min_width=0.8,
+            max_width=30.0,
+            min_spacing=0.8,
+            direction="horizontal",
+            thickness=0.9,
+        ),
+    )
+    return Technology(
+        name="generic-45nm",
+        vdd=1.0,
+        jmax=1.0e-2,
+        ir_drop_limit_fraction=0.10,
+        layers=layers,
+        via_resistance=0.5,
+    )
+
+
+def generic_65nm() -> Technology:
+    """Return a generic 65 nm-class technology (slightly more resistive)."""
+    layers = (
+        MetalLayerSpec(
+            name="M5",
+            sheet_resistance=0.10,
+            min_width=0.5,
+            max_width=35.0,
+            min_spacing=0.5,
+            direction="vertical",
+            thickness=0.5,
+        ),
+        MetalLayerSpec(
+            name="M6",
+            sheet_resistance=0.05,
+            min_width=1.0,
+            max_width=35.0,
+            min_spacing=1.0,
+            direction="horizontal",
+            thickness=1.0,
+        ),
+    )
+    return Technology(
+        name="generic-65nm",
+        vdd=1.1,
+        jmax=8.0e-3,
+        ir_drop_limit_fraction=0.10,
+        layers=layers,
+        via_resistance=0.8,
+    )
+
+
+DEFAULT_TECHNOLOGY: Technology = generic_45nm()
+"""Technology used by the synthetic benchmark suite unless overridden."""

@@ -1,0 +1,37 @@
+"""Input/output helpers: switching activity, result files, ASCII figures."""
+
+from .asciiplot import ascii_heatmap, ascii_histogram, ascii_series
+from .results import (
+    read_csv,
+    read_json,
+    read_matrix,
+    write_csv,
+    write_json,
+    write_matrix,
+)
+from .vcd import (
+    ActivityFormatError,
+    BlockActivity,
+    activities_from_floorplan,
+    apply_activities,
+    read_activity,
+    write_activity,
+)
+
+__all__ = [
+    "ActivityFormatError",
+    "BlockActivity",
+    "activities_from_floorplan",
+    "apply_activities",
+    "ascii_heatmap",
+    "ascii_histogram",
+    "ascii_series",
+    "read_activity",
+    "read_csv",
+    "read_json",
+    "read_matrix",
+    "write_activity",
+    "write_csv",
+    "write_json",
+    "write_matrix",
+]

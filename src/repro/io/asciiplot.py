@@ -1,0 +1,126 @@
+"""Text-mode rendering of the paper's figures.
+
+Matplotlib is not available in this environment, so the heatmaps (IR-drop
+maps of Fig. 8, memory profiles of Fig. 10) and histograms (Fig. 7b) are
+rendered as ASCII art for the benchmark harness output, in addition to being
+written out as CSV matrices by :mod:`repro.io.results` for external
+plotting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_SHADES = " .:-=+*#%@"
+
+
+def ascii_heatmap(
+    matrix: np.ndarray,
+    width: int = 60,
+    height: int = 24,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """Render a 2-D array as an ASCII heatmap.
+
+    Args:
+        matrix: The values to render (larger = darker glyph).
+        width: Output width in characters.
+        height: Output height in rows.
+        title: Optional title line.
+        unit: Unit string appended to the min/max legend.
+
+    Returns:
+        A multi-line string; row 0 of the matrix is drawn at the bottom, like
+        the paper's map plots.
+    """
+    matrix = np.atleast_2d(np.asarray(matrix, dtype=float))
+    if matrix.size == 0:
+        raise ValueError("matrix must be non-empty")
+    width = max(4, width)
+    height = max(2, height)
+
+    rows, cols = matrix.shape
+    row_idx = np.linspace(0, rows - 1, height).astype(int)
+    col_idx = np.linspace(0, cols - 1, width).astype(int)
+    sampled = matrix[np.ix_(row_idx, col_idx)]
+
+    low, high = float(np.min(matrix)), float(np.max(matrix))
+    span = high - low
+    if span == 0:
+        normalised = np.zeros_like(sampled)
+    else:
+        normalised = (sampled - low) / span
+    glyph_idx = np.clip((normalised * (len(_SHADES) - 1)).round().astype(int), 0, len(_SHADES) - 1)
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for row in reversed(range(height)):
+        lines.append("".join(_SHADES[index] for index in glyph_idx[row]))
+    lines.append(f"min={low:.4g}{unit}  max={high:.4g}{unit}")
+    return "\n".join(lines)
+
+
+def ascii_histogram(
+    counts: np.ndarray,
+    bin_edges: np.ndarray,
+    width: int = 50,
+    title: str | None = None,
+) -> str:
+    """Render histogram counts as horizontal ASCII bars.
+
+    Args:
+        counts: Per-bin counts.
+        bin_edges: Bin edges (length ``len(counts) + 1``).
+        width: Maximum bar width in characters.
+        title: Optional title line.
+    """
+    counts = np.asarray(counts, dtype=float)
+    bin_edges = np.asarray(bin_edges, dtype=float)
+    if bin_edges.size != counts.size + 1:
+        raise ValueError("bin_edges must have one more element than counts")
+    peak = counts.max() if counts.size else 0.0
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for index, count in enumerate(counts):
+        center = (bin_edges[index] + bin_edges[index + 1]) / 2.0
+        bar_length = 0 if peak == 0 else int(round(count / peak * width))
+        lines.append(f"{center:+10.3f} | {'#' * bar_length} {int(count)}")
+    return "\n".join(lines)
+
+
+def ascii_series(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    width: int = 60,
+    height: int = 16,
+    title: str | None = None,
+) -> str:
+    """Render an (x, y) series as a scatter of ``*`` glyphs on a text canvas."""
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if xs.shape != ys.shape:
+        raise ValueError("xs and ys must have the same shape")
+    if xs.size == 0:
+        raise ValueError("series must be non-empty")
+    width = max(4, width)
+    height = max(2, height)
+
+    x_low, x_high = float(xs.min()), float(xs.max())
+    y_low, y_high = float(ys.min()), float(ys.max())
+    x_span = max(x_high - x_low, 1e-12)
+    y_span = max(y_high - y_low, 1e-12)
+    canvas = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int(round((x - x_low) / x_span * (width - 1)))
+        row = int(round((y - y_low) / y_span * (height - 1)))
+        canvas[height - 1 - row][col] = "*"
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.extend("".join(row) for row in canvas)
+    lines.append(f"x: [{x_low:.4g}, {x_high:.4g}]   y: [{y_low:.4g}, {y_high:.4g}]")
+    return "\n".join(lines)

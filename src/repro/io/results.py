@@ -1,0 +1,104 @@
+"""Serialisation of experiment results to CSV and JSON.
+
+The benchmark harness regenerates every table and figure of the paper as
+rows / series; this module writes those results to disk so they can be
+inspected, diffed against EXPERIMENTS.md and re-plotted outside this
+environment.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
+
+
+class _NumpyJSONEncoder(json.JSONEncoder):
+    """JSON encoder that understands NumPy scalars and arrays."""
+
+    def default(self, obj: Any) -> Any:
+        if isinstance(obj, np.integer):
+            return int(obj)
+        if isinstance(obj, np.floating):
+            return float(obj)
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+        return super().default(obj)
+
+
+def write_json(data: Any, path: str | Path, indent: int = 2) -> Path:
+    """Write ``data`` as JSON, transparently handling NumPy types."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as stream:
+        json.dump(data, stream, indent=indent, cls=_NumpyJSONEncoder)
+        stream.write("\n")
+    return path
+
+
+def read_json(path: str | Path) -> Any:
+    """Read JSON previously written by :func:`write_json`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as stream:
+        return json.load(stream)
+
+
+def write_csv(rows: Iterable[Mapping[str, Any]], path: str | Path, fieldnames: Sequence[str] | None = None) -> Path:
+    """Write a sequence of dict rows to a CSV file.
+
+    Args:
+        rows: Row dictionaries; all keys become columns.
+        path: Output path (parent directories are created).
+        fieldnames: Column order; inferred from the first row when omitted.
+
+    Raises:
+        ValueError: If ``rows`` is empty and no fieldnames are given.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    rows = list(rows)
+    if fieldnames is None:
+        if not rows:
+            raise ValueError("cannot infer CSV columns from an empty row list")
+        fieldnames = list(rows[0].keys())
+    with path.open("w", encoding="utf-8", newline="") as stream:
+        writer = csv.DictWriter(stream, fieldnames=list(fieldnames))
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({key: _to_plain(row.get(key)) for key in fieldnames})
+    return path
+
+
+def read_csv(path: str | Path) -> list[dict[str, str]]:
+    """Read a CSV file into a list of string-valued dict rows."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8", newline="") as stream:
+        return [dict(row) for row in csv.DictReader(stream)]
+
+
+def write_matrix(matrix: np.ndarray, path: str | Path, header: str | None = None) -> Path:
+    """Write a 2-D array (e.g. an IR-drop map) as plain CSV numbers."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    matrix = np.atleast_2d(np.asarray(matrix, dtype=float))
+    comments = f"# {header}\n" if header else ""
+    with path.open("w", encoding="utf-8") as stream:
+        stream.write(comments)
+        np.savetxt(stream, matrix, delimiter=",", fmt="%.9g")
+    return path
+
+
+def read_matrix(path: str | Path) -> np.ndarray:
+    """Read a matrix previously written by :func:`write_matrix`."""
+    return np.atleast_2d(np.loadtxt(Path(path), delimiter=",", comments="#"))
+
+
+def _to_plain(value: Any) -> Any:
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value

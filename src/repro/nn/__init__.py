@@ -1,0 +1,104 @@
+"""From-scratch neural-network substrate (NumPy only).
+
+The paper builds its model with TensorFlow; since no deep-learning framework
+is available in this environment, this package implements the same
+mathematical machinery from scratch: dense layers with backpropagation,
+common activations and losses, SGD / momentum / Adam optimizers, feature and
+target scalers, the regression metrics the paper reports (MSE, r² score,
+error histograms), a mini-batch trainer with early stopping, a
+scikit-learn-style multi-target regressor, and grid / random hyper-parameter
+search.
+"""
+
+from .activations import (
+    Activation,
+    LeakyReLU,
+    Linear,
+    ReLU,
+    Sigmoid,
+    Softplus,
+    Tanh,
+    available_activations,
+    get_activation,
+)
+from .hyperopt import HyperparameterSearch, SearchResult, SearchSpace, TrialResult
+from .initializers import available_initializers, get_initializer
+from .layers import DenseLayer
+from .losses import (
+    ConstraintPenalizedLoss,
+    HuberLoss,
+    Loss,
+    MeanAbsoluteError,
+    MeanSquaredError,
+    get_loss,
+)
+from .metrics import (
+    ErrorHistogram,
+    error_histogram,
+    mean_absolute_error,
+    mean_absolute_percentage_error,
+    mean_squared_error,
+    pearson_correlation,
+    r2_score,
+    relative_mse_percent,
+    root_mean_squared_error,
+)
+from .network import NetworkArchitecture, NeuralNetwork
+from .optimizers import SGD, Adam, MomentumSGD, Optimizer, get_optimizer
+from .regression import MultiTargetRegressor, NotFittedError, RegressorConfig
+from .scaling import IdentityScaler, MinMaxScaler, StandardScaler
+from .serialization import ModelFormatError, load_regressor, save_regressor
+from .training import Trainer, TrainingConfig, TrainingHistory
+
+__all__ = [
+    "Activation",
+    "Adam",
+    "ConstraintPenalizedLoss",
+    "DenseLayer",
+    "ErrorHistogram",
+    "HuberLoss",
+    "HyperparameterSearch",
+    "IdentityScaler",
+    "LeakyReLU",
+    "Linear",
+    "Loss",
+    "MeanAbsoluteError",
+    "MeanSquaredError",
+    "MinMaxScaler",
+    "ModelFormatError",
+    "MomentumSGD",
+    "MultiTargetRegressor",
+    "NetworkArchitecture",
+    "NeuralNetwork",
+    "NotFittedError",
+    "Optimizer",
+    "ReLU",
+    "RegressorConfig",
+    "SGD",
+    "SearchResult",
+    "SearchSpace",
+    "Sigmoid",
+    "Softplus",
+    "StandardScaler",
+    "Tanh",
+    "Trainer",
+    "TrainingConfig",
+    "TrainingHistory",
+    "TrialResult",
+    "available_activations",
+    "available_initializers",
+    "error_histogram",
+    "get_activation",
+    "get_initializer",
+    "get_loss",
+    "get_optimizer",
+    "load_regressor",
+    "mean_absolute_error",
+    "mean_absolute_percentage_error",
+    "mean_squared_error",
+    "pearson_correlation",
+    "r2_score",
+    "relative_mse_percent",
+    "root_mean_squared_error",
+    "save_regressor",
+]

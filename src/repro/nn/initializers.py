@@ -1,0 +1,81 @@
+"""Weight initializers for the from-scratch neural network.
+
+The paper trains a TensorFlow multilayer perceptron; this reproduction
+implements the network in NumPy, so the standard initialisation schemes are
+provided here: Glorot/Xavier (good default for tanh/sigmoid), He (good for
+ReLU) and plain scaled-normal initialisation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+import numpy as np
+
+
+class Initializer(Protocol):
+    """Callable producing a weight matrix of a requested shape."""
+
+    def __call__(self, rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+        """Return an array of shape ``(fan_in, fan_out)``."""
+        ...
+
+
+def xavier_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation: U(-limit, limit) with
+    ``limit = sqrt(6 / (fan_in + fan_out))``."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def xavier_normal(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot/Xavier normal initialisation with std ``sqrt(2 / (fan_in + fan_out))``."""
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=(fan_in, fan_out))
+
+
+def he_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """He (Kaiming) uniform initialisation suited to ReLU layers."""
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def he_normal(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """He (Kaiming) normal initialisation suited to ReLU layers."""
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=(fan_in, fan_out))
+
+
+def small_normal(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Plain normal initialisation with a small fixed standard deviation."""
+    return rng.normal(0.0, 0.01, size=(fan_in, fan_out))
+
+
+_INITIALIZERS: dict[str, Initializer] = {
+    "xavier_uniform": xavier_uniform,
+    "xavier_normal": xavier_normal,
+    "he_uniform": he_uniform,
+    "he_normal": he_normal,
+    "small_normal": small_normal,
+}
+
+
+def get_initializer(name: str | Initializer) -> Initializer:
+    """Resolve an initializer by name, or pass a callable through.
+
+    Raises:
+        KeyError: If the name is unknown.
+    """
+    if callable(name):
+        return name
+    try:
+        return _INITIALIZERS[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown initializer {name!r}; available: {', '.join(_INITIALIZERS)}"
+        ) from exc
+
+
+def available_initializers() -> tuple[str, ...]:
+    """Return the names of the registered initializers."""
+    return tuple(_INITIALIZERS)

@@ -1,0 +1,152 @@
+"""Loss functions for regression training.
+
+The paper minimises a mean-squared-error loss (its eq. 10 reports MSE as the
+accuracy overhead metric) with an optional regularisation term ``lambda *
+C(omega)`` that folds the reliability constraints into the objective
+(eq. 2).  The losses here follow the same convention as the activations:
+``forward`` returns the scalar loss, ``backward`` the gradient with respect
+to the predictions.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class Loss(ABC):
+    """Base class for losses over ``(predictions, targets)`` batches."""
+
+    name: str = "loss"
+
+    @abstractmethod
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        """Return the scalar loss for a batch."""
+
+    @abstractmethod
+    def backward(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Return d(loss)/d(predictions), same shape as ``predictions``."""
+
+    @staticmethod
+    def _validate(predictions: np.ndarray, targets: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        predictions = np.atleast_2d(predictions)
+        targets = np.atleast_2d(targets)
+        if predictions.shape != targets.shape:
+            raise ValueError(
+                f"prediction shape {predictions.shape} does not match target shape {targets.shape}"
+            )
+        return predictions, targets
+
+
+class MeanSquaredError(Loss):
+    """MSE loss, ``mean((y - y')^2)`` — paper eq. (10)."""
+
+    name = "mse"
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        predictions, targets = self._validate(predictions, targets)
+        return float(np.mean((predictions - targets) ** 2))
+
+    def backward(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        predictions, targets = self._validate(predictions, targets)
+        return 2.0 * (predictions - targets) / predictions.size
+
+
+class MeanAbsoluteError(Loss):
+    """MAE loss, ``mean(|y - y'|)``."""
+
+    name = "mae"
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        predictions, targets = self._validate(predictions, targets)
+        return float(np.mean(np.abs(predictions - targets)))
+
+    def backward(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        predictions, targets = self._validate(predictions, targets)
+        return np.sign(predictions - targets) / predictions.size
+
+
+class HuberLoss(Loss):
+    """Huber loss: quadratic near zero, linear in the tails."""
+
+    name = "huber"
+
+    def __init__(self, delta: float = 1.0) -> None:
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+        self.delta = delta
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        predictions, targets = self._validate(predictions, targets)
+        error = predictions - targets
+        absolute = np.abs(error)
+        quadratic = np.minimum(absolute, self.delta)
+        linear = absolute - quadratic
+        return float(np.mean(0.5 * quadratic**2 + self.delta * linear))
+
+    def backward(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        predictions, targets = self._validate(predictions, targets)
+        error = predictions - targets
+        gradient = np.clip(error, -self.delta, self.delta)
+        return gradient / predictions.size
+
+
+class ConstraintPenalizedLoss(Loss):
+    """A base loss plus a ``lambda``-weighted constraint penalty (paper eq. 2).
+
+    The penalty callable receives the predictions and must return a
+    per-sample, per-output penalty array of the same shape (for instance the
+    amount by which a predicted width violates the EM-required minimum
+    width).  The total loss is ``base(y', y) + lam * mean(penalty(y'))`` and
+    the penalty's gradient is approximated by its subgradient (penalty terms
+    are built from ReLU-style hinge functions, so this is exact almost
+    everywhere).
+    """
+
+    name = "constraint_penalized"
+
+    def __init__(self, base: Loss, penalty, lam: float = 0.1) -> None:
+        if lam < 0:
+            raise ValueError("lam must be non-negative")
+        self.base = base
+        self.penalty = penalty
+        self.lam = lam
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        predictions, targets = self._validate(predictions, targets)
+        penalty_values = np.asarray(self.penalty(predictions), dtype=float)
+        return self.base.forward(predictions, targets) + self.lam * float(np.mean(penalty_values))
+
+    def backward(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        predictions, targets = self._validate(predictions, targets)
+        epsilon = 1e-6
+        base_gradient = self.base.backward(predictions, targets)
+        # Central-difference subgradient of the mean penalty; the penalties
+        # used in practice are elementwise, so a per-element difference is
+        # both exact and cheap.
+        plus = np.asarray(self.penalty(predictions + epsilon), dtype=float)
+        minus = np.asarray(self.penalty(predictions - epsilon), dtype=float)
+        penalty_gradient = (plus - minus) / (2.0 * epsilon) / predictions.size
+        return base_gradient + self.lam * penalty_gradient
+
+
+_LOSSES: dict[str, type[Loss]] = {
+    "mse": MeanSquaredError,
+    "mae": MeanAbsoluteError,
+    "huber": HuberLoss,
+}
+
+
+def get_loss(name: str | Loss) -> Loss:
+    """Resolve a loss by name, or pass an instance through.
+
+    Raises:
+        KeyError: If the name is unknown.
+    """
+    if isinstance(name, Loss):
+        return name
+    try:
+        return _LOSSES[name]()
+    except KeyError as exc:
+        raise KeyError(f"unknown loss {name!r}; available: {', '.join(_LOSSES)}") from exc

@@ -1,0 +1,140 @@
+"""Regression metrics: MSE, MAE, r² score, correlation, error histograms.
+
+The paper reports three accuracy quantities:
+
+* the **r² score** (coefficient of determination, its Definition 1) used for
+  feature selection (Table I / Fig. 4b) and for model accuracy (Table V);
+* the **MSE** (eq. 10) used for model accuracy (Table V) and the
+  perturbation sweep (Fig. 9); and
+* the **error histogram** of golden minus predicted widths (Fig. 7b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _flatten_pair(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=float).ravel()
+    y_pred = np.asarray(y_pred, dtype=float).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise ValueError("metrics require at least one sample")
+    return y_true, y_pred
+
+
+def mean_squared_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """MSE = mean((y - y')^2), paper eq. (10)."""
+    y_true, y_pred = _flatten_pair(y_true, y_pred)
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def root_mean_squared_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Square root of the MSE."""
+    return float(np.sqrt(mean_squared_error(y_true, y_pred)))
+
+
+def mean_absolute_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """MAE = mean(|y - y'|)."""
+    y_true, y_pred = _flatten_pair(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def mean_absolute_percentage_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """MAPE in percent; samples with zero truth are skipped."""
+    y_true, y_pred = _flatten_pair(y_true, y_pred)
+    nonzero = y_true != 0
+    if not np.any(nonzero):
+        raise ValueError("MAPE undefined: every target is zero")
+    return float(np.mean(np.abs((y_true[nonzero] - y_pred[nonzero]) / y_true[nonzero])) * 100.0)
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination (paper Definition 1).
+
+    ``1 - SS_res / SS_tot``; a constant target vector yields 0.0 when the
+    prediction matches it exactly and a large negative value otherwise,
+    matching the scikit-learn convention closely enough for the paper's use.
+    """
+    y_true, y_pred = _flatten_pair(y_true, y_pred)
+    residual = np.sum((y_true - y_pred) ** 2)
+    total = np.sum((y_true - y_true.mean()) ** 2)
+    if total == 0.0:
+        return 1.0 if residual == 0.0 else 0.0
+    return float(1.0 - residual / total)
+
+
+def pearson_correlation(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Pearson correlation coefficient between truth and prediction (Fig. 7a)."""
+    y_true, y_pred = _flatten_pair(y_true, y_pred)
+    if np.std(y_true) == 0.0 or np.std(y_pred) == 0.0:
+        return 0.0
+    return float(np.corrcoef(y_true, y_pred)[0, 1])
+
+
+@dataclass(frozen=True)
+class ErrorHistogram:
+    """Histogram of prediction errors (golden minus predicted), Fig. 7(b).
+
+    Attributes:
+        bin_edges: Bin edges, length ``num_bins + 1``.
+        counts: Number of samples per bin, length ``num_bins``.
+        overpredicted: Number of samples with negative error (prediction too
+            large), matching the paper's "overpredicted" annotation.
+        underpredicted: Number of samples with positive error.
+    """
+
+    bin_edges: np.ndarray
+    counts: np.ndarray
+    overpredicted: int
+    underpredicted: int
+
+    @property
+    def num_samples(self) -> int:
+        """Total number of histogrammed samples."""
+        return int(self.counts.sum())
+
+    @property
+    def peak_bin_center(self) -> float:
+        """Centre of the most populated bin (the paper's peak sits near 0)."""
+        index = int(np.argmax(self.counts))
+        return float((self.bin_edges[index] + self.bin_edges[index + 1]) / 2.0)
+
+
+def error_histogram(y_true: np.ndarray, y_pred: np.ndarray, num_bins: int = 41, limit: float | None = None) -> ErrorHistogram:
+    """Build the Fig. 7(b)-style histogram of ``golden - predicted`` errors.
+
+    Args:
+        y_true: Golden values.
+        y_pred: Predicted values.
+        num_bins: Number of histogram bins (odd keeps a bin centred at 0).
+        limit: Symmetric histogram range; defaults to the largest absolute
+            error.
+    """
+    y_true, y_pred = _flatten_pair(y_true, y_pred)
+    errors = y_true - y_pred
+    if limit is None:
+        limit = float(max(np.max(np.abs(errors)), 1e-12))
+    counts, edges = np.histogram(errors, bins=num_bins, range=(-limit, limit))
+    return ErrorHistogram(
+        bin_edges=edges,
+        counts=counts,
+        overpredicted=int(np.sum(errors < 0)),
+        underpredicted=int(np.sum(errors > 0)),
+    )
+
+
+def relative_mse_percent(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """MSE normalised by the target variance, in percent.
+
+    This is the quantity Fig. 9 plots ("MSE(%)"): it is scale-free, so the
+    perturbation sweep is comparable across benchmarks of different sizes.
+    """
+    y_true, y_pred = _flatten_pair(y_true, y_pred)
+    variance = float(np.var(y_true))
+    if variance == 0.0:
+        return 0.0 if np.allclose(y_true, y_pred) else 100.0
+    return mean_squared_error(y_true, y_pred) / variance * 100.0

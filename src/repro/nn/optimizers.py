@@ -1,0 +1,151 @@
+"""Gradient-descent optimizers.
+
+The paper trains its model with the Adam optimizer (its ref. [13]); SGD and
+SGD-with-momentum are also provided for the ablation benches and as simpler
+baselines.  Optimizers operate on the generic ``parameters`` / ``gradients``
+dictionaries exposed by :class:`~repro.nn.layers.DenseLayer`, keyed by a
+``(layer_index, parameter_name)`` pair so per-parameter state (momentum,
+Adam moments) survives across steps.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class Optimizer(ABC):
+    """Base class for optimizers updating layer parameters in place."""
+
+    def __init__(self, learning_rate: float = 1e-3) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.learning_rate = learning_rate
+
+    @abstractmethod
+    def update(self, key: tuple[int, str], parameter: np.ndarray, gradient: np.ndarray) -> None:
+        """Update ``parameter`` in place using ``gradient``.
+
+        Args:
+            key: Unique identifier of the parameter (layer index, name).
+            parameter: The parameter array to update in place.
+            gradient: The gradient of the loss with respect to the parameter.
+        """
+
+    def step(self, layers) -> None:
+        """Apply one update step to every parameter of every layer."""
+        for layer_index, layer in enumerate(layers):
+            for name, parameter in layer.parameters.items():
+                gradient = layer.gradients[name]
+                self.update((layer_index, name), parameter, gradient)
+
+    def reset(self) -> None:
+        """Clear any per-parameter state (momenta, step counters)."""
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent."""
+
+    def update(self, key: tuple[int, str], parameter: np.ndarray, gradient: np.ndarray) -> None:
+        parameter -= self.learning_rate * gradient
+
+
+class MomentumSGD(Optimizer):
+    """SGD with classical momentum."""
+
+    def __init__(self, learning_rate: float = 1e-3, momentum: float = 0.9) -> None:
+        super().__init__(learning_rate)
+        if not 0 <= momentum < 1:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self._velocity: dict[tuple[int, str], np.ndarray] = {}
+
+    def update(self, key: tuple[int, str], parameter: np.ndarray, gradient: np.ndarray) -> None:
+        velocity = self._velocity.get(key)
+        if velocity is None:
+            velocity = np.zeros_like(parameter)
+        velocity = self.momentum * velocity - self.learning_rate * gradient
+        self._velocity[key] = velocity
+        parameter += velocity
+
+    def reset(self) -> None:
+        self._velocity.clear()
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2014) — the optimizer used by the paper.
+
+    Args:
+        learning_rate: Step size.
+        beta1: Exponential decay of the first-moment estimate.
+        beta2: Exponential decay of the second-moment estimate.
+        epsilon: Numerical stabiliser added to the denominator.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        super().__init__(learning_rate)
+        if not 0 <= beta1 < 1:
+            raise ValueError("beta1 must be in [0, 1)")
+        if not 0 <= beta2 < 1:
+            raise ValueError("beta2 must be in [0, 1)")
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._first_moment: dict[tuple[int, str], np.ndarray] = {}
+        self._second_moment: dict[tuple[int, str], np.ndarray] = {}
+        self._steps: dict[tuple[int, str], int] = {}
+
+    def update(self, key: tuple[int, str], parameter: np.ndarray, gradient: np.ndarray) -> None:
+        first = self._first_moment.get(key)
+        second = self._second_moment.get(key)
+        if first is None or second is None:
+            first = np.zeros_like(parameter)
+            second = np.zeros_like(parameter)
+        step = self._steps.get(key, 0) + 1
+
+        first = self.beta1 * first + (1.0 - self.beta1) * gradient
+        second = self.beta2 * second + (1.0 - self.beta2) * gradient**2
+        first_hat = first / (1.0 - self.beta1**step)
+        second_hat = second / (1.0 - self.beta2**step)
+        parameter -= self.learning_rate * first_hat / (np.sqrt(second_hat) + self.epsilon)
+
+        self._first_moment[key] = first
+        self._second_moment[key] = second
+        self._steps[key] = step
+
+    def reset(self) -> None:
+        self._first_moment.clear()
+        self._second_moment.clear()
+        self._steps.clear()
+
+
+_OPTIMIZERS: dict[str, type[Optimizer]] = {
+    "sgd": SGD,
+    "momentum": MomentumSGD,
+    "adam": Adam,
+}
+
+
+def get_optimizer(name: str | Optimizer, learning_rate: float = 1e-3) -> Optimizer:
+    """Resolve an optimizer by name, or pass an instance through.
+
+    Raises:
+        KeyError: If the name is unknown.
+    """
+    if isinstance(name, Optimizer):
+        return name
+    try:
+        return _OPTIMIZERS[name](learning_rate=learning_rate)
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown optimizer {name!r}; available: {', '.join(_OPTIMIZERS)}"
+        ) from exc

@@ -1,0 +1,183 @@
+"""High-level multi-target regression estimator.
+
+:class:`MultiTargetRegressor` bundles the pieces a user of the paper's method
+actually needs — feature/target scaling, the MLP, the trainer and the
+metrics — behind a scikit-learn-style ``fit`` / ``predict`` / ``score``
+interface.  The width-prediction model of the PowerPlanningDL framework
+(paper Algorithm 1) is a thin wrapper around this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .metrics import mean_squared_error, r2_score
+from .network import NetworkArchitecture, NeuralNetwork
+from .scaling import StandardScaler
+from .training import Trainer, TrainingConfig, TrainingHistory
+
+
+@dataclass(frozen=True)
+class RegressorConfig:
+    """Configuration of the multi-target regressor.
+
+    Attributes:
+        hidden_layers: Number of hidden layers (the paper uses 10).
+        hidden_width: Units per hidden layer.
+        hidden_activation: Hidden-layer activation name.
+        output_activation: Output activation name (``linear`` by default).
+        training: Training hyper-parameters.
+        scale_features: Whether to standardise the input features.
+        scale_targets: Whether to standardise the regression targets.
+        seed: Seed for weight initialisation.
+    """
+
+    hidden_layers: int = 10
+    hidden_width: int = 32
+    hidden_activation: str = "relu"
+    output_activation: str = "linear"
+    training: TrainingConfig = TrainingConfig()
+    scale_features: bool = True
+    scale_targets: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.hidden_layers <= 0:
+            raise ValueError("hidden_layers must be positive")
+        if self.hidden_width <= 0:
+            raise ValueError("hidden_width must be positive")
+
+    @classmethod
+    def paper_default(cls, epochs: int = 200, seed: int = 0) -> "RegressorConfig":
+        """The paper's configuration: 10 hidden layers trained with Adam/MSE."""
+        return cls(
+            hidden_layers=10,
+            hidden_width=32,
+            training=TrainingConfig(epochs=epochs, optimizer="adam", loss="mse", seed=seed),
+            seed=seed,
+        )
+
+    @classmethod
+    def fast(cls, epochs: int = 60, seed: int = 0) -> "RegressorConfig":
+        """A smaller, faster configuration used by the test-suite."""
+        return cls(
+            hidden_layers=3,
+            hidden_width=24,
+            training=TrainingConfig(
+                epochs=epochs, batch_size=64, optimizer="adam", loss="mse", seed=seed,
+                early_stopping_patience=10,
+            ),
+            seed=seed,
+        )
+
+
+class NotFittedError(RuntimeError):
+    """Raised when ``predict`` or ``score`` is called before ``fit``."""
+
+
+class MultiTargetRegressor:
+    """Neural-network multi-target regression with built-in scaling.
+
+    Args:
+        config: Regressor configuration (architecture + training).
+    """
+
+    def __init__(self, config: RegressorConfig | None = None) -> None:
+        self.config = config or RegressorConfig()
+        self.network: NeuralNetwork | None = None
+        self.feature_scaler = StandardScaler()
+        self.target_scaler = StandardScaler()
+        self.history: TrainingHistory | None = None
+        self._num_outputs: int | None = None
+
+    # ------------------------------------------------------------------
+    # Estimator interface
+    # ------------------------------------------------------------------
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> TrainingHistory:
+        """Train the regressor on ``(features, targets)``.
+
+        Args:
+            features: Array of shape ``(samples, num_features)``.
+            targets: Array of shape ``(samples,)`` or ``(samples, num_targets)``.
+
+        Returns:
+            The training history.
+        """
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        targets = np.asarray(targets, dtype=float)
+        if targets.ndim == 1:
+            targets = targets.reshape(-1, 1)
+        if features.shape[0] != targets.shape[0]:
+            raise ValueError("features and targets must have the same number of samples")
+        self._num_outputs = targets.shape[1]
+
+        scaled_features = (
+            self.feature_scaler.fit_transform(features) if self.config.scale_features else features
+        )
+        scaled_targets = (
+            self.target_scaler.fit_transform(targets) if self.config.scale_targets else targets
+        )
+
+        architecture = NetworkArchitecture(
+            input_size=features.shape[1],
+            hidden_sizes=(self.config.hidden_width,) * self.config.hidden_layers,
+            output_size=targets.shape[1],
+            hidden_activation=self.config.hidden_activation,
+            output_activation=self.config.output_activation,
+        )
+        self.network = NeuralNetwork(architecture, seed=self.config.seed)
+        trainer = Trainer(self.network, config=self.config.training)
+        self.history = trainer.fit(scaled_features, scaled_targets)
+        return self.history
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict targets in original (unscaled) units.
+
+        Returns:
+            Array of shape ``(samples, num_targets)``; single-target models
+            still return a 2-D array for consistency.
+
+        Raises:
+            NotFittedError: If the model has not been fitted.
+        """
+        if self.network is None:
+            raise NotFittedError("fit() must be called before predict()")
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        scaled = (
+            self.feature_scaler.transform(features) if self.config.scale_features else features
+        )
+        outputs = self.network.predict(scaled)
+        if self.config.scale_targets:
+            outputs = self.target_scaler.inverse_transform(outputs)
+        return outputs
+
+    def score(self, features: np.ndarray, targets: np.ndarray) -> float:
+        """Return the r² score of the model on ``(features, targets)``."""
+        predictions = self.predict(features)
+        return r2_score(np.asarray(targets, dtype=float), predictions)
+
+    def mse(self, features: np.ndarray, targets: np.ndarray) -> float:
+        """Return the MSE of the model on ``(features, targets)``."""
+        predictions = self.predict(features)
+        return mean_squared_error(np.asarray(targets, dtype=float), predictions)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def is_fitted(self) -> bool:
+        """True once the model has been trained."""
+        return self.network is not None
+
+    @property
+    def num_parameters(self) -> int:
+        """Number of trainable parameters of the underlying network.
+
+        Raises:
+            NotFittedError: If the model has not been fitted.
+        """
+        if self.network is None:
+            raise NotFittedError("fit() must be called first")
+        return self.network.num_parameters

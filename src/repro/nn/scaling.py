@@ -1,0 +1,149 @@
+"""Feature / target scalers.
+
+The input features of the width model live on wildly different scales
+(coordinates in thousands of um, switching currents in milliamps, widths in
+single-digit um), so both the features and the targets are standardised
+before training.  The scalers follow the scikit-learn fit / transform
+convention and support exact inverse transforms, which the framework uses to
+report predictions back in physical units.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class StandardScaler:
+    """Standardise features to zero mean and unit variance per column."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, data: np.ndarray) -> "StandardScaler":
+        """Learn per-column mean and standard deviation.
+
+        Columns with zero variance get a scale of 1 so they pass through
+        unchanged instead of dividing by zero.
+        """
+        data = np.atleast_2d(np.asarray(data, dtype=float))
+        self.mean_ = data.mean(axis=0)
+        scale = data.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """Apply the learned standardisation.
+
+        Raises:
+            RuntimeError: If the scaler has not been fitted.
+        """
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("scaler must be fitted before transform()")
+        data = np.atleast_2d(np.asarray(data, dtype=float))
+        return (data - self.mean_) / self.scale_
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        """Fit on ``data`` and return its transform."""
+        return self.fit(data).transform(data)
+
+    def inverse_transform(self, data: np.ndarray) -> np.ndarray:
+        """Map standardised values back to the original units.
+
+        Raises:
+            RuntimeError: If the scaler has not been fitted.
+        """
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("scaler must be fitted before inverse_transform()")
+        data = np.atleast_2d(np.asarray(data, dtype=float))
+        return data * self.scale_ + self.mean_
+
+    @property
+    def is_fitted(self) -> bool:
+        """True once :meth:`fit` has been called."""
+        return self.mean_ is not None
+
+
+class MinMaxScaler:
+    """Scale features linearly into a target range (default ``[0, 1]``)."""
+
+    def __init__(self, feature_range: tuple[float, float] = (0.0, 1.0)) -> None:
+        low, high = feature_range
+        if high <= low:
+            raise ValueError("feature_range must be increasing")
+        self.feature_range = (float(low), float(high))
+        self.data_min_: np.ndarray | None = None
+        self.data_max_: np.ndarray | None = None
+
+    def fit(self, data: np.ndarray) -> "MinMaxScaler":
+        """Learn per-column minima and maxima."""
+        data = np.atleast_2d(np.asarray(data, dtype=float))
+        self.data_min_ = data.min(axis=0)
+        self.data_max_ = data.max(axis=0)
+        return self
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """Apply the learned linear scaling.
+
+        Constant columns are mapped to the middle of the target range.
+
+        Raises:
+            RuntimeError: If the scaler has not been fitted.
+        """
+        if self.data_min_ is None or self.data_max_ is None:
+            raise RuntimeError("scaler must be fitted before transform()")
+        data = np.atleast_2d(np.asarray(data, dtype=float))
+        span = self.data_max_ - self.data_min_
+        low, high = self.feature_range
+        with np.errstate(divide="ignore", invalid="ignore"):
+            unit = np.where(span == 0.0, 0.5, (data - self.data_min_) / np.where(span == 0.0, 1.0, span))
+        return unit * (high - low) + low
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        """Fit on ``data`` and return its transform."""
+        return self.fit(data).transform(data)
+
+    def inverse_transform(self, data: np.ndarray) -> np.ndarray:
+        """Map scaled values back to the original units.
+
+        Raises:
+            RuntimeError: If the scaler has not been fitted.
+        """
+        if self.data_min_ is None or self.data_max_ is None:
+            raise RuntimeError("scaler must be fitted before inverse_transform()")
+        data = np.atleast_2d(np.asarray(data, dtype=float))
+        low, high = self.feature_range
+        unit = (data - low) / (high - low)
+        span = self.data_max_ - self.data_min_
+        return unit * span + self.data_min_
+
+    @property
+    def is_fitted(self) -> bool:
+        """True once :meth:`fit` has been called."""
+        return self.data_min_ is not None
+
+
+class IdentityScaler:
+    """A no-op scaler, useful to disable scaling in ablation experiments."""
+
+    def fit(self, data: np.ndarray) -> "IdentityScaler":
+        """No-op fit."""
+        return self
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """Return the data unchanged (as a 2-D float array)."""
+        return np.atleast_2d(np.asarray(data, dtype=float))
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        """Return the data unchanged."""
+        return self.transform(data)
+
+    def inverse_transform(self, data: np.ndarray) -> np.ndarray:
+        """Return the data unchanged."""
+        return np.atleast_2d(np.asarray(data, dtype=float))
+
+    @property
+    def is_fitted(self) -> bool:
+        """Identity scalers are always "fitted"."""
+        return True

@@ -1,0 +1,154 @@
+"""Persistence of trained regression models.
+
+A deployed PowerPlanningDL flow trains once on historical designs and is then
+reused across many incremental redesigns, so the trained width model must be
+storable.  This module serialises a :class:`~repro.nn.regression.MultiTargetRegressor`
+— architecture, layer weights and both scalers — to a single ``.npz`` file
+plus and restores it exactly (bit-for-bit predictions).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .network import NetworkArchitecture, NeuralNetwork
+from .regression import MultiTargetRegressor, NotFittedError, RegressorConfig
+from .scaling import StandardScaler
+from .training import TrainingConfig
+
+_FORMAT_VERSION = 1
+
+
+class ModelFormatError(ValueError):
+    """Raised when a model file cannot be loaded."""
+
+
+def _config_to_dict(config: RegressorConfig) -> dict:
+    return {
+        "hidden_layers": config.hidden_layers,
+        "hidden_width": config.hidden_width,
+        "hidden_activation": config.hidden_activation,
+        "output_activation": config.output_activation,
+        "scale_features": config.scale_features,
+        "scale_targets": config.scale_targets,
+        "seed": config.seed,
+        "training": {
+            "epochs": config.training.epochs,
+            "batch_size": config.training.batch_size,
+            "learning_rate": config.training.learning_rate,
+            "optimizer": config.training.optimizer,
+            "loss": config.training.loss,
+            "validation_split": config.training.validation_split,
+            "early_stopping_patience": config.training.early_stopping_patience,
+            "shuffle": config.training.shuffle,
+            "seed": config.training.seed,
+        },
+    }
+
+
+def _config_from_dict(data: dict) -> RegressorConfig:
+    training = TrainingConfig(**data["training"])
+    return RegressorConfig(
+        hidden_layers=data["hidden_layers"],
+        hidden_width=data["hidden_width"],
+        hidden_activation=data["hidden_activation"],
+        output_activation=data["output_activation"],
+        training=training,
+        scale_features=data["scale_features"],
+        scale_targets=data["scale_targets"],
+        seed=data["seed"],
+    )
+
+
+def save_regressor(model: MultiTargetRegressor, path: str | Path) -> Path:
+    """Save a fitted regressor to ``path`` (``.npz`` format).
+
+    Raises:
+        NotFittedError: If the model has not been fitted.
+    """
+    if model.network is None:
+        raise NotFittedError("only fitted models can be saved")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    arrays: dict[str, np.ndarray] = {}
+    for index, (weights, bias) in enumerate(model.network.get_parameters()):
+        arrays[f"layer_{index}_weights"] = weights
+        arrays[f"layer_{index}_bias"] = bias
+    if model.feature_scaler.is_fitted:
+        arrays["feature_mean"] = model.feature_scaler.mean_
+        arrays["feature_scale"] = model.feature_scaler.scale_
+    if model.target_scaler.is_fitted:
+        arrays["target_mean"] = model.target_scaler.mean_
+        arrays["target_scale"] = model.target_scaler.scale_
+
+    architecture = model.network.architecture
+    metadata = {
+        "format_version": _FORMAT_VERSION,
+        "num_layers": len(model.network.layers),
+        "config": _config_to_dict(model.config),
+        "architecture": {
+            "input_size": architecture.input_size,
+            "hidden_sizes": list(architecture.hidden_sizes),
+            "output_size": architecture.output_size,
+            "hidden_activation": architecture.hidden_activation,
+            "output_activation": architecture.output_activation,
+        },
+    }
+    arrays["metadata"] = np.frombuffer(json.dumps(metadata).encode("utf-8"), dtype=np.uint8)
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_regressor(path: str | Path) -> MultiTargetRegressor:
+    """Load a regressor previously stored with :func:`save_regressor`.
+
+    Raises:
+        ModelFormatError: If the file is missing fields or has an unsupported
+            format version.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as bundle:
+        if "metadata" not in bundle:
+            raise ModelFormatError(f"{path} is not a repro model file")
+        metadata = json.loads(bytes(bundle["metadata"].tobytes()).decode("utf-8"))
+        if metadata.get("format_version") != _FORMAT_VERSION:
+            raise ModelFormatError(
+                f"unsupported model format version {metadata.get('format_version')!r}"
+            )
+
+        config = _config_from_dict(metadata["config"])
+        model = MultiTargetRegressor(config)
+        arch_data = metadata["architecture"]
+        architecture = NetworkArchitecture(
+            input_size=arch_data["input_size"],
+            hidden_sizes=tuple(arch_data["hidden_sizes"]),
+            output_size=arch_data["output_size"],
+            hidden_activation=arch_data["hidden_activation"],
+            output_activation=arch_data["output_activation"],
+        )
+        network = NeuralNetwork(architecture, seed=config.seed)
+        parameters = []
+        for index in range(metadata["num_layers"]):
+            weights_key = f"layer_{index}_weights"
+            bias_key = f"layer_{index}_bias"
+            if weights_key not in bundle or bias_key not in bundle:
+                raise ModelFormatError(f"{path} is missing parameters for layer {index}")
+            parameters.append((bundle[weights_key], bundle[bias_key]))
+        network.set_parameters(parameters)
+        model.network = network
+
+        if "feature_mean" in bundle:
+            scaler = StandardScaler()
+            scaler.mean_ = bundle["feature_mean"]
+            scaler.scale_ = bundle["feature_scale"]
+            model.feature_scaler = scaler
+        if "target_mean" in bundle:
+            scaler = StandardScaler()
+            scaler.mean_ = bundle["target_mean"]
+            scaler.scale_ = bundle["target_scale"]
+            model.target_scaler = scaler
+    return model

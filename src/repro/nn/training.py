@@ -1,0 +1,226 @@
+"""Mini-batch training loop with validation and early stopping.
+
+The trainer drives a :class:`~repro.nn.network.NeuralNetwork` through
+shuffled mini-batches, applies the optimizer after every batch, tracks
+training / validation losses per epoch and optionally stops early when the
+validation loss has not improved for a configurable number of epochs
+(restoring the best weights seen so far).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .losses import Loss, get_loss
+from .network import NeuralNetwork
+from .optimizers import Optimizer, get_optimizer
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch record of a training run.
+
+    Attributes:
+        train_losses: Mean training loss of each epoch.
+        validation_losses: Mean validation loss of each epoch (empty when no
+            validation split was used).
+        epochs_run: Number of epochs actually executed.
+        stopped_early: True if early stopping triggered.
+        best_epoch: Index of the epoch with the lowest validation (or
+            training) loss.
+        training_time: Total wall-clock training time in seconds.
+    """
+
+    train_losses: list[float] = field(default_factory=list)
+    validation_losses: list[float] = field(default_factory=list)
+    epochs_run: int = 0
+    stopped_early: bool = False
+    best_epoch: int = 0
+    training_time: float = 0.0
+
+    @property
+    def final_train_loss(self) -> float:
+        """Training loss of the last executed epoch."""
+        if not self.train_losses:
+            raise ValueError("no epochs have been run")
+        return self.train_losses[-1]
+
+    @property
+    def best_validation_loss(self) -> float:
+        """Lowest validation loss observed (falls back to training loss)."""
+        losses = self.validation_losses or self.train_losses
+        if not losses:
+            raise ValueError("no epochs have been run")
+        return min(losses)
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Hyper-parameters of one training run.
+
+    Attributes:
+        epochs: Maximum number of epochs.
+        batch_size: Mini-batch size.
+        learning_rate: Optimizer learning rate.
+        optimizer: Optimizer name (``adam`` as in the paper, ``sgd``,
+            ``momentum``).
+        loss: Loss name (``mse`` as in the paper, ``mae``, ``huber``).
+        validation_split: Fraction of the training data held out for
+            validation (0 disables validation and early stopping).
+        early_stopping_patience: Number of epochs without validation
+            improvement before stopping (0 disables early stopping).
+        shuffle: Whether to reshuffle the training data every epoch.
+        seed: Seed for shuffling and the validation split.
+    """
+
+    epochs: int = 200
+    batch_size: int = 64
+    learning_rate: float = 1e-3
+    optimizer: str = "adam"
+    loss: str = "mse"
+    validation_split: float = 0.1
+    early_stopping_patience: int = 15
+    shuffle: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0:
+            raise ValueError("epochs must be positive")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0 <= self.validation_split < 1:
+            raise ValueError("validation_split must be in [0, 1)")
+        if self.early_stopping_patience < 0:
+            raise ValueError("early_stopping_patience must be non-negative")
+
+
+class Trainer:
+    """Train a neural network on ``(features, targets)`` arrays.
+
+    Args:
+        network: The network to train (updated in place).
+        config: Training hyper-parameters.
+        optimizer: Optional pre-built optimizer; overrides the config's
+            optimizer name.
+        loss: Optional pre-built loss; overrides the config's loss name.
+    """
+
+    def __init__(
+        self,
+        network: NeuralNetwork,
+        config: TrainingConfig | None = None,
+        optimizer: Optimizer | None = None,
+        loss: Loss | None = None,
+    ) -> None:
+        self.network = network
+        self.config = config or TrainingConfig()
+        self.optimizer = optimizer or get_optimizer(
+            self.config.optimizer, learning_rate=self.config.learning_rate
+        )
+        self.loss = loss or get_loss(self.config.loss)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> TrainingHistory:
+        """Train the network and return the training history.
+
+        Args:
+            features: Array of shape ``(samples, input_size)``.
+            targets: Array of shape ``(samples, output_size)`` or
+                ``(samples,)`` for single-target regression.
+
+        Raises:
+            ValueError: If features and targets disagree on the sample count
+                or the data is empty.
+        """
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        targets = np.asarray(targets, dtype=float)
+        if targets.ndim == 1:
+            targets = targets.reshape(-1, 1)
+        if features.shape[0] != targets.shape[0]:
+            raise ValueError("features and targets must have the same number of samples")
+        if features.shape[0] == 0:
+            raise ValueError("training data is empty")
+
+        rng = np.random.default_rng(self.config.seed)
+        train_x, train_y, val_x, val_y = self._split(features, targets, rng)
+
+        history = TrainingHistory()
+        best_loss = np.inf
+        best_parameters = self.network.get_parameters()
+        patience_left = self.config.early_stopping_patience
+        start = time.perf_counter()
+
+        for epoch in range(self.config.epochs):
+            epoch_loss = self._run_epoch(train_x, train_y, rng)
+            history.train_losses.append(epoch_loss)
+            history.epochs_run = epoch + 1
+
+            monitored = epoch_loss
+            if val_x is not None:
+                predictions = self.network.predict(val_x)
+                validation_loss = self.loss.forward(predictions, val_y)
+                history.validation_losses.append(validation_loss)
+                monitored = validation_loss
+
+            if monitored < best_loss - 1e-12:
+                best_loss = monitored
+                best_parameters = self.network.get_parameters()
+                history.best_epoch = epoch
+                patience_left = self.config.early_stopping_patience
+            elif self.config.early_stopping_patience > 0 and val_x is not None:
+                patience_left -= 1
+                if patience_left <= 0:
+                    history.stopped_early = True
+                    break
+
+        self.network.set_parameters(best_parameters)
+        history.training_time = time.perf_counter() - start
+        return history
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _split(
+        self, features: np.ndarray, targets: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None, np.ndarray | None]:
+        split = self.config.validation_split
+        if split <= 0 or features.shape[0] < 5:
+            return features, targets, None, None
+        indices = rng.permutation(features.shape[0])
+        num_validation = max(1, int(round(features.shape[0] * split)))
+        validation_idx = indices[:num_validation]
+        training_idx = indices[num_validation:]
+        if training_idx.size == 0:
+            return features, targets, None, None
+        return (
+            features[training_idx],
+            targets[training_idx],
+            features[validation_idx],
+            targets[validation_idx],
+        )
+
+    def _run_epoch(self, features: np.ndarray, targets: np.ndarray, rng: np.random.Generator) -> float:
+        num_samples = features.shape[0]
+        if self.config.shuffle:
+            order = rng.permutation(num_samples)
+        else:
+            order = np.arange(num_samples)
+        batch_size = min(self.config.batch_size, num_samples)
+        total_loss = 0.0
+        num_batches = 0
+        for start in range(0, num_samples, batch_size):
+            batch_idx = order[start : start + batch_size]
+            batch_loss = self.network.train_batch(
+                self.loss, features[batch_idx], targets[batch_idx]
+            )
+            self.optimizer.step(self.network.layers)
+            total_loss += batch_loss
+            num_batches += 1
+        return total_loss / max(num_batches, 1)

@@ -1,0 +1,63 @@
+"""Tests for the sparse linear solvers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import LinearSolverError, PowerGridSolver, SolverMethod, assemble
+
+
+class TestSolverSelection:
+    def test_auto_uses_direct_for_small_systems(self, tiny_grid):
+        system = assemble(tiny_grid)
+        result = PowerGridSolver(method=SolverMethod.AUTO).solve(system)
+        assert result.method is SolverMethod.DIRECT
+
+    def test_auto_switches_to_cg_above_limit(self, tiny_grid):
+        system = assemble(tiny_grid)
+        solver = PowerGridSolver(method=SolverMethod.AUTO, direct_size_limit=1)
+        result = solver.solve(system)
+        assert result.method is SolverMethod.CG
+
+    def test_invalid_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            PowerGridSolver(tolerance=0.0)
+
+    def test_invalid_max_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            PowerGridSolver(max_iterations=0)
+
+
+class TestSolutionQuality:
+    def test_direct_and_cg_agree(self, tiny_grid):
+        system = assemble(tiny_grid)
+        direct = PowerGridSolver(method=SolverMethod.DIRECT).solve(system)
+        cg = PowerGridSolver(method=SolverMethod.CG, tolerance=1e-12).solve(system)
+        np.testing.assert_allclose(direct.voltages, cg.voltages, rtol=1e-6, atol=1e-9)
+
+    def test_residual_is_small(self, tiny_grid):
+        system = assemble(tiny_grid)
+        result = PowerGridSolver().solve(system)
+        assert result.residual_norm < 1e-8
+
+    def test_voltages_do_not_exceed_vdd(self, tiny_grid):
+        """A passive resistive grid with only Vdd sources cannot overshoot Vdd."""
+        system = assemble(tiny_grid)
+        result = PowerGridSolver().solve(system)
+        assert np.all(result.voltages <= tiny_grid.vdd + 1e-9)
+        assert np.all(result.voltages > 0.0)
+
+    def test_cg_reports_iterations(self, tiny_grid):
+        system = assemble(tiny_grid)
+        result = PowerGridSolver(method=SolverMethod.CG).solve(system)
+        assert result.iterations > 0
+
+    def test_cg_iteration_cap_raises(self, tiny_grid):
+        system = assemble(tiny_grid)
+        solver = PowerGridSolver(method=SolverMethod.CG, max_iterations=1, tolerance=1e-15)
+        with pytest.raises(LinearSolverError):
+            solver.solve(system)
+
+    def test_solve_time_recorded(self, tiny_grid):
+        system = assemble(tiny_grid)
+        result = PowerGridSolver().solve(system)
+        assert result.solve_time >= 0.0

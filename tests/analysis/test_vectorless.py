@@ -1,0 +1,46 @@
+"""Tests for the early vectorless bound analysis."""
+
+import pytest
+
+from repro.analysis import VectorlessAnalyzer, VectorlessBudget, uniform_budget
+
+
+class TestBudget:
+    def test_uniform_budget_scales_loads(self, tiny_grid):
+        budget = uniform_budget(tiny_grid, headroom=1.5)
+        for load in tiny_grid.iter_loads():
+            assert budget.per_load_max[load.name] == pytest.approx(1.5 * load.current)
+
+    def test_uniform_budget_rejects_headroom_below_one(self, tiny_grid):
+        with pytest.raises(ValueError):
+            uniform_budget(tiny_grid, headroom=0.5)
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            VectorlessBudget(per_load_max={"I1": -1.0})
+        with pytest.raises(ValueError):
+            VectorlessBudget(per_load_max={}, global_utilisation=0.0)
+
+
+class TestVectorlessAnalysis:
+    def test_bound_dominates_nominal(self, tiny_grid):
+        budget = uniform_budget(tiny_grid, headroom=1.5)
+        result = VectorlessAnalyzer().analyze(tiny_grid, budget)
+        assert result.worst_case_bound >= result.nominal_result.worst_ir_drop
+        assert result.pessimism >= 1.0
+
+    def test_unit_headroom_gives_unit_pessimism(self, tiny_grid):
+        budget = uniform_budget(tiny_grid, headroom=1.0)
+        result = VectorlessAnalyzer().analyze(tiny_grid, budget)
+        assert result.pessimism == pytest.approx(1.0, rel=1e-6)
+
+    def test_global_utilisation_caps_the_bound(self, tiny_grid):
+        loose = VectorlessAnalyzer().analyze(tiny_grid, uniform_budget(tiny_grid, headroom=2.0))
+        capped = VectorlessAnalyzer().analyze(
+            tiny_grid, uniform_budget(tiny_grid, headroom=2.0, utilisation=0.5)
+        )
+        assert capped.worst_case_bound < loose.worst_case_bound
+
+    def test_bound_scales_linearly_with_headroom(self, tiny_grid):
+        result = VectorlessAnalyzer().analyze(tiny_grid, uniform_budget(tiny_grid, headroom=2.0))
+        assert result.pessimism == pytest.approx(2.0, rel=1e-6)

@@ -1,0 +1,81 @@
+"""Tests for the experiment-level evaluation helpers (tables and figures)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    compare_convergence,
+    compare_worst_ir_drop,
+    feature_r2_study,
+    per_interconnect_r2_series,
+    width_prediction_study,
+)
+from repro.nn import RegressorConfig, TrainingConfig
+
+
+@pytest.fixture(scope="module")
+def quick_config():
+    return RegressorConfig(
+        hidden_layers=2,
+        hidden_width=16,
+        training=TrainingConfig(epochs=25, batch_size=64, early_stopping_patience=0, seed=0),
+        seed=0,
+    )
+
+
+class TestFeatureStudy:
+    def test_combined_features_beat_single_features(self, small_dataset, quick_config):
+        """Table I: the combined (X, Y, Id) features have the highest r2."""
+        study = feature_r2_study(small_dataset.training, config=quick_config, seed=0)
+        assert set(study.scores) == {"x", "y", "switching_current", "combined"}
+        assert study.best_feature == "combined"
+        assert study.scores["combined"] > 0.7
+
+    def test_per_interconnect_series_shape(self, small_dataset, quick_config):
+        study = per_interconnect_r2_series(
+            small_dataset.training, config=quick_config, num_interconnects=100, window=25
+        )
+        assert set(study.per_interconnect) == {"x", "y", "switching_current", "combined"}
+        for series in study.per_interconnect.values():
+            assert series.shape == (100,)
+
+
+class TestWidthStudy:
+    def test_study_fields(self, rng):
+        golden = rng.uniform(1, 20, size=500)
+        predicted = golden + rng.normal(0, 0.5, size=500)
+        study = width_prediction_study(golden, predicted)
+        assert study.correlation > 0.95
+        assert study.r2 > 0.9
+        assert study.histogram.num_samples == 500
+        assert abs(study.histogram.peak_bin_center) < 2.0
+
+    def test_perfect_prediction(self, rng):
+        golden = rng.uniform(1, 20, size=100)
+        study = width_prediction_study(golden, golden)
+        assert study.mse == 0.0
+        assert study.r2 == pytest.approx(1.0)
+
+
+class TestComparisons:
+    def test_ir_drop_comparison_row(self, golden_plan, trained_framework, small_benchmark):
+        predicted = trained_framework.predict_design(
+            small_benchmark.floorplan, small_benchmark.topology
+        )
+        row = compare_worst_ir_drop(golden_plan, predicted)
+        assert row.benchmark == golden_plan.benchmark
+        assert row.conventional_mv == pytest.approx(golden_plan.ir_result.worst_ir_drop_mv)
+        assert row.predicted_mv == pytest.approx(predicted.ir_drop.worst_ir_drop_mv)
+        assert row.absolute_error_mv >= 0
+        assert row.relative_error >= 0
+
+    def test_convergence_comparison_row(self, golden_plan, trained_framework, small_benchmark):
+        predicted = trained_framework.predict_design(
+            small_benchmark.floorplan, small_benchmark.topology
+        )
+        row = compare_convergence(golden_plan, predicted)
+        assert row.conventional_seconds == pytest.approx(golden_plan.iterations[0].step_time)
+        assert row.powerplanningdl_seconds == pytest.approx(predicted.convergence_time)
+        assert row.speedup == pytest.approx(
+            row.conventional_seconds / row.powerplanningdl_seconds
+        )

@@ -1,0 +1,82 @@
+"""Tests for per-crossing feature extraction (paper Section IV-B)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FEATURE_NAMES, FeatureExtractor, single_feature_columns
+
+
+@pytest.fixture()
+def extractor(tiny_floorplan, tiny_topology):
+    return FeatureExtractor(tiny_floorplan, tiny_topology)
+
+
+class TestFeatureMatrix:
+    def test_one_sample_per_crossing(self, extractor, tiny_topology):
+        features, targets, line_ids = extractor.feature_matrix()
+        expected = tiny_topology.num_vertical * tiny_topology.num_horizontal
+        assert features.shape == (expected, 3)
+        assert targets.shape == (expected, 2)
+        assert line_ids.shape == (expected, 2)
+
+    def test_unlabeled_targets_are_nan(self, extractor):
+        _, targets, _ = extractor.feature_matrix()
+        assert np.all(np.isnan(targets))
+
+    def test_labeled_targets_match_line_widths(self, extractor, tiny_topology, rng):
+        widths = rng.uniform(1.0, 10.0, size=tiny_topology.num_lines)
+        features, targets, line_ids = extractor.feature_matrix(widths)
+        np.testing.assert_allclose(targets[:, 0], widths[line_ids[:, 0]])
+        np.testing.assert_allclose(targets[:, 1], widths[line_ids[:, 1]])
+
+    def test_line_id_ranges(self, extractor, tiny_topology):
+        _, _, line_ids = extractor.feature_matrix()
+        assert line_ids[:, 0].min() == 0
+        assert line_ids[:, 0].max() == tiny_topology.num_vertical - 1
+        assert line_ids[:, 1].min() == tiny_topology.num_vertical
+        assert line_ids[:, 1].max() == tiny_topology.num_lines - 1
+
+    def test_every_line_appears(self, extractor, tiny_topology):
+        _, _, line_ids = extractor.feature_matrix()
+        assert set(np.unique(line_ids)) == set(range(tiny_topology.num_lines))
+
+    def test_switching_current_matches_floorplan(self, extractor, tiny_floorplan):
+        features, _, _ = extractor.feature_matrix()
+        for x, y, current in features[:30]:
+            assert current == pytest.approx(tiny_floorplan.switching_current_at(x, y))
+
+    def test_coordinates_match_topology(self, extractor, tiny_topology):
+        features, _, _ = extractor.feature_matrix()
+        assert set(np.unique(features[:, 0])) == set(tiny_topology.vertical_positions)
+        assert set(np.unique(features[:, 1])) == set(tiny_topology.horizontal_positions)
+
+    def test_wrong_width_length_rejected(self, extractor):
+        with pytest.raises(ValueError):
+            extractor.feature_matrix(np.asarray([1.0, 2.0]))
+
+
+class TestSamples:
+    def test_extract_returns_sample_objects(self, extractor, tiny_topology, rng):
+        widths = rng.uniform(1.0, 5.0, size=tiny_topology.num_lines)
+        samples = extractor.extract(widths)
+        assert len(samples) == tiny_topology.num_vertical * tiny_topology.num_horizontal
+        sample = samples[0]
+        assert sample.is_labeled
+        assert sample.features == (sample.x, sample.y, sample.switching_current)
+        assert sample.targets == (sample.vertical_width, sample.horizontal_width)
+
+    def test_unlabeled_samples_flagged(self, extractor):
+        assert not extractor.extract()[0].is_labeled
+
+
+class TestSingleFeatureColumns:
+    def test_columns_split(self, extractor):
+        features, _, _ = extractor.feature_matrix()
+        columns = single_feature_columns(features)
+        assert set(columns) == set(FEATURE_NAMES)
+        for index, name in enumerate(FEATURE_NAMES):
+            np.testing.assert_allclose(columns[name].ravel(), features[:, index])
+
+    def test_wrong_column_count_rejected(self):
+        with pytest.raises(ValueError):
+            single_feature_columns(np.zeros((5, 2)))

@@ -1,0 +1,55 @@
+"""Tests for the tracemalloc-based memory profiler (Table V / Fig. 10)."""
+
+import numpy as np
+import pytest
+
+from repro.core import PeakMemoryProfiler, peak_memory_of
+
+
+def allocate(mib: float):
+    """Allocate roughly ``mib`` MiB of float64 and return its sum."""
+    array = np.ones(int(mib * 1024 * 1024 / 8))
+    return float(array.sum())
+
+
+class TestProfiler:
+    def test_profile_returns_result_and_peak(self):
+        profile = PeakMemoryProfiler(sample_interval=0.01).profile(lambda: allocate(8.0), label="alloc")
+        assert profile.label == "alloc"
+        assert profile.result == pytest.approx(8.0 * 1024 * 1024 / 8)
+        assert profile.peak_mib >= 7.0
+        assert profile.duration > 0
+
+    def test_samples_form_a_time_series(self):
+        profile = PeakMemoryProfiler(sample_interval=0.005).profile(lambda: allocate(4.0))
+        times, values = profile.series()
+        assert len(times) == len(values) >= 1
+        assert times == sorted(times)
+        assert all(value >= 0 for value in values)
+
+    def test_larger_allocation_larger_peak(self):
+        small = PeakMemoryProfiler(sample_interval=0.01).profile(lambda: allocate(2.0))
+        large = PeakMemoryProfiler(sample_interval=0.01).profile(lambda: allocate(16.0))
+        assert large.peak_mib > small.peak_mib
+
+    def test_exception_still_stops_profiling(self):
+        import tracemalloc
+
+        def failing():
+            raise RuntimeError("boom")
+
+        profiler = PeakMemoryProfiler(sample_interval=0.01)
+        was_tracing = tracemalloc.is_tracing()
+        with pytest.raises(RuntimeError):
+            profiler.profile(failing)
+        # The profiler must restore the tracing state it found.
+        assert tracemalloc.is_tracing() == was_tracing
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            PeakMemoryProfiler(sample_interval=0.0)
+
+    def test_peak_memory_of_convenience(self):
+        peak, result = peak_memory_of(lambda: allocate(4.0))
+        assert peak >= 3.0
+        assert result > 0

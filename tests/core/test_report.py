@@ -1,0 +1,53 @@
+"""Tests for the plain-text report formatting."""
+
+import pytest
+
+from repro.core import format_key_values, format_speedup, format_table
+
+
+class TestFormatTable:
+    def test_columns_aligned(self):
+        rows = [
+            {"benchmark": "ibmpg1", "speedup": 1.92},
+            {"benchmark": "ibmpgnew1", "speedup": 4.77},
+        ]
+        text = format_table(rows, title="Table IV")
+        lines = text.splitlines()
+        assert lines[0] == "Table IV"
+        assert "benchmark" in lines[1] and "speedup" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 2 + 1 + len(rows)
+        # all data rows have the same width as the header
+        assert all(len(line) <= len(lines[1]) + 2 for line in lines[3:])
+
+    def test_explicit_column_order(self):
+        text = format_table([{"b": 1, "a": 2}], columns=["a", "b"])
+        header = text.splitlines()[0]
+        assert header.index("a") < header.index("b")
+
+    def test_missing_cell_rendered_empty(self):
+        text = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert text  # does not raise
+
+    def test_empty_rows_without_columns_rejected(self):
+        with pytest.raises(ValueError):
+            format_table([])
+
+    def test_float_formatting(self):
+        text = format_table([{"x": 0.123456789}], float_format="{:.2f}")
+        assert "0.12" in text
+
+
+class TestOtherFormatters:
+    def test_key_values_alignment(self):
+        text = format_key_values({"r2 score": 0.933, "mse": 0.0231}, title="Accuracy")
+        lines = text.splitlines()
+        assert lines[0] == "Accuracy"
+        assert all(" : " in line for line in lines[1:])
+
+    def test_key_values_empty(self):
+        assert format_key_values({}) == ""
+
+    def test_speedup_format_matches_paper_style(self):
+        assert format_speedup(5.8712) == "5.87x"
+        assert format_speedup(1.0) == "1.00x"

@@ -1,0 +1,98 @@
+"""Tests for the decap planner (the paper's future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.design import DecapPlanner, DecapTechnology
+from repro.grid import Floorplan, PowerPad
+
+
+@pytest.fixture()
+def planner(technology):
+    return DecapPlanner(technology)
+
+
+class TestDecapTechnology:
+    def test_required_capacitance_formula(self):
+        decap = DecapTechnology(response_time=2e-9, transient_voltage_budget=0.05)
+        # C = I * t / dV
+        assert decap.required_capacitance(0.5) == pytest.approx(0.5 * 2e-9 / 0.05)
+
+    def test_area_for_capacitance(self):
+        decap = DecapTechnology(capacitance_density=1e-15)
+        assert decap.area_for_capacitance(1e-12) == pytest.approx(1000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DecapTechnology(capacitance_density=0.0)
+        with pytest.raises(ValueError):
+            DecapTechnology(response_time=0.0)
+        with pytest.raises(ValueError):
+            DecapTechnology(max_area_fraction=0.0)
+        with pytest.raises(ValueError):
+            DecapTechnology().required_capacitance(-1.0)
+        with pytest.raises(ValueError):
+            DecapTechnology().area_for_capacitance(-1.0)
+
+
+class TestDecapPlanner:
+    def test_plan_places_one_decap_per_block(self, planner, tiny_floorplan):
+        plan = planner.plan(tiny_floorplan)
+        assert len(plan.placements) == len(tiny_floorplan.blocks)
+        assert plan.total_capacitance > 0
+        assert plan.total_area > 0
+        assert 0 < plan.demand_coverage <= 1.0
+
+    def test_highest_current_block_has_priority(self, planner, tiny_floorplan):
+        plan = planner.plan(tiny_floorplan)
+        hottest = max(tiny_floorplan.iter_blocks(), key=lambda b: b.switching_current)
+        assert plan.placements[0].target_block == hottest.name
+
+    def test_ir_drop_map_reorders_priority(self, planner, tiny_floorplan):
+        """A huge IR drop over a cool block should promote it up the ranking."""
+        ir_map = np.zeros((10, 10))
+        cool_block = min(tiny_floorplan.iter_blocks(), key=lambda b: b.switching_current)
+        cx, cy = cool_block.center
+        col = int(cx / tiny_floorplan.core_width * 10)
+        row = int(cy / tiny_floorplan.core_height * 10)
+        ir_map[row, col] = 10.0  # absurdly large exposure
+        plan = planner.plan(tiny_floorplan, ir_drop_map=ir_map)
+        assert plan.placements[0].target_block == cool_block.name
+
+    def test_area_budget_limits_placement(self, technology, tiny_floorplan):
+        tight = DecapPlanner(
+            technology,
+            DecapTechnology(
+                capacitance_density=1e-18,  # decaps need enormous area
+                max_area_fraction=0.01,
+            ),
+        )
+        plan = tight.plan(tiny_floorplan)
+        assert plan.demand_coverage < 1.0
+
+    def test_empty_floorplan(self, planner, technology):
+        empty = Floorplan(
+            "empty", 100.0, 100.0, pads=[PowerPad("p", 50.0, 50.0, technology.vdd)]
+        )
+        plan = planner.plan(empty)
+        assert plan.placements == []
+        assert plan.demand_coverage == 1.0
+
+    def test_decaps_placed_inside_core(self, planner, tiny_floorplan):
+        plan = planner.plan(tiny_floorplan)
+        for placement in plan.placements:
+            assert 0 <= placement.x <= tiny_floorplan.core_width
+            assert 0 <= placement.y <= tiny_floorplan.core_height
+
+    def test_works_with_predicted_ir_map(self, planner, trained_framework, small_benchmark):
+        """Composes with the PowerPlanningDL prediction, the paper's future-work idea."""
+        predicted = trained_framework.predict_design(
+            small_benchmark.floorplan, small_benchmark.topology
+        )
+        ir_map = trained_framework.ir_estimator.ir_drop_map(
+            small_benchmark.floorplan, small_benchmark.topology, predicted.ir_drop, resolution=50
+        )
+        plan = DecapPlanner(small_benchmark.technology).plan(
+            small_benchmark.floorplan, ir_drop_map=ir_map
+        )
+        assert plan.total_capacitance > 0

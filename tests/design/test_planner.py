@@ -1,0 +1,81 @@
+"""Tests for the conventional iterative power planner (paper Fig. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.design import ConventionalPowerPlanner, DesignRules, ReliabilityConstraints
+
+
+class TestPlanning:
+    def test_plan_converges_on_small_benchmark(self, golden_plan):
+        assert golden_plan.converged
+        assert golden_plan.evaluation.all_satisfied
+        assert golden_plan.num_iterations >= 1
+
+    def test_final_design_meets_ir_margin(self, golden_plan, small_benchmark):
+        limit = small_benchmark.technology.ir_drop_limit
+        assert golden_plan.ir_result.worst_ir_drop <= limit
+
+    def test_final_design_meets_em(self, golden_plan):
+        assert golden_plan.em_report.passed
+
+    def test_widths_are_legal(self, golden_plan, small_benchmark):
+        rules = DesignRules.from_technology(small_benchmark.technology)
+        assert np.all(golden_plan.widths >= rules.min_width - 1e-9)
+        assert np.all(golden_plan.widths <= rules.max_width + 1e-9)
+        assert golden_plan.widths.shape == (small_benchmark.topology.num_lines,)
+
+    def test_iteration_history_recorded(self, golden_plan):
+        assert len(golden_plan.iterations) == golden_plan.num_iterations
+        first = golden_plan.iterations[0]
+        assert first.analysis_time > 0
+        assert first.build_time > 0
+        assert first.step_time == pytest.approx(first.analysis_time + first.build_time)
+
+    def test_times_recorded(self, golden_plan):
+        assert golden_plan.total_time > 0
+        assert golden_plan.analysis_time > 0
+        assert golden_plan.analysis_time <= golden_plan.total_time
+
+
+class TestResizing:
+    def test_undersized_start_triggers_resizing(self, small_benchmark):
+        planner = ConventionalPowerPlanner(small_benchmark.technology, max_iterations=6)
+        rules = DesignRules.from_technology(small_benchmark.technology)
+        tiny_widths = np.full(small_benchmark.topology.num_lines, rules.min_width)
+        plan = planner.plan(
+            small_benchmark.floorplan, small_benchmark.topology, initial_widths=tiny_widths
+        )
+        assert plan.num_iterations > 1
+        assert np.any(plan.widths > rules.min_width)
+        resized_total = sum(iteration.lines_resized for iteration in plan.iterations)
+        assert resized_total > 0
+
+    def test_initial_widths_wrong_length_rejected(self, small_benchmark):
+        planner = ConventionalPowerPlanner(small_benchmark.technology)
+        with pytest.raises(ValueError):
+            planner.plan(
+                small_benchmark.floorplan,
+                small_benchmark.topology,
+                initial_widths=np.asarray([1.0, 2.0]),
+            )
+
+    def test_relaxed_constraints_converge_immediately(self, small_benchmark):
+        planner = ConventionalPowerPlanner(small_benchmark.technology)
+        relaxed = ReliabilityConstraints(
+            ir_drop_limit=small_benchmark.technology.vdd,
+            jmax=1e3,
+            core_width=small_benchmark.floorplan.core_width,
+            core_height=small_benchmark.floorplan.core_height,
+        )
+        plan = planner.plan(small_benchmark.floorplan, small_benchmark.topology, constraints=relaxed)
+        assert plan.converged
+        assert plan.num_iterations == 1
+
+
+class TestParameters:
+    def test_invalid_parameters_rejected(self, small_benchmark):
+        with pytest.raises(ValueError):
+            ConventionalPowerPlanner(small_benchmark.technology, max_iterations=0)
+        with pytest.raises(ValueError):
+            ConventionalPowerPlanner(small_benchmark.technology, upsize_factor=1.0)

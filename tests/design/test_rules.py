@@ -1,0 +1,86 @@
+"""Tests for design rules and width legalisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.design import DesignRules
+from repro.grid import generic_45nm
+
+
+@pytest.fixture()
+def rules():
+    return DesignRules(min_width=0.8, max_width=30.0, min_spacing=0.8, width_step=0.05)
+
+
+class TestLegalisation:
+    def test_clamps_below_minimum(self, rules):
+        assert rules.legalize_width(0.1) == pytest.approx(0.8)
+
+    def test_clamps_above_maximum(self, rules):
+        assert rules.legalize_width(100.0) == pytest.approx(30.0)
+
+    def test_snaps_up_to_width_grid(self, rules):
+        assert rules.legalize_width(1.01) == pytest.approx(1.05)
+        assert rules.legalize_width(1.05) == pytest.approx(1.05)
+
+    def test_vectorised_matches_scalar(self, rules, rng):
+        widths = rng.uniform(0.01, 50.0, size=100)
+        vectorised = rules.legalize_widths(widths)
+        scalar = np.asarray([rules.legalize_width(w) for w in widths])
+        np.testing.assert_allclose(vectorised, scalar, atol=1e-9)
+
+    def test_from_technology(self):
+        tech = generic_45nm()
+        rules = DesignRules.from_technology(tech)
+        assert rules.min_width == max(layer.min_width for layer in tech.layers)
+        assert rules.max_width == min(layer.max_width for layer in tech.layers)
+
+    def test_from_layer(self):
+        tech = generic_45nm()
+        layer = tech.layer("M6")
+        rules = DesignRules.from_layer(layer)
+        assert rules.min_width == layer.min_width
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            DesignRules(min_width=0.0, max_width=1.0, min_spacing=0.5)
+        with pytest.raises(ValueError):
+            DesignRules(min_width=2.0, max_width=1.0, min_spacing=0.5)
+        with pytest.raises(ValueError):
+            DesignRules(min_width=1.0, max_width=2.0, min_spacing=0.5, max_utilisation=0.0)
+
+
+class TestUtilisation:
+    def test_routing_utilisation(self, rules):
+        assert rules.routing_utilisation([10.0, 10.0], 100.0) == pytest.approx(0.2)
+
+    def test_check_utilisation(self, rules):
+        assert rules.check_utilisation([10.0] * 3, 100.0)
+        assert not rules.check_utilisation([10.0] * 5, 100.0)
+
+    def test_max_line_count_uses_pitch(self, rules):
+        # pitch = 4.0 + 0.8 = 4.8 -> 20 lines fit in 100 um
+        assert rules.max_line_count(100.0, 4.0) == 20
+
+    def test_max_line_count_minimum_one(self, rules):
+        assert rules.max_line_count(1.0, 30.0) == 1
+
+    def test_bad_core_width_rejected(self, rules):
+        with pytest.raises(ValueError):
+            rules.routing_utilisation([1.0], 0.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(width=st.floats(min_value=1e-3, max_value=1e3, allow_nan=False))
+def test_legalized_width_is_always_legal(width):
+    """Legalised widths are within range and on the width grid."""
+    rules = DesignRules(min_width=0.8, max_width=30.0, min_spacing=0.8, width_step=0.05)
+    legal = rules.legalize_width(width)
+    assert rules.min_width - 1e-9 <= legal <= rules.max_width + 1e-9
+    steps = legal / rules.width_step
+    assert abs(steps - round(steps)) < 1e-6
+    # Legalisation never shrinks a width that was already in range.
+    if rules.min_width <= width <= rules.max_width:
+        assert legal >= width - 1e-9

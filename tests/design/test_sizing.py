@@ -1,0 +1,77 @@
+"""Tests for the analytical eq. (1) wire sizing."""
+
+import numpy as np
+import pytest
+
+from repro.design import AnalyticalSizer, DesignRules, SizingParameters, estimate_line_currents, width_from_ir_budget
+
+
+class TestEquationOne:
+    def test_width_formula(self):
+        # w = rho * l * I / V_IR
+        assert width_from_ir_budget(0.08, 100.0, 0.05, 0.05) == pytest.approx(8.0)
+
+    def test_zero_current_gives_zero_width(self):
+        assert width_from_ir_budget(0.08, 100.0, 0.0, 0.05) == 0.0
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError):
+            width_from_ir_budget(0.08, 100.0, 0.05, 0.0)
+
+    def test_width_grows_with_current_and_length(self):
+        base = width_from_ir_budget(0.08, 100.0, 0.05, 0.05)
+        assert width_from_ir_budget(0.08, 200.0, 0.05, 0.05) == pytest.approx(2 * base)
+        assert width_from_ir_budget(0.08, 100.0, 0.10, 0.05) == pytest.approx(2 * base)
+
+
+class TestLineCurrentEstimation:
+    def test_total_current_conserved_per_direction(self, tiny_floorplan, tiny_topology):
+        currents = estimate_line_currents(tiny_floorplan, tiny_topology)
+        total = tiny_floorplan.total_switching_current
+        vertical = currents[: tiny_topology.num_vertical].sum()
+        horizontal = currents[tiny_topology.num_vertical :].sum()
+        assert vertical == pytest.approx(total, rel=1e-9)
+        assert horizontal == pytest.approx(total, rel=1e-9)
+
+    def test_lines_near_hot_block_get_more_current(self, tiny_floorplan, tiny_topology):
+        currents = estimate_line_currents(tiny_floorplan, tiny_topology)
+        hot_block = max(tiny_floorplan.iter_blocks(), key=lambda b: b.switching_current)
+        positions = np.asarray(tiny_topology.vertical_positions)
+        nearest = int(np.argmin(np.abs(positions - hot_block.center[0])))
+        farthest = int(np.argmax(np.abs(positions - hot_block.center[0])))
+        assert currents[nearest] > currents[farthest]
+
+    def test_rejects_bad_decay(self, tiny_floorplan, tiny_topology):
+        with pytest.raises(ValueError):
+            estimate_line_currents(tiny_floorplan, tiny_topology, decay_fraction=0.0)
+
+
+class TestAnalyticalSizer:
+    def test_widths_are_legal(self, technology, tiny_floorplan, tiny_topology):
+        sizer = AnalyticalSizer(technology)
+        widths = sizer.size(tiny_floorplan, tiny_topology)
+        rules = DesignRules.from_technology(technology)
+        assert widths.shape == (tiny_topology.num_lines,)
+        assert np.all(widths >= rules.min_width - 1e-9)
+        assert np.all(widths <= rules.max_width + 1e-9)
+
+    def test_more_current_gives_wider_lines(self, technology, tiny_floorplan, tiny_topology):
+        sizer = AnalyticalSizer(technology)
+        nominal = sizer.size(tiny_floorplan, tiny_topology)
+        heavy = sizer.size(tiny_floorplan.with_scaled_currents(3.0), tiny_topology)
+        assert heavy.sum() > nominal.sum()
+
+    def test_em_safety_factor_never_shrinks_widths(self, technology, tiny_floorplan, tiny_topology):
+        loose = AnalyticalSizer(technology, parameters=SizingParameters(em_safety_factor=1.0))
+        tight = AnalyticalSizer(technology, parameters=SizingParameters(em_safety_factor=2.0))
+        assert tight.size(tiny_floorplan, tiny_topology).sum() >= loose.size(
+            tiny_floorplan, tiny_topology
+        ).sum() - 1e-9
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SizingParameters(ir_budget_fraction=0.0)
+        with pytest.raises(ValueError):
+            SizingParameters(em_safety_factor=0.5)
+        with pytest.raises(ValueError):
+            SizingParameters(distance_decay=0.0)

@@ -1,0 +1,107 @@
+"""Tests for the synthetic IBM-style benchmark suite."""
+
+import numpy as np
+import pytest
+
+from repro.grid import (
+    SUITE_NAMES,
+    SyntheticIBMSuite,
+    benchmark_config,
+    generate_floorplan,
+    generate_topology,
+    load_benchmark,
+)
+
+
+class TestConfigs:
+    def test_suite_has_eight_benchmarks_in_paper_order(self):
+        assert SUITE_NAMES == (
+            "ibmpg1",
+            "ibmpg2",
+            "ibmpg3",
+            "ibmpg4",
+            "ibmpg5",
+            "ibmpg6",
+            "ibmpgnew1",
+            "ibmpgnew2",
+        )
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            benchmark_config("ibmpg99")
+
+    def test_size_ordering_follows_table2(self):
+        """ibmpg1 is the smallest grid; ibmpg6/ibmpgnew1 are the largest."""
+        nodes = {name: benchmark_config(name).approx_nodes for name in SUITE_NAMES}
+        assert nodes["ibmpg1"] == min(nodes.values())
+        assert max(nodes, key=nodes.get) in ("ibmpg6", "ibmpgnew1")
+        assert nodes["ibmpg1"] < nodes["ibmpg2"] < nodes["ibmpg3"]
+
+
+class TestGeneration:
+    def test_floorplan_is_deterministic(self):
+        config = benchmark_config("ibmpg1")
+        first = generate_floorplan(config)
+        second = generate_floorplan(config)
+        assert [b.switching_current for b in first.iter_blocks()] == [
+            b.switching_current for b in second.iter_blocks()
+        ]
+        assert [(p.x, p.y) for p in first.iter_pads()] == [
+            (p.x, p.y) for p in second.iter_pads()
+        ]
+
+    def test_blocks_do_not_overlap(self):
+        floorplan = generate_floorplan(benchmark_config("ibmpg2"))
+        blocks = list(floorplan.iter_blocks())
+        for i, a in enumerate(blocks):
+            for b in blocks[i + 1 :]:
+                overlap_x = min(a.x + a.width, b.x + b.width) - max(a.x, b.x)
+                overlap_y = min(a.y + a.height, b.y + b.height) - max(a.y, b.y)
+                assert overlap_x <= 1e-9 or overlap_y <= 1e-9
+
+    def test_total_current_matches_config(self):
+        config = benchmark_config("ibmpg1")
+        floorplan = generate_floorplan(config)
+        assert floorplan.total_switching_current == pytest.approx(config.total_current)
+
+    def test_block_count_matches_config(self):
+        config = benchmark_config("ibmpg3")
+        floorplan = generate_floorplan(config)
+        assert len(floorplan.blocks) == config.num_blocks
+
+    def test_topology_matches_config(self):
+        config = benchmark_config("ibmpg1")
+        topology = generate_topology(config)
+        assert topology.num_vertical == config.num_vertical
+        assert topology.num_horizontal == config.num_horizontal
+
+
+class TestSuite:
+    def test_scale_reduces_grid(self):
+        full = SyntheticIBMSuite().config("ibmpg1")
+        half = SyntheticIBMSuite(scale=0.5).config("ibmpg1")
+        assert half.num_vertical < full.num_vertical
+        assert half.num_vertical >= 4
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SyntheticIBMSuite(scale=0.0)
+
+    def test_load_benchmark_builds_grid(self, small_benchmark):
+        grid = small_benchmark.build_uniform_grid(5.0)
+        stats = grid.statistics()
+        assert stats.num_nodes == 2 * small_benchmark.config.num_vertical * small_benchmark.config.num_horizontal
+        assert grid.is_connected_to_pads()
+
+    def test_build_grid_with_per_line_widths(self, small_benchmark):
+        widths = np.full(small_benchmark.topology.num_lines, 3.0)
+        grid = small_benchmark.build_grid(widths)
+        assert grid.statistics().num_nodes > 0
+
+    def test_load_benchmark_convenience(self):
+        bench = load_benchmark("ibmpg1", scale=0.25)
+        assert bench.name == "ibmpg1"
+        assert bench.floorplan.total_switching_current > 0
+
+    def test_names_listing(self):
+        assert SyntheticIBMSuite().names() == SUITE_NAMES

@@ -1,0 +1,75 @@
+"""Tests for power-grid circuit elements."""
+
+import pytest
+
+from repro.grid import CurrentSource, GridNode, Resistor, VoltageSource
+
+
+class TestGridNode:
+    def test_position_property(self):
+        node = GridNode(name="n1_10_20", x=10.0, y=20.0, layer="M5")
+        assert node.position == (10.0, 20.0)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            GridNode(name="", x=0.0, y=0.0)
+
+    def test_rejects_ground_name(self):
+        with pytest.raises(ValueError):
+            GridNode(name="0", x=0.0, y=0.0)
+
+
+class TestResistor:
+    def test_other_terminal(self):
+        resistor = Resistor(name="R1", node_a="a", node_b="b", resistance=1.0)
+        assert resistor.other("a") == "b"
+        assert resistor.other("b") == "a"
+
+    def test_other_terminal_unknown_node(self):
+        resistor = Resistor(name="R1", node_a="a", node_b="b", resistance=1.0)
+        with pytest.raises(ValueError):
+            resistor.other("c")
+
+    def test_rejects_nonpositive_resistance(self):
+        with pytest.raises(ValueError):
+            Resistor(name="R1", node_a="a", node_b="b", resistance=0.0)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            Resistor(name="R1", node_a="a", node_b="a", resistance=1.0)
+
+    def test_is_via_flag(self):
+        via = Resistor(name="R1", node_a="a", node_b="b", resistance=0.5, layer="VIA")
+        wire = Resistor(name="R2", node_a="a", node_b="b", resistance=0.5, layer="M6")
+        assert via.is_via
+        assert not wire.is_via
+
+
+class TestCurrentSource:
+    def test_scaled_returns_new_source(self):
+        source = CurrentSource(name="I1", node="a", current=0.01, block="b0")
+        doubled = source.scaled(2.0)
+        assert doubled.current == pytest.approx(0.02)
+        assert doubled.block == "b0"
+        assert source.current == pytest.approx(0.01)
+
+    def test_scaled_rejects_negative_factor(self):
+        source = CurrentSource(name="I1", node="a", current=0.01)
+        with pytest.raises(ValueError):
+            source.scaled(-1.0)
+
+    def test_rejects_negative_current(self):
+        with pytest.raises(ValueError):
+            CurrentSource(name="I1", node="a", current=-0.01)
+
+    def test_zero_current_allowed(self):
+        assert CurrentSource(name="I1", node="a", current=0.0).current == 0.0
+
+
+class TestVoltageSource:
+    def test_rejects_negative_voltage(self):
+        with pytest.raises(ValueError):
+            VoltageSource(name="V1", node="a", voltage=-1.0)
+
+    def test_holds_voltage(self):
+        assert VoltageSource(name="V1", node="a", voltage=1.1).voltage == pytest.approx(1.1)

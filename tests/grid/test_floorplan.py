@@ -1,0 +1,117 @@
+"""Tests for the floorplan model."""
+
+import numpy as np
+import pytest
+
+from repro.grid import Floorplan, FunctionalBlock, PowerPad
+
+
+def block(name="b0", x=0.0, y=0.0, width=100.0, height=100.0, current=0.1):
+    return FunctionalBlock(
+        name=name, x=x, y=y, width=width, height=height, switching_current=current
+    )
+
+
+class TestFunctionalBlock:
+    def test_center_and_area(self):
+        b = block(x=10.0, y=20.0, width=100.0, height=50.0)
+        assert b.center == (60.0, 45.0)
+        assert b.area == pytest.approx(5000.0)
+
+    def test_contains(self):
+        b = block(width=100.0, height=100.0)
+        assert b.contains(50.0, 50.0)
+        assert b.contains(0.0, 0.0)
+        assert not b.contains(150.0, 50.0)
+
+    def test_current_density(self):
+        b = block(width=100.0, height=100.0, current=0.1)
+        assert b.current_density == pytest.approx(1e-5)
+
+    def test_with_current(self):
+        b = block(current=0.1)
+        assert b.with_current(0.3).switching_current == pytest.approx(0.3)
+        assert b.switching_current == pytest.approx(0.1)
+
+    def test_rejects_nonpositive_dimensions(self):
+        with pytest.raises(ValueError):
+            block(width=0.0)
+
+    def test_rejects_negative_current(self):
+        with pytest.raises(ValueError):
+            block(current=-0.1)
+
+
+class TestPowerPad:
+    def test_rejects_nonpositive_voltage(self):
+        with pytest.raises(ValueError):
+            PowerPad(name="p", x=0.0, y=0.0, voltage=0.0)
+
+
+class TestFloorplan:
+    def test_block_outside_core_rejected(self):
+        with pytest.raises(ValueError):
+            Floorplan("f", 100.0, 100.0, blocks=[block(x=50.0, width=100.0)])
+
+    def test_pad_outside_core_rejected(self):
+        with pytest.raises(ValueError):
+            Floorplan("f", 100.0, 100.0, pads=[PowerPad(name="p", x=200.0, y=0.0, voltage=1.0)])
+
+    def test_duplicate_block_name_rejected(self):
+        plan = Floorplan("f", 1000.0, 1000.0, blocks=[block()])
+        with pytest.raises(ValueError):
+            plan.add_block(block())
+
+    def test_total_switching_current(self, tiny_floorplan):
+        expected = sum(b.switching_current for b in tiny_floorplan.iter_blocks())
+        assert tiny_floorplan.total_switching_current == pytest.approx(expected)
+
+    def test_block_at_finds_covering_block(self, tiny_floorplan):
+        found = tiny_floorplan.block_at(100.0, 100.0)
+        assert found is not None and found.name == "b0"
+        assert tiny_floorplan.block_at(500.0, 500.0) is None
+
+    def test_switching_current_at_block_and_gap(self, tiny_floorplan):
+        assert tiny_floorplan.switching_current_at(100.0, 100.0) == pytest.approx(0.08)
+        assert tiny_floorplan.switching_current_at(475.0, 475.0) == 0.0
+
+    def test_vectorised_query_matches_scalar(self, tiny_floorplan, rng):
+        xs = rng.uniform(0.0, tiny_floorplan.core_width, size=200)
+        ys = rng.uniform(0.0, tiny_floorplan.core_height, size=200)
+        vectorised = tiny_floorplan.switching_currents_at(xs, ys)
+        scalar = np.asarray(
+            [tiny_floorplan.switching_current_at(x, y) for x, y in zip(xs, ys)]
+        )
+        np.testing.assert_allclose(vectorised, scalar)
+
+    def test_vectorised_query_shape_mismatch(self, tiny_floorplan):
+        with pytest.raises(ValueError):
+            tiny_floorplan.switching_currents_at(np.zeros(3), np.zeros(4))
+
+    def test_current_density_map_conserves_hot_region(self, tiny_floorplan):
+        density = tiny_floorplan.current_density_map(resolution=32)
+        assert density.shape == (32, 32)
+        # The hottest block (b1, lower-right quadrant) should dominate.
+        hot_quadrant = density[:16, 16:]
+        assert hot_quadrant.max() == pytest.approx(density.max())
+
+    def test_with_scaled_currents(self, tiny_floorplan):
+        scaled = tiny_floorplan.with_scaled_currents(2.0)
+        assert scaled.total_switching_current == pytest.approx(
+            2.0 * tiny_floorplan.total_switching_current
+        )
+
+    def test_with_block_currents_unknown_block(self, tiny_floorplan):
+        with pytest.raises(KeyError):
+            tiny_floorplan.with_block_currents({"nope": 1.0})
+
+    def test_with_block_currents_selected_update(self, tiny_floorplan):
+        updated = tiny_floorplan.with_block_currents({"b0": 0.5})
+        assert updated.blocks["b0"].switching_current == pytest.approx(0.5)
+        assert updated.blocks["b1"].switching_current == pytest.approx(
+            tiny_floorplan.blocks["b1"].switching_current
+        )
+
+    def test_rejects_nonpositive_core(self):
+        with pytest.raises(ValueError):
+            Floorplan("f", 0.0, 100.0)

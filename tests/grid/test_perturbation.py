@@ -1,0 +1,132 @@
+"""Tests for the gamma-perturbation engine (paper Section IV-D)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid import (
+    FloorplanPerturbator,
+    NetworkPerturbator,
+    PerturbationKind,
+    PerturbationSpec,
+    perturbation_sweep,
+)
+
+
+class TestSpec:
+    def test_rejects_gamma_out_of_range(self):
+        with pytest.raises(ValueError):
+            PerturbationSpec(gamma=1.5)
+        with pytest.raises(ValueError):
+            PerturbationSpec(gamma=-0.1)
+
+    def test_kind_flags(self):
+        both = PerturbationSpec(gamma=0.1, kind=PerturbationKind.BOTH)
+        currents = PerturbationSpec(gamma=0.1, kind=PerturbationKind.CURRENT_WORKLOADS)
+        voltages = PerturbationSpec(gamma=0.1, kind=PerturbationKind.NODE_VOLTAGES)
+        assert both.perturbs_currents and both.perturbs_voltages
+        assert currents.perturbs_currents and not currents.perturbs_voltages
+        assert voltages.perturbs_voltages and not voltages.perturbs_currents
+
+    def test_sweep_covers_all_kinds_and_gammas(self):
+        specs = perturbation_sweep()
+        gammas = sorted({spec.gamma for spec in specs})
+        kinds = {spec.kind for spec in specs}
+        assert gammas == [0.10, 0.15, 0.20, 0.25, 0.30]
+        assert kinds == set(PerturbationKind)
+        assert len(specs) == len(gammas) * len(kinds)
+
+
+class TestFloorplanPerturbator:
+    def test_current_perturbation_bounded_by_gamma(self, tiny_floorplan):
+        spec = PerturbationSpec(gamma=0.2, kind=PerturbationKind.CURRENT_WORKLOADS, seed=3)
+        perturbed = FloorplanPerturbator(spec).perturb(tiny_floorplan)
+        for original, modified in zip(tiny_floorplan.iter_blocks(), perturbed.iter_blocks()):
+            ratio = modified.switching_current / original.switching_current
+            assert 0.8 - 1e-9 <= ratio <= 1.2 + 1e-9
+
+    def test_voltage_kind_does_not_touch_currents(self, tiny_floorplan):
+        spec = PerturbationSpec(gamma=0.3, kind=PerturbationKind.NODE_VOLTAGES, seed=3)
+        perturbed = FloorplanPerturbator(spec).perturb(tiny_floorplan)
+        for original, modified in zip(tiny_floorplan.iter_blocks(), perturbed.iter_blocks()):
+            assert modified.switching_current == pytest.approx(original.switching_current)
+
+    def test_voltage_perturbation_changes_pads(self, tiny_floorplan):
+        spec = PerturbationSpec(gamma=0.2, kind=PerturbationKind.NODE_VOLTAGES, seed=3)
+        perturbed = FloorplanPerturbator(spec).perturb(tiny_floorplan)
+        originals = [p.voltage for p in tiny_floorplan.iter_pads()]
+        modified = [p.voltage for p in perturbed.iter_pads()]
+        assert originals != modified
+
+    def test_zero_gamma_is_identity(self, tiny_floorplan):
+        spec = PerturbationSpec(gamma=0.0, kind=PerturbationKind.BOTH, seed=3)
+        perturbed = FloorplanPerturbator(spec).perturb(tiny_floorplan)
+        for original, modified in zip(tiny_floorplan.iter_blocks(), perturbed.iter_blocks()):
+            assert modified.switching_current == pytest.approx(original.switching_current)
+
+    def test_deterministic_given_seed(self, tiny_floorplan):
+        spec = PerturbationSpec(gamma=0.1, seed=7)
+        first = FloorplanPerturbator(spec).perturb(tiny_floorplan)
+        second = FloorplanPerturbator(spec).perturb(tiny_floorplan)
+        assert [b.switching_current for b in first.iter_blocks()] == [
+            b.switching_current for b in second.iter_blocks()
+        ]
+
+    def test_perturbed_name_suffix(self, tiny_floorplan):
+        spec = PerturbationSpec(gamma=0.1, seed=7)
+        assert FloorplanPerturbator(spec).perturb(tiny_floorplan).name.endswith("_perturbed")
+
+
+class TestNetworkPerturbator:
+    def test_load_currents_bounded_by_gamma(self, tiny_grid):
+        spec = PerturbationSpec(gamma=0.15, kind=PerturbationKind.CURRENT_WORKLOADS, seed=2)
+        perturbed = NetworkPerturbator(spec).perturb(tiny_grid)
+        for name, load in tiny_grid.current_sources.items():
+            ratio = perturbed.current_sources[name].current / load.current
+            assert 0.85 - 1e-9 <= ratio <= 1.15 + 1e-9
+
+    def test_pad_voltages_perturbed_only_for_voltage_kinds(self, tiny_grid):
+        current_only = NetworkPerturbator(
+            PerturbationSpec(gamma=0.2, kind=PerturbationKind.CURRENT_WORKLOADS, seed=2)
+        ).perturb(tiny_grid)
+        for name, pad in tiny_grid.voltage_sources.items():
+            assert current_only.voltage_sources[name].voltage == pytest.approx(pad.voltage)
+
+        both = NetworkPerturbator(
+            PerturbationSpec(gamma=0.2, kind=PerturbationKind.BOTH, seed=2)
+        ).perturb(tiny_grid)
+        changed = [
+            both.voltage_sources[name].voltage != pytest.approx(pad.voltage)
+            for name, pad in tiny_grid.voltage_sources.items()
+        ]
+        assert any(changed)
+
+    def test_topology_untouched(self, tiny_grid):
+        spec = PerturbationSpec(gamma=0.3, kind=PerturbationKind.BOTH, seed=2)
+        perturbed = NetworkPerturbator(spec).perturb(tiny_grid)
+        assert perturbed.statistics().as_row() == tiny_grid.statistics().as_row()
+        for name, resistor in tiny_grid.resistors.items():
+            assert perturbed.resistors[name].resistance == pytest.approx(resistor.resistance)
+
+
+@settings(max_examples=20, deadline=None)
+@given(gamma=st.floats(min_value=0.01, max_value=0.5))
+def test_perturbation_total_current_within_gamma_bound(gamma):
+    """The perturbed total current stays within gamma of the original total."""
+    from repro.grid import Floorplan, FunctionalBlock, PowerPad
+
+    floorplan = Floorplan(
+        "prop",
+        1000.0,
+        1000.0,
+        blocks=[
+            FunctionalBlock("b0", 0.0, 0.0, 400.0, 400.0, 0.1),
+            FunctionalBlock("b1", 500.0, 500.0, 400.0, 400.0, 0.2),
+        ],
+        pads=[PowerPad("p0", 500.0, 500.0, 1.0)],
+    )
+    spec = PerturbationSpec(gamma=gamma, kind=PerturbationKind.CURRENT_WORKLOADS, seed=0)
+    perturbed = FloorplanPerturbator(spec).perturb(floorplan)
+    original = floorplan.total_switching_current
+    assert abs(perturbed.total_switching_current - original) <= gamma * original + 1e-12

@@ -1,0 +1,113 @@
+"""Tests for technology parameters and metal-layer specifications."""
+
+import pytest
+
+from repro.grid import MetalLayerSpec, Technology, generic_45nm, generic_65nm
+
+
+def make_layer(**overrides):
+    defaults = dict(
+        name="M6",
+        sheet_resistance=0.04,
+        min_width=0.8,
+        max_width=30.0,
+        min_spacing=0.8,
+        direction="horizontal",
+    )
+    defaults.update(overrides)
+    return MetalLayerSpec(**defaults)
+
+
+class TestMetalLayerSpec:
+    def test_wire_resistance_formula(self):
+        layer = make_layer(sheet_resistance=0.05)
+        # R = rho * l / w
+        assert layer.wire_resistance(length=100.0, width=5.0) == pytest.approx(1.0)
+
+    def test_wire_resistance_scales_inversely_with_width(self):
+        layer = make_layer()
+        narrow = layer.wire_resistance(100.0, 1.0)
+        wide = layer.wire_resistance(100.0, 4.0)
+        assert narrow == pytest.approx(4.0 * wide)
+
+    def test_wire_resistance_zero_length(self):
+        assert make_layer().wire_resistance(0.0, 2.0) == 0.0
+
+    def test_wire_resistance_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            make_layer().wire_resistance(10.0, 0.0)
+
+    def test_wire_resistance_rejects_negative_length(self):
+        with pytest.raises(ValueError):
+            make_layer().wire_resistance(-1.0, 2.0)
+
+    def test_rejects_invalid_direction(self):
+        with pytest.raises(ValueError):
+            make_layer(direction="diagonal")
+
+    def test_rejects_max_below_min_width(self):
+        with pytest.raises(ValueError):
+            make_layer(min_width=2.0, max_width=1.0)
+
+    def test_rejects_nonpositive_sheet_resistance(self):
+        with pytest.raises(ValueError):
+            make_layer(sheet_resistance=0.0)
+
+
+class TestTechnology:
+    def test_ir_drop_limit_is_fraction_of_vdd(self):
+        tech = generic_45nm()
+        assert tech.ir_drop_limit == pytest.approx(tech.vdd * tech.ir_drop_limit_fraction)
+
+    def test_layer_lookup_by_name(self):
+        tech = generic_45nm()
+        assert tech.layer("M6").name == "M6"
+
+    def test_layer_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            generic_45nm().layer("M99")
+
+    def test_directional_layer_accessors(self):
+        tech = generic_45nm()
+        assert tech.horizontal_layer.direction == "horizontal"
+        assert tech.vertical_layer.direction == "vertical"
+
+    def test_with_vdd_returns_modified_copy(self):
+        tech = generic_45nm()
+        scaled = tech.with_vdd(0.9)
+        assert scaled.vdd == pytest.approx(0.9)
+        assert tech.vdd == pytest.approx(1.0)
+        assert scaled.layers == tech.layers
+
+    def test_requires_at_least_one_layer(self):
+        with pytest.raises(ValueError):
+            Technology(
+                name="bad", vdd=1.0, jmax=1e-2, ir_drop_limit_fraction=0.1, layers=()
+            )
+
+    def test_rejects_out_of_range_ir_fraction(self):
+        with pytest.raises(ValueError):
+            Technology(
+                name="bad",
+                vdd=1.0,
+                jmax=1e-2,
+                ir_drop_limit_fraction=1.5,
+                layers=(make_layer(),),
+            )
+
+    def test_generic_65nm_is_more_resistive(self):
+        assert (
+            generic_65nm().layer("M6").sheet_resistance
+            > generic_45nm().layer("M6").sheet_resistance
+        )
+
+    def test_missing_direction_raises(self):
+        tech = Technology(
+            name="only-horizontal",
+            vdd=1.0,
+            jmax=1e-2,
+            ir_drop_limit_fraction=0.1,
+            layers=(make_layer(),),
+        )
+        with pytest.raises(ValueError):
+            _ = tech.vertical_layer

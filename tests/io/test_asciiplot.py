@@ -1,0 +1,77 @@
+"""Tests for the ASCII figure rendering."""
+
+import numpy as np
+import pytest
+
+from repro.io import ascii_heatmap, ascii_histogram, ascii_series
+
+
+class TestHeatmap:
+    def test_dimensions(self, rng):
+        text = ascii_heatmap(rng.random((50, 50)), width=40, height=10, title="map")
+        lines = text.splitlines()
+        assert lines[0] == "map"
+        assert len(lines) == 1 + 10 + 1  # title + rows + legend
+        assert all(len(line) == 40 for line in lines[1:-1])
+
+    def test_legend_contains_min_max(self):
+        matrix = np.asarray([[0.0, 1.0], [2.0, 3.0]])
+        text = ascii_heatmap(matrix, unit=" mV")
+        assert "min=0" in text
+        assert "max=3" in text and "mV" in text
+
+    def test_constant_matrix_renders(self):
+        text = ascii_heatmap(np.ones((5, 5)))
+        assert text  # no division-by-zero crash
+
+    def test_hot_spot_appears_dark(self):
+        matrix = np.zeros((10, 10))
+        matrix[0, 0] = 1.0  # bottom-left in plot orientation
+        text = ascii_heatmap(matrix, width=10, height=10)
+        rows = text.splitlines()
+        assert rows[-2][0] == "@"  # last rendered row is matrix row 0
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.zeros((0, 0)))
+
+
+class TestHistogram:
+    def test_bar_lengths_proportional(self):
+        counts = np.asarray([1, 10, 5])
+        edges = np.asarray([-1.0, 0.0, 1.0, 2.0])
+        text = ascii_histogram(counts, edges, width=20)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 20  # the peak bin
+        assert lines[0].count("#") == 2
+        assert lines[2].count("#") == 10
+
+    def test_mismatched_edges_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_histogram(np.asarray([1, 2]), np.asarray([0.0, 1.0]))
+
+    def test_title_included(self):
+        text = ascii_histogram(np.asarray([1]), np.asarray([0.0, 1.0]), title="errors")
+        assert text.splitlines()[0] == "errors"
+
+
+class TestSeries:
+    def test_canvas_dimensions(self, rng):
+        xs = np.linspace(0, 1, 30)
+        ys = rng.random(30)
+        text = ascii_series(xs, ys, width=30, height=8, title="mse vs gamma")
+        lines = text.splitlines()
+        assert lines[0] == "mse vs gamma"
+        assert len(lines) == 1 + 8 + 1
+
+    def test_contains_points(self):
+        text = ascii_series(np.asarray([0.0, 1.0]), np.asarray([0.0, 1.0]), width=10, height=5)
+        assert "*" in text
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_series(np.zeros(3), np.zeros(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_series(np.zeros(0), np.zeros(0))

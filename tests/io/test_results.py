@@ -1,0 +1,65 @@
+"""Tests for the CSV/JSON result writers."""
+
+import numpy as np
+import pytest
+
+from repro.io import read_csv, read_json, read_matrix, write_csv, write_json, write_matrix
+
+
+class TestJSON:
+    def test_roundtrip_with_numpy_types(self, tmp_path):
+        data = {
+            "speedup": np.float64(5.87),
+            "iterations": np.int64(3),
+            "series": np.linspace(0, 1, 5),
+            "nested": {"name": "ibmpg2"},
+        }
+        path = write_json(data, tmp_path / "out" / "result.json")
+        recovered = read_json(path)
+        assert recovered["speedup"] == pytest.approx(5.87)
+        assert recovered["iterations"] == 3
+        assert len(recovered["series"]) == 5
+        assert recovered["nested"]["name"] == "ibmpg2"
+
+
+class TestCSV:
+    def test_roundtrip(self, tmp_path):
+        rows = [
+            {"benchmark": "ibmpg1", "speedup": 1.92},
+            {"benchmark": "ibmpg2", "speedup": 1.97},
+        ]
+        path = write_csv(rows, tmp_path / "table.csv")
+        recovered = read_csv(path)
+        assert recovered[0]["benchmark"] == "ibmpg1"
+        assert float(recovered[1]["speedup"]) == pytest.approx(1.97)
+
+    def test_explicit_fieldnames_order(self, tmp_path):
+        rows = [{"b": 2, "a": 1}]
+        path = write_csv(rows, tmp_path / "t.csv", fieldnames=["a", "b"])
+        header = path.read_text().splitlines()[0]
+        assert header == "a,b"
+
+    def test_empty_rows_without_fieldnames_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv([], tmp_path / "t.csv")
+
+    def test_numpy_values_converted(self, tmp_path):
+        path = write_csv([{"x": np.float64(1.5), "n": np.int64(2)}], tmp_path / "t.csv")
+        recovered = read_csv(path)
+        assert float(recovered[0]["x"]) == pytest.approx(1.5)
+
+
+class TestMatrix:
+    def test_roundtrip(self, tmp_path, rng):
+        matrix = rng.normal(size=(20, 30))
+        path = write_matrix(matrix, tmp_path / "map.csv", header="IR drop map (V)")
+        recovered = read_matrix(path)
+        np.testing.assert_allclose(recovered, matrix, rtol=1e-6)
+
+    def test_header_written_as_comment(self, tmp_path):
+        path = write_matrix(np.zeros((2, 2)), tmp_path / "m.csv", header="test header")
+        assert path.read_text().startswith("# test header")
+
+    def test_1d_array_promoted(self, tmp_path):
+        path = write_matrix(np.asarray([1.0, 2.0, 3.0]), tmp_path / "v.csv")
+        assert read_matrix(path).shape == (1, 3)

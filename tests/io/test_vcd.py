@@ -1,0 +1,83 @@
+"""Tests for the switching-activity (VCD surrogate) format."""
+
+import pytest
+
+from repro.io import (
+    ActivityFormatError,
+    BlockActivity,
+    activities_from_floorplan,
+    apply_activities,
+    read_activity,
+    write_activity,
+)
+
+
+class TestBlockActivity:
+    def test_switching_current_formula(self):
+        activity = BlockActivity(block="b0", toggle_rate=0.2, capacitance=1e-10, frequency=1e9)
+        assert activity.switching_current(1.0) == pytest.approx(0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockActivity(block="b", toggle_rate=1.5, capacitance=1e-10, frequency=1e9)
+        with pytest.raises(ValueError):
+            BlockActivity(block="b", toggle_rate=0.5, capacitance=-1.0, frequency=1e9)
+        with pytest.raises(ValueError):
+            BlockActivity(block="b", toggle_rate=0.5, capacitance=1e-10, frequency=-1.0)
+
+    def test_switching_current_rejects_bad_vdd(self):
+        activity = BlockActivity(block="b", toggle_rate=0.2, capacitance=1e-10, frequency=1e9)
+        with pytest.raises(ValueError):
+            activity.switching_current(0.0)
+
+
+class TestFileRoundTrip:
+    def test_write_read_roundtrip(self, tmp_path):
+        activities = [
+            BlockActivity(block="b0", toggle_rate=0.2, capacitance=1.5e-10, frequency=1e9),
+            BlockActivity(block="b1", toggle_rate=0.35, capacitance=2.5e-10, frequency=2e9),
+        ]
+        path = write_activity(activities, tmp_path / "activity.txt")
+        recovered = read_activity(path)
+        assert len(recovered) == 2
+        assert recovered[0].block == "b0"
+        assert recovered[1].toggle_rate == pytest.approx(0.35)
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("b0 0.2 1e-10 1e9\n")
+        with pytest.raises(ActivityFormatError):
+            read_activity(path)
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("# repro switching activity v1\nb0 0.2 1e-10\n")
+        with pytest.raises(ActivityFormatError):
+            read_activity(path)
+
+    def test_bad_number_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("# repro switching activity v1\nb0 lots 1e-10 1e9\n")
+        with pytest.raises(ActivityFormatError):
+            read_activity(path)
+
+
+class TestFloorplanIntegration:
+    def test_floorplan_roundtrip_preserves_currents(self, tiny_floorplan, technology, tmp_path):
+        activities = activities_from_floorplan(tiny_floorplan, vdd=technology.vdd)
+        path = write_activity(activities, tmp_path / "activity.txt")
+        recovered = read_activity(path)
+        updated = apply_activities(tiny_floorplan, recovered, vdd=technology.vdd)
+        for original, new in zip(tiny_floorplan.iter_blocks(), updated.iter_blocks()):
+            assert new.switching_current == pytest.approx(original.switching_current, rel=1e-6)
+
+    def test_apply_activities_unknown_block_rejected(self, tiny_floorplan, technology):
+        bad = [BlockActivity(block="ghost", toggle_rate=0.2, capacitance=1e-10, frequency=1e9)]
+        with pytest.raises(KeyError):
+            apply_activities(tiny_floorplan, bad, vdd=technology.vdd)
+
+    def test_activities_from_floorplan_validation(self, tiny_floorplan):
+        with pytest.raises(ValueError):
+            activities_from_floorplan(tiny_floorplan, vdd=0.0)
+        with pytest.raises(ValueError):
+            activities_from_floorplan(tiny_floorplan, vdd=1.0, toggle_rate=0.0)

@@ -1,0 +1,72 @@
+"""Tests for activation functions and their derivatives."""
+
+import numpy as np
+import pytest
+
+from repro.nn import available_activations, get_activation
+from repro.nn.activations import LeakyReLU, Linear, ReLU, Sigmoid, Softplus, Tanh
+
+
+def numerical_derivative(activation, z, epsilon=1e-6):
+    return (activation.forward(z + epsilon) - activation.forward(z - epsilon)) / (2 * epsilon)
+
+
+@pytest.mark.parametrize("name", available_activations())
+def test_derivative_matches_finite_difference(name, rng):
+    activation = get_activation(name)
+    z = rng.normal(0.0, 2.0, size=200)
+    z = z[np.abs(z) > 1e-3]  # avoid the ReLU kink
+    analytic = activation.derivative(z)
+    numeric = numerical_derivative(activation, z)
+    np.testing.assert_allclose(analytic, numeric, rtol=1e-4, atol=1e-6)
+
+
+@pytest.mark.parametrize("name", available_activations())
+def test_backward_chains_upstream_gradient(name, rng):
+    activation = get_activation(name)
+    z = rng.normal(size=50)
+    upstream = rng.normal(size=50)
+    np.testing.assert_allclose(
+        activation.backward(z, upstream), upstream * activation.derivative(z)
+    )
+
+
+class TestSpecificActivations:
+    def test_relu_clips_negatives(self):
+        z = np.asarray([-2.0, 0.0, 3.0])
+        np.testing.assert_allclose(ReLU().forward(z), [0.0, 0.0, 3.0])
+
+    def test_leaky_relu_slope(self):
+        z = np.asarray([-2.0, 2.0])
+        np.testing.assert_allclose(LeakyReLU(alpha=0.1).forward(z), [-0.2, 2.0])
+
+    def test_leaky_relu_rejects_negative_alpha(self):
+        with pytest.raises(ValueError):
+            LeakyReLU(alpha=-0.1)
+
+    def test_linear_is_identity(self, rng):
+        z = rng.normal(size=10)
+        np.testing.assert_allclose(Linear().forward(z), z)
+
+    def test_sigmoid_range_and_stability(self):
+        z = np.asarray([-1000.0, -10.0, 0.0, 10.0, 1000.0])
+        out = Sigmoid().forward(z)
+        assert np.all((out >= 0.0) & (out <= 1.0))
+        assert np.all(np.isfinite(out))
+        assert out[2] == pytest.approx(0.5)
+
+    def test_tanh_bounds(self, rng):
+        out = Tanh().forward(rng.normal(0, 5, size=100))
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_softplus_positive(self, rng):
+        out = Softplus().forward(rng.normal(0, 5, size=100))
+        assert np.all(out > 0.0)
+
+    def test_unknown_activation_raises(self):
+        with pytest.raises(KeyError):
+            get_activation("swishish")
+
+    def test_instance_passthrough(self):
+        relu = ReLU()
+        assert get_activation(relu) is relu

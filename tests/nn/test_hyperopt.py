@@ -1,0 +1,83 @@
+"""Tests for the hyper-parameter search."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    HyperparameterSearch,
+    RegressorConfig,
+    SearchSpace,
+    TrainingConfig,
+)
+
+
+@pytest.fixture()
+def small_data(rng):
+    features = rng.uniform(-1, 1, size=(150, 3))
+    targets = features[:, [0]] * 2.0 - features[:, [1]]
+    return features, targets
+
+
+@pytest.fixture()
+def quick_base_config():
+    return RegressorConfig(
+        hidden_layers=1,
+        hidden_width=8,
+        training=TrainingConfig(epochs=8, batch_size=32, early_stopping_patience=0, seed=0),
+        seed=0,
+    )
+
+
+class TestSearchSpace:
+    def test_grid_enumerates_all_combinations(self):
+        space = SearchSpace(hidden_layers=(1, 2), hidden_width=(8, 16), learning_rate=(1e-3,), batch_size=(32,))
+        assert len(space.grid()) == 4
+
+    def test_sample_draws_from_space(self, rng):
+        space = SearchSpace(hidden_layers=(1, 2), hidden_width=(8,), learning_rate=(1e-3,), batch_size=(32,))
+        sample = space.sample(rng)
+        assert sample["hidden_layers"] in (1, 2)
+        assert sample["hidden_width"] == 8
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            SearchSpace(hidden_layers=())
+
+
+class TestSearch:
+    def test_grid_search_returns_best_trial(self, small_data, quick_base_config):
+        features, targets = small_data
+        space = SearchSpace(hidden_layers=(1, 2), hidden_width=(8,), learning_rate=(1e-3,), batch_size=(32,))
+        search = HyperparameterSearch(quick_base_config, space, seed=0)
+        result = search.grid_search(features, targets)
+        assert len(result.trials) == 2
+        assert result.best.validation_mse == min(t.validation_mse for t in result.trials)
+        assert result.best_config.hidden_layers == result.best.parameters["hidden_layers"]
+
+    def test_random_search_respects_trial_count(self, small_data, quick_base_config):
+        features, targets = small_data
+        space = SearchSpace(hidden_layers=(1, 2, 3), hidden_width=(8, 16), learning_rate=(1e-3,), batch_size=(32,))
+        search = HyperparameterSearch(quick_base_config, space, seed=1)
+        result = search.random_search(features, targets, num_trials=3)
+        assert 1 <= len(result.trials) <= 3
+        # no duplicate parameter combinations
+        keys = [tuple(sorted(t.parameters.items())) for t in result.trials]
+        assert len(keys) == len(set(keys))
+
+    def test_invalid_trial_count_rejected(self, small_data, quick_base_config):
+        features, targets = small_data
+        with pytest.raises(ValueError):
+            HyperparameterSearch(quick_base_config).random_search(features, targets, num_trials=0)
+
+    def test_invalid_validation_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            HyperparameterSearch(validation_fraction=0.0)
+
+    def test_trials_record_timing_and_scores(self, small_data, quick_base_config):
+        features, targets = small_data
+        space = SearchSpace(hidden_layers=(1,), hidden_width=(8,), learning_rate=(1e-3,), batch_size=(32,))
+        result = HyperparameterSearch(quick_base_config, space).grid_search(features, targets)
+        trial = result.trials[0]
+        assert trial.train_time > 0
+        assert np.isfinite(trial.validation_mse)
+        assert trial.validation_r2 <= 1.0

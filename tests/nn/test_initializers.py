@@ -1,0 +1,47 @@
+"""Tests for weight initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import available_initializers, get_initializer
+
+
+@pytest.mark.parametrize("name", available_initializers())
+def test_shapes_and_finiteness(name, rng):
+    init = get_initializer(name)
+    weights = init(rng, 64, 32)
+    assert weights.shape == (64, 32)
+    assert np.all(np.isfinite(weights))
+
+
+@pytest.mark.parametrize("name", ["xavier_uniform", "xavier_normal", "he_uniform", "he_normal"])
+def test_scale_shrinks_with_fan_in(name, rng):
+    init = get_initializer(name)
+    small_fan = init(rng, 4, 4).std()
+    large_fan = init(rng, 1024, 4).std()
+    assert large_fan < small_fan
+
+
+def test_xavier_uniform_bounds(rng):
+    init = get_initializer("xavier_uniform")
+    weights = init(rng, 100, 100)
+    limit = np.sqrt(6.0 / 200)
+    assert np.all(np.abs(weights) <= limit + 1e-12)
+
+
+def test_zero_mean(rng):
+    for name in available_initializers():
+        weights = get_initializer(name)(rng, 2000, 10)
+        assert abs(weights.mean()) < 0.01
+
+
+def test_unknown_initializer_raises():
+    with pytest.raises(KeyError):
+        get_initializer("magic")
+
+
+def test_callable_passthrough():
+    def custom(rng, fan_in, fan_out):
+        return np.zeros((fan_in, fan_out))
+
+    assert get_initializer(custom) is custom

@@ -1,0 +1,115 @@
+"""Tests for the dense layer, including a numerical gradient check."""
+
+import numpy as np
+import pytest
+
+from repro.nn import DenseLayer, MeanSquaredError
+
+
+class TestForward:
+    def test_output_shape(self, rng):
+        layer = DenseLayer(4, 3, rng=rng)
+        out = layer.forward(rng.normal(size=(10, 4)))
+        assert out.shape == (10, 3)
+
+    def test_single_sample_promoted_to_batch(self, rng):
+        layer = DenseLayer(4, 3, rng=rng)
+        assert layer.forward(np.zeros(4)).shape == (1, 3)
+
+    def test_wrong_feature_count_raises(self, rng):
+        layer = DenseLayer(4, 3, rng=rng)
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((5, 7)))
+
+    def test_linear_layer_matches_matmul(self, rng):
+        layer = DenseLayer(4, 2, activation="linear", rng=rng)
+        inputs = rng.normal(size=(6, 4))
+        expected = inputs @ layer.parameters["weights"] + layer.parameters["bias"]
+        np.testing.assert_allclose(layer.forward(inputs), expected)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            DenseLayer(0, 3)
+
+
+class TestBackward:
+    def test_backward_requires_training_forward(self, rng):
+        layer = DenseLayer(4, 3, rng=rng)
+        layer.forward(np.zeros((2, 4)), training=False)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((2, 3)))
+
+    def test_backward_returns_input_gradient_shape(self, rng):
+        layer = DenseLayer(4, 3, rng=rng)
+        layer.forward(rng.normal(size=(5, 4)), training=True)
+        grad = layer.backward(rng.normal(size=(5, 3)))
+        assert grad.shape == (5, 4)
+
+    @pytest.mark.parametrize("activation", ["linear", "tanh", "sigmoid"])
+    def test_weight_gradient_matches_finite_difference(self, activation, rng):
+        """Numerical gradient check of d(MSE)/d(weights) for smooth activations."""
+        layer = DenseLayer(3, 2, activation=activation, rng=rng)
+        loss = MeanSquaredError()
+        inputs = rng.normal(size=(8, 3))
+        targets = rng.normal(size=(8, 2))
+
+        predictions = layer.forward(inputs, training=True)
+        layer.backward(loss.backward(predictions, targets))
+        analytic = layer.gradients["weights"].copy()
+
+        epsilon = 1e-6
+        numeric = np.zeros_like(analytic)
+        weights = layer.parameters["weights"]
+        for i in range(weights.shape[0]):
+            for j in range(weights.shape[1]):
+                original = weights[i, j]
+                weights[i, j] = original + epsilon
+                loss_plus = loss.forward(layer.forward(inputs), targets)
+                weights[i, j] = original - epsilon
+                loss_minus = loss.forward(layer.forward(inputs), targets)
+                weights[i, j] = original
+                numeric[i, j] = (loss_plus - loss_minus) / (2 * epsilon)
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-4, atol=1e-6)
+
+    def test_bias_gradient_matches_finite_difference(self, rng):
+        layer = DenseLayer(3, 2, activation="tanh", rng=rng)
+        loss = MeanSquaredError()
+        inputs = rng.normal(size=(8, 3))
+        targets = rng.normal(size=(8, 2))
+        predictions = layer.forward(inputs, training=True)
+        layer.backward(loss.backward(predictions, targets))
+        analytic = layer.gradients["bias"].copy()
+
+        epsilon = 1e-6
+        numeric = np.zeros_like(analytic)
+        bias = layer.parameters["bias"]
+        for j in range(bias.shape[0]):
+            original = bias[j]
+            bias[j] = original + epsilon
+            loss_plus = loss.forward(layer.forward(inputs), targets)
+            bias[j] = original - epsilon
+            loss_minus = loss.forward(layer.forward(inputs), targets)
+            bias[j] = original
+            numeric[j] = (loss_plus - loss_minus) / (2 * epsilon)
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-4, atol=1e-6)
+
+
+class TestWeights:
+    def test_get_set_roundtrip(self, rng):
+        layer = DenseLayer(4, 3, rng=rng)
+        weights, bias = layer.get_weights()
+        other = DenseLayer(4, 3, rng=np.random.default_rng(99))
+        other.set_weights(weights, bias)
+        inputs = rng.normal(size=(5, 4))
+        np.testing.assert_allclose(layer.forward(inputs), other.forward(inputs))
+
+    def test_set_weights_shape_check(self, rng):
+        layer = DenseLayer(4, 3, rng=rng)
+        with pytest.raises(ValueError):
+            layer.set_weights(np.zeros((3, 4)), np.zeros(3))
+        with pytest.raises(ValueError):
+            layer.set_weights(np.zeros((4, 3)), np.zeros(4))
+
+    def test_num_parameters(self):
+        layer = DenseLayer(4, 3)
+        assert layer.num_parameters == 4 * 3 + 3

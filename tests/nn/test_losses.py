@@ -1,0 +1,125 @@
+"""Tests for loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.nn import ConstraintPenalizedLoss, HuberLoss, MeanAbsoluteError, MeanSquaredError, get_loss
+
+
+def finite_difference(loss, predictions, targets, epsilon=1e-6):
+    gradient = np.zeros_like(predictions)
+    flat = predictions.ravel()
+    grad_flat = gradient.ravel()
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + epsilon
+        plus = loss.forward(predictions, targets)
+        flat[index] = original - epsilon
+        minus = loss.forward(predictions, targets)
+        flat[index] = original
+        grad_flat[index] = (plus - minus) / (2 * epsilon)
+    return gradient
+
+
+class TestMSE:
+    def test_perfect_prediction_gives_zero(self, rng):
+        y = rng.normal(size=(10, 2))
+        assert MeanSquaredError().forward(y, y) == 0.0
+
+    def test_known_value(self):
+        loss = MeanSquaredError()
+        assert loss.forward(np.asarray([[1.0], [3.0]]), np.asarray([[0.0], [0.0]])) == pytest.approx(5.0)
+
+    def test_gradient_matches_finite_difference(self, rng):
+        loss = MeanSquaredError()
+        predictions = rng.normal(size=(6, 3))
+        targets = rng.normal(size=(6, 3))
+        np.testing.assert_allclose(
+            loss.backward(predictions, targets),
+            finite_difference(loss, predictions, targets),
+            rtol=1e-5,
+            atol=1e-8,
+        )
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            MeanSquaredError().forward(np.zeros((2, 2)), np.zeros((3, 2)))
+
+
+class TestMAEAndHuber:
+    def test_mae_known_value(self):
+        assert MeanAbsoluteError().forward(
+            np.asarray([[1.0], [-3.0]]), np.asarray([[0.0], [0.0]])
+        ) == pytest.approx(2.0)
+
+    def test_huber_quadratic_inside_delta(self):
+        huber = HuberLoss(delta=1.0)
+        mse = MeanSquaredError()
+        small = np.asarray([[0.1]])
+        zero = np.asarray([[0.0]])
+        assert huber.forward(small, zero) == pytest.approx(0.5 * mse.forward(small, zero))
+
+    def test_huber_linear_outside_delta(self):
+        huber = HuberLoss(delta=1.0)
+        assert huber.forward(np.asarray([[10.0]]), np.asarray([[0.0]])) == pytest.approx(
+            0.5 + 1.0 * 9.0
+        )
+
+    def test_huber_gradient_matches_finite_difference(self, rng):
+        loss = HuberLoss(delta=0.5)
+        predictions = rng.normal(size=(5, 2))
+        targets = rng.normal(size=(5, 2))
+        np.testing.assert_allclose(
+            loss.backward(predictions, targets),
+            finite_difference(loss, predictions, targets),
+            rtol=1e-4,
+            atol=1e-7,
+        )
+
+    def test_huber_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            HuberLoss(delta=0.0)
+
+
+class TestConstraintPenalizedLoss:
+    def test_penalty_added_to_base(self, rng):
+        base = MeanSquaredError()
+        minimum_width = 2.0
+        # Hinge penalty for predicting below the minimum legal width.
+        penalty = lambda predictions: np.maximum(minimum_width - predictions, 0.0)
+        loss = ConstraintPenalizedLoss(base, penalty, lam=1.0)
+        predictions = np.asarray([[1.0], [3.0]])
+        targets = np.asarray([[1.0], [3.0]])
+        assert base.forward(predictions, targets) == 0.0
+        assert loss.forward(predictions, targets) == pytest.approx(0.5)  # mean hinge = 1.0/2
+
+    def test_zero_lambda_equals_base(self, rng):
+        base = MeanSquaredError()
+        loss = ConstraintPenalizedLoss(base, lambda p: np.abs(p), lam=0.0)
+        predictions = rng.normal(size=(4, 2))
+        targets = rng.normal(size=(4, 2))
+        assert loss.forward(predictions, targets) == pytest.approx(base.forward(predictions, targets))
+
+    def test_gradient_matches_finite_difference(self, rng):
+        penalty = lambda predictions: np.maximum(1.0 - predictions, 0.0) ** 2
+        loss = ConstraintPenalizedLoss(MeanSquaredError(), penalty, lam=0.5)
+        predictions = rng.normal(size=(4, 2)) + 1.5
+        targets = rng.normal(size=(4, 2))
+        np.testing.assert_allclose(
+            loss.backward(predictions, targets),
+            finite_difference(loss, predictions, targets),
+            rtol=1e-3,
+            atol=1e-6,
+        )
+
+    def test_negative_lambda_rejected(self):
+        with pytest.raises(ValueError):
+            ConstraintPenalizedLoss(MeanSquaredError(), lambda p: p, lam=-1.0)
+
+
+def test_get_loss_by_name():
+    assert isinstance(get_loss("mse"), MeanSquaredError)
+    assert isinstance(get_loss("mae"), MeanAbsoluteError)
+    assert isinstance(get_loss("huber"), HuberLoss)
+    with pytest.raises(KeyError):
+        get_loss("nope")

@@ -1,0 +1,134 @@
+"""Tests for regression metrics (MSE, r2, correlation, error histograms)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    error_histogram,
+    mean_absolute_error,
+    mean_absolute_percentage_error,
+    mean_squared_error,
+    pearson_correlation,
+    r2_score,
+    relative_mse_percent,
+    root_mean_squared_error,
+)
+
+
+class TestBasicMetrics:
+    def test_mse_known_value(self):
+        assert mean_squared_error([1.0, 2.0], [0.0, 0.0]) == pytest.approx(2.5)
+
+    def test_rmse_is_sqrt_of_mse(self, rng):
+        y_true = rng.normal(size=50)
+        y_pred = rng.normal(size=50)
+        assert root_mean_squared_error(y_true, y_pred) == pytest.approx(
+            np.sqrt(mean_squared_error(y_true, y_pred))
+        )
+
+    def test_mae_known_value(self):
+        assert mean_absolute_error([1.0, -3.0], [0.0, 0.0]) == pytest.approx(2.0)
+
+    def test_mape_skips_zero_targets(self):
+        assert mean_absolute_percentage_error([0.0, 2.0], [1.0, 1.0]) == pytest.approx(50.0)
+
+    def test_mape_all_zero_raises(self):
+        with pytest.raises(ValueError):
+            mean_absolute_percentage_error([0.0, 0.0], [1.0, 1.0])
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ValueError):
+            mean_squared_error([], [])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            mean_squared_error([1.0], [1.0, 2.0])
+
+    def test_multi_output_arrays_are_flattened(self, rng):
+        y = rng.normal(size=(10, 2))
+        assert mean_squared_error(y, y) == 0.0
+
+
+class TestR2:
+    def test_perfect_prediction(self, rng):
+        y = rng.normal(size=100)
+        assert r2_score(y, y) == pytest.approx(1.0)
+
+    def test_mean_prediction_gives_zero(self, rng):
+        y = rng.normal(size=100)
+        assert r2_score(y, np.full_like(y, y.mean())) == pytest.approx(0.0, abs=1e-12)
+
+    def test_worse_than_mean_is_negative(self, rng):
+        y = rng.normal(size=100)
+        assert r2_score(y, -5.0 * y) < 0.0
+
+    def test_constant_target_exact(self):
+        assert r2_score([2.0, 2.0], [2.0, 2.0]) == 1.0
+        assert r2_score([2.0, 2.0], [3.0, 3.0]) == 0.0
+
+
+class TestCorrelation:
+    def test_perfect_linear_relation(self, rng):
+        y = rng.normal(size=100)
+        assert pearson_correlation(y, 3.0 * y + 1.0) == pytest.approx(1.0)
+
+    def test_anticorrelation(self, rng):
+        y = rng.normal(size=100)
+        assert pearson_correlation(y, -y) == pytest.approx(-1.0)
+
+    def test_constant_input_gives_zero(self):
+        assert pearson_correlation([1.0, 1.0, 1.0], [1.0, 2.0, 3.0]) == 0.0
+
+
+class TestErrorHistogram:
+    def test_counts_sum_to_samples(self, rng):
+        y_true = rng.normal(size=500)
+        y_pred = y_true + rng.normal(0, 0.1, size=500)
+        histogram = error_histogram(y_true, y_pred, num_bins=21)
+        assert histogram.num_samples == 500
+        assert histogram.counts.shape == (21,)
+        assert histogram.bin_edges.shape == (22,)
+
+    def test_over_under_prediction_counts(self):
+        y_true = np.asarray([1.0, 1.0, 1.0, 1.0])
+        y_pred = np.asarray([2.0, 2.0, 0.5, 1.0])  # two over, one under, one exact
+        histogram = error_histogram(y_true, y_pred)
+        assert histogram.overpredicted == 2
+        assert histogram.underpredicted == 1
+
+    def test_peak_near_zero_for_good_predictions(self, rng):
+        y_true = rng.normal(size=2000)
+        y_pred = y_true + rng.normal(0, 0.05, size=2000)
+        histogram = error_histogram(y_true, y_pred, num_bins=41, limit=1.0)
+        assert abs(histogram.peak_bin_center) < 0.1
+
+    def test_explicit_limit_respected(self, rng):
+        y_true = rng.normal(size=100)
+        histogram = error_histogram(y_true, y_true + 10.0, num_bins=11, limit=1.0)
+        assert histogram.bin_edges[0] == pytest.approx(-1.0)
+        assert histogram.bin_edges[-1] == pytest.approx(1.0)
+
+
+class TestRelativeMSE:
+    def test_zero_for_perfect_prediction(self, rng):
+        y = rng.normal(size=50)
+        assert relative_mse_percent(y, y) == 0.0
+
+    def test_hundred_percent_for_mean_prediction(self, rng):
+        y = rng.normal(size=500)
+        assert relative_mse_percent(y, np.full_like(y, y.mean())) == pytest.approx(100.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    noise_scale=st.floats(min_value=0.0, max_value=0.5),
+)
+def test_r2_decreases_with_noise(noise_scale):
+    """Property: adding more noise to predictions can only reduce r2 (statistically)."""
+    rng = np.random.default_rng(0)
+    y = rng.normal(size=400)
+    clean_r2 = r2_score(y, y)
+    noisy_r2 = r2_score(y, y + rng.normal(0, noise_scale, size=400))
+    assert clean_r2 >= noisy_r2 - 1e-9

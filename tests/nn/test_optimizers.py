@@ -1,0 +1,121 @@
+"""Tests for SGD, momentum and Adam optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, DenseLayer, MeanSquaredError, MomentumSGD, get_optimizer
+
+
+class _QuadraticProblem:
+    """Minimise ||W||^2 via a fake layer-like object."""
+
+    def __init__(self, rng):
+        self.parameters = {"weights": rng.normal(size=(4, 4))}
+        self.gradients = {"weights": np.zeros((4, 4))}
+
+    def compute_gradients(self):
+        self.gradients["weights"] = 2.0 * self.parameters["weights"]
+
+    @property
+    def norm(self):
+        return float(np.linalg.norm(self.parameters["weights"]))
+
+
+@pytest.mark.parametrize("optimizer_name", ["sgd", "momentum", "adam"])
+def test_optimizers_descend_quadratic(optimizer_name, rng):
+    problem = _QuadraticProblem(rng)
+    optimizer = get_optimizer(optimizer_name, learning_rate=0.05)
+    initial = problem.norm
+    for _ in range(200):
+        problem.compute_gradients()
+        optimizer.step([problem])
+    assert problem.norm < 0.05 * initial
+
+
+def test_sgd_step_is_plain_gradient_descent(rng):
+    layer = DenseLayer(2, 2, rng=rng)
+    before = layer.parameters["weights"].copy()
+    layer.gradients["weights"] = np.ones_like(before)
+    layer.gradients["bias"] = np.zeros_like(layer.parameters["bias"])
+    SGD(learning_rate=0.1).step([layer])
+    np.testing.assert_allclose(layer.parameters["weights"], before - 0.1)
+
+
+def test_momentum_accumulates_velocity(rng):
+    problem = _QuadraticProblem(rng)
+    problem.parameters["weights"] = np.ones((4, 4))
+    optimizer = MomentumSGD(learning_rate=0.01, momentum=0.9)
+    problem.compute_gradients()
+    optimizer.step([problem])
+    first_step = 1.0 - problem.parameters["weights"][0, 0]
+    problem.compute_gradients()
+    optimizer.step([problem])
+    second_step = (1.0 - first_step) - problem.parameters["weights"][0, 0]
+    assert second_step > first_step  # velocity builds up
+
+
+def test_adam_bias_correction_first_step(rng):
+    """On the first step Adam moves by ~learning_rate regardless of gradient scale."""
+    problem = _QuadraticProblem(rng)
+    problem.parameters["weights"] = np.full((4, 4), 100.0)
+    optimizer = Adam(learning_rate=0.01)
+    problem.compute_gradients()
+    before = problem.parameters["weights"].copy()
+    optimizer.step([problem])
+    step = np.abs(before - problem.parameters["weights"])
+    np.testing.assert_allclose(step, 0.01, rtol=1e-3)
+
+
+def test_adam_reset_clears_state(rng):
+    problem = _QuadraticProblem(rng)
+    optimizer = Adam(learning_rate=0.01)
+    problem.compute_gradients()
+    optimizer.step([problem])
+    assert optimizer._steps
+    optimizer.reset()
+    assert not optimizer._steps
+
+
+def test_faster_convergence_with_adam_than_sgd_on_badly_scaled_problem(rng):
+    """Adam's per-parameter scaling helps on ill-conditioned quadratics."""
+
+    class Scaled(_QuadraticProblem):
+        def compute_gradients(self):
+            scales = np.logspace(-3, 0, 16).reshape(4, 4)
+            self.gradients["weights"] = 2.0 * scales * self.parameters["weights"]
+
+    sgd_problem, adam_problem = Scaled(rng), Scaled(rng)
+    adam_problem.parameters["weights"] = sgd_problem.parameters["weights"].copy()
+    sgd, adam = SGD(learning_rate=0.05), Adam(learning_rate=0.05)
+    for _ in range(300):
+        sgd_problem.compute_gradients()
+        sgd.step([sgd_problem])
+        adam_problem.compute_gradients()
+        adam.step([adam_problem])
+    assert adam_problem.norm < sgd_problem.norm
+
+
+class TestValidation:
+    def test_invalid_learning_rate(self):
+        with pytest.raises(ValueError):
+            SGD(learning_rate=0.0)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            MomentumSGD(momentum=1.0)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam(beta1=1.0)
+        with pytest.raises(ValueError):
+            Adam(beta2=-0.1)
+        with pytest.raises(ValueError):
+            Adam(epsilon=0.0)
+
+    def test_unknown_optimizer(self):
+        with pytest.raises(KeyError):
+            get_optimizer("adamw2")
+
+    def test_instance_passthrough(self):
+        adam = Adam()
+        assert get_optimizer(adam) is adam

@@ -1,0 +1,99 @@
+"""Tests for the high-level multi-target regressor."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MultiTargetRegressor, NotFittedError, RegressorConfig, TrainingConfig
+
+
+def make_multitarget_data(rng, samples=400):
+    features = rng.uniform(-2, 2, size=(samples, 3))
+    targets = np.column_stack(
+        [
+            1.5 * features[:, 0] + 0.2 * features[:, 2],
+            -0.8 * features[:, 1] + 0.1 * features[:, 0] ** 2,
+        ]
+    )
+    return features, targets
+
+
+@pytest.fixture()
+def fitted(rng):
+    config = RegressorConfig(
+        hidden_layers=2,
+        hidden_width=24,
+        training=TrainingConfig(epochs=60, batch_size=32, seed=0, early_stopping_patience=0),
+        seed=0,
+    )
+    model = MultiTargetRegressor(config)
+    features, targets = make_multitarget_data(rng)
+    model.fit(features, targets)
+    return model, features, targets
+
+
+class TestFitPredict:
+    def test_learns_linearish_multitarget_map(self, fitted):
+        model, features, targets = fitted
+        assert model.score(features, targets) > 0.9
+
+    def test_prediction_shape(self, fitted, rng):
+        model, _, _ = fitted
+        assert model.predict(rng.normal(size=(7, 3))).shape == (7, 2)
+
+    def test_single_target_returns_2d(self, rng):
+        model = MultiTargetRegressor(RegressorConfig.fast(epochs=5))
+        features = rng.normal(size=(50, 3))
+        model.fit(features, features[:, 0])
+        assert model.predict(features).shape == (50, 1)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            MultiTargetRegressor().predict(np.zeros((2, 3)))
+
+    def test_num_parameters_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            _ = MultiTargetRegressor().num_parameters
+
+    def test_mse_matches_manual_computation(self, fitted):
+        model, features, targets = fitted
+        predictions = model.predict(features)
+        manual = float(np.mean((predictions - targets) ** 2))
+        assert model.mse(features, targets) == pytest.approx(manual)
+
+    def test_mismatched_sample_counts_rejected(self, rng):
+        model = MultiTargetRegressor(RegressorConfig.fast(epochs=1))
+        with pytest.raises(ValueError):
+            model.fit(rng.normal(size=(10, 3)), rng.normal(size=(9, 1)))
+
+    def test_is_fitted_flag(self, rng):
+        model = MultiTargetRegressor(RegressorConfig.fast(epochs=1))
+        assert not model.is_fitted
+        model.fit(rng.normal(size=(20, 3)), rng.normal(size=(20, 1)))
+        assert model.is_fitted
+
+
+class TestConfig:
+    def test_paper_default_matches_paper(self):
+        config = RegressorConfig.paper_default()
+        assert config.hidden_layers == 10
+        assert config.training.optimizer == "adam"
+        assert config.training.loss == "mse"
+
+    def test_invalid_layers_rejected(self):
+        with pytest.raises(ValueError):
+            RegressorConfig(hidden_layers=0)
+        with pytest.raises(ValueError):
+            RegressorConfig(hidden_width=0)
+
+    def test_scaling_can_be_disabled(self, rng):
+        config = RegressorConfig(
+            hidden_layers=1,
+            hidden_width=8,
+            scale_features=False,
+            scale_targets=False,
+            training=TrainingConfig(epochs=3, seed=0),
+        )
+        model = MultiTargetRegressor(config)
+        features = rng.normal(size=(30, 3))
+        model.fit(features, features[:, :1])
+        assert model.predict(features).shape == (30, 1)

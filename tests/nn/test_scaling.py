@@ -1,0 +1,97 @@
+"""Tests for feature/target scalers, including property-based inverses."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn import IdentityScaler, MinMaxScaler, StandardScaler
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self, rng):
+        data = rng.normal(5.0, 3.0, size=(500, 4))
+        scaled = StandardScaler().fit_transform(data)
+        np.testing.assert_allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+    def test_inverse_transform_roundtrip(self, rng):
+        data = rng.normal(size=(100, 3)) * [1.0, 100.0, 1e-4]
+        scaler = StandardScaler().fit(data)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(data)), data, rtol=1e-9)
+
+    def test_constant_column_passthrough(self):
+        data = np.column_stack([np.ones(10), np.arange(10.0)])
+        scaled = StandardScaler().fit_transform(data)
+        np.testing.assert_allclose(scaled[:, 0], 0.0)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2)))
+        with pytest.raises(RuntimeError):
+            StandardScaler().inverse_transform(np.zeros((2, 2)))
+
+    def test_is_fitted_flag(self):
+        scaler = StandardScaler()
+        assert not scaler.is_fitted
+        scaler.fit(np.zeros((3, 2)))
+        assert scaler.is_fitted
+
+
+class TestMinMaxScaler:
+    def test_range_mapping(self, rng):
+        data = rng.uniform(-50, 50, size=(200, 3))
+        scaled = MinMaxScaler().fit_transform(data)
+        np.testing.assert_allclose(scaled.min(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(scaled.max(axis=0), 1.0, atol=1e-12)
+
+    def test_custom_range(self, rng):
+        data = rng.uniform(size=(50, 2))
+        scaled = MinMaxScaler(feature_range=(-1.0, 1.0)).fit_transform(data)
+        assert scaled.min() >= -1.0 - 1e-12
+        assert scaled.max() <= 1.0 + 1e-12
+
+    def test_inverse_roundtrip(self, rng):
+        data = rng.uniform(-5, 5, size=(60, 4))
+        scaler = MinMaxScaler().fit(data)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(data)), data, rtol=1e-9, atol=1e-12
+        )
+
+    def test_constant_column_maps_to_midpoint(self):
+        data = np.full((5, 1), 7.0)
+        scaled = MinMaxScaler().fit_transform(data)
+        np.testing.assert_allclose(scaled, 0.5)
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler(feature_range=(1.0, 1.0))
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxScaler().transform(np.zeros((2, 2)))
+
+
+class TestIdentityScaler:
+    def test_passthrough(self, rng):
+        data = rng.normal(size=(10, 2))
+        scaler = IdentityScaler()
+        np.testing.assert_allclose(scaler.fit_transform(data), data)
+        np.testing.assert_allclose(scaler.inverse_transform(data), data)
+        assert scaler.is_fitted
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    data=arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(2, 30), st.integers(1, 5)),
+        elements=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    )
+)
+def test_standard_scaler_inverse_is_exact(data):
+    """Property: inverse_transform(transform(x)) == x for any finite data."""
+    scaler = StandardScaler().fit(data)
+    recovered = scaler.inverse_transform(scaler.transform(data))
+    np.testing.assert_allclose(recovered, data, rtol=1e-7, atol=1e-6)

@@ -1,0 +1,84 @@
+"""Tests for model persistence (save/load of trained regressors)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    ModelFormatError,
+    MultiTargetRegressor,
+    NotFittedError,
+    RegressorConfig,
+    TrainingConfig,
+    load_regressor,
+    save_regressor,
+)
+
+
+@pytest.fixture(scope="module")
+def trained_model():
+    rng = np.random.default_rng(0)
+    features = rng.uniform(-1, 1, size=(200, 3))
+    targets = np.column_stack([features[:, 0] * 2.0, features[:, 1] - features[:, 2]])
+    config = RegressorConfig(
+        hidden_layers=2,
+        hidden_width=12,
+        training=TrainingConfig(epochs=20, batch_size=32, early_stopping_patience=0, seed=0),
+        seed=0,
+    )
+    model = MultiTargetRegressor(config)
+    model.fit(features, targets)
+    return model, features
+
+
+class TestRoundTrip:
+    def test_predictions_identical_after_reload(self, trained_model, tmp_path):
+        model, features = trained_model
+        path = save_regressor(model, tmp_path / "model.npz")
+        restored = load_regressor(path)
+        np.testing.assert_allclose(restored.predict(features), model.predict(features))
+
+    def test_config_preserved(self, trained_model, tmp_path):
+        model, _ = trained_model
+        restored = load_regressor(save_regressor(model, tmp_path / "model.npz"))
+        assert restored.config.hidden_layers == model.config.hidden_layers
+        assert restored.config.hidden_width == model.config.hidden_width
+        assert restored.config.training.optimizer == model.config.training.optimizer
+
+    def test_restored_model_is_fitted(self, trained_model, tmp_path):
+        model, _ = trained_model
+        restored = load_regressor(save_regressor(model, tmp_path / "m.npz"))
+        assert restored.is_fitted
+        assert restored.num_parameters == model.num_parameters
+
+    def test_parent_directories_created(self, trained_model, tmp_path):
+        model, _ = trained_model
+        path = save_regressor(model, tmp_path / "nested" / "dir" / "model.npz")
+        assert path.exists()
+
+
+class TestErrors:
+    def test_unfitted_model_cannot_be_saved(self, tmp_path):
+        with pytest.raises(NotFittedError):
+            save_regressor(MultiTargetRegressor(), tmp_path / "m.npz")
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        np.savez(path, stuff=np.zeros(3))
+        with pytest.raises(ModelFormatError):
+            load_regressor(path)
+
+    def test_unscaled_model_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(1)
+        features = rng.normal(size=(50, 3))
+        config = RegressorConfig(
+            hidden_layers=1,
+            hidden_width=8,
+            scale_features=False,
+            scale_targets=False,
+            training=TrainingConfig(epochs=3, seed=0),
+            seed=0,
+        )
+        model = MultiTargetRegressor(config)
+        model.fit(features, features[:, :1])
+        restored = load_regressor(save_regressor(model, tmp_path / "m.npz"))
+        np.testing.assert_allclose(restored.predict(features), model.predict(features))

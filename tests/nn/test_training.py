@@ -1,0 +1,108 @@
+"""Tests for the mini-batch trainer."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    NetworkArchitecture,
+    NeuralNetwork,
+    Trainer,
+    TrainingConfig,
+)
+
+
+def make_regression_data(rng, samples=300):
+    features = rng.uniform(-1, 1, size=(samples, 3))
+    targets = (
+        2.0 * features[:, [0]]
+        - 1.0 * features[:, [1]]
+        + 0.5 * features[:, [2]] ** 2
+    )
+    return features, targets
+
+
+@pytest.fixture()
+def network():
+    return NeuralNetwork(
+        NetworkArchitecture(input_size=3, hidden_sizes=(16, 16), output_size=1), seed=0
+    )
+
+
+class TestTraining:
+    def test_loss_decreases(self, network, rng):
+        features, targets = make_regression_data(rng)
+        config = TrainingConfig(epochs=40, batch_size=32, validation_split=0.0, seed=0)
+        history = Trainer(network, config).fit(features, targets)
+        assert history.epochs_run == 40
+        assert history.train_losses[-1] < 0.3 * history.train_losses[0]
+
+    def test_validation_losses_tracked(self, network, rng):
+        features, targets = make_regression_data(rng)
+        config = TrainingConfig(epochs=10, validation_split=0.2, early_stopping_patience=0, seed=0)
+        history = Trainer(network, config).fit(features, targets)
+        assert len(history.validation_losses) == history.epochs_run
+        assert history.best_validation_loss <= history.validation_losses[0]
+
+    def test_early_stopping_triggers(self, network, rng):
+        features, targets = make_regression_data(rng, samples=100)
+        config = TrainingConfig(
+            epochs=500, batch_size=32, validation_split=0.3, early_stopping_patience=3, seed=0
+        )
+        history = Trainer(network, config).fit(features, targets)
+        assert history.epochs_run < 500
+        assert history.stopped_early
+
+    def test_1d_targets_accepted(self, network, rng):
+        features, targets = make_regression_data(rng, samples=50)
+        history = Trainer(network, TrainingConfig(epochs=2)).fit(features, targets.ravel())
+        assert history.epochs_run == 2
+
+    def test_mismatched_samples_rejected(self, network):
+        with pytest.raises(ValueError):
+            Trainer(network, TrainingConfig(epochs=1)).fit(np.zeros((5, 3)), np.zeros((4, 1)))
+
+    def test_empty_data_rejected(self, network):
+        with pytest.raises(ValueError):
+            Trainer(network, TrainingConfig(epochs=1)).fit(np.zeros((0, 3)), np.zeros((0, 1)))
+
+    def test_training_time_recorded(self, network, rng):
+        features, targets = make_regression_data(rng, samples=50)
+        history = Trainer(network, TrainingConfig(epochs=2)).fit(features, targets)
+        assert history.training_time > 0
+
+    def test_deterministic_given_seed(self, rng):
+        features, targets = make_regression_data(rng, samples=80)
+        losses = []
+        for _ in range(2):
+            network = NeuralNetwork(
+                NetworkArchitecture(input_size=3, hidden_sizes=(8,), output_size=1), seed=3
+            )
+            history = Trainer(network, TrainingConfig(epochs=5, seed=3)).fit(features, targets)
+            losses.append(history.train_losses)
+        np.testing.assert_allclose(losses[0], losses[1])
+
+    def test_best_weights_restored(self, network, rng):
+        """After fit() the network should carry the best-epoch weights."""
+        features, targets = make_regression_data(rng, samples=120)
+        config = TrainingConfig(epochs=30, validation_split=0.3, early_stopping_patience=5, seed=0)
+        trainer = Trainer(network, config)
+        history = trainer.fit(features, targets)
+        # The restored weights' validation loss must equal the recorded best.
+        rng_split = np.random.default_rng(config.seed)
+        assert history.best_validation_loss <= min(history.validation_losses) + 1e-12
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"epochs": 0},
+            {"batch_size": 0},
+            {"learning_rate": 0.0},
+            {"validation_split": 1.0},
+            {"early_stopping_patience": -1},
+        ],
+    )
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ValueError):
+            TrainingConfig(**kwargs)

@@ -1,0 +1,83 @@
+"""Tests for the powerplanningdl command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        subactions = [
+            action for action in parser._actions if hasattr(action, "choices") and action.choices
+        ]
+        commands = set(subactions[0].choices)
+        assert commands == {"generate", "analyze", "plan", "train", "predict"}
+
+    def test_unknown_benchmark_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["generate", "not_a_benchmark", "out.spice"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestGenerateAndAnalyze:
+    def test_generate_uniform_then_analyze(self, tmp_path, capsys):
+        netlist = tmp_path / "ibmpg1.spice"
+        assert main(["generate", "ibmpg1", str(netlist), "--width", "6.0"]) == 0
+        assert netlist.exists()
+        output = capsys.readouterr().out
+        assert "generated netlist" in output
+        assert "nodes" in output
+
+        assert main(["analyze", str(netlist), "--top", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "worst-case IR drop (mV)" in output
+        assert "3 worst nodes" in output
+
+    def test_analyze_missing_file_errors(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path / "missing.spice")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+
+class TestPlan:
+    def test_plan_converges_and_writes_netlist(self, tmp_path, capsys):
+        out = tmp_path / "sized.spice"
+        assert main(["plan", "ibmpg1", "--netlist-out", str(out)]) == 0
+        assert out.exists()
+        output = capsys.readouterr().out
+        assert "conventional power planning" in output
+        assert "converged" in output
+
+
+class TestTrainPredict:
+    def test_train_then_predict_roundtrip(self, tmp_path, capsys):
+        model = tmp_path / "model.npz"
+        assert (
+            main(
+                [
+                    "train", "ibmpg1", str(model),
+                    "--epochs", "20", "--hidden-layers", "2", "--hidden-width", "16",
+                ]
+            )
+            == 0
+        )
+        assert model.exists()
+        output = capsys.readouterr().out
+        assert "training r2" in output
+
+        assert main(["predict", "ibmpg1", str(model), "--gamma", "0.1", "--verify"]) == 0
+        output = capsys.readouterr().out
+        assert "predicted worst IR drop (mV)" in output
+        assert "verified worst IR drop (mV)" in output
+
+    def test_predict_missing_model_errors(self, tmp_path, capsys):
+        assert main(["predict", "ibmpg1", str(tmp_path / "missing.npz")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_predict_bad_gamma_errors(self, tmp_path):
+        model = tmp_path / "model.npz"
+        model.write_bytes(b"placeholder")
+        assert main(["predict", "ibmpg1", str(model), "--gamma", "0.9"]) == 2
