@@ -1,0 +1,69 @@
+"""Micro-benchmark: naive per-solve analysis vs the batched engine.
+
+The conventional path re-assembles and re-factorizes the nodal system for
+every load scenario; the :class:`~repro.analysis.engine.BatchedAnalysisEngine`
+compiles the grid once, factorizes once and serves every scenario with a
+multi-RHS triangular solve.  This bench sweeps ≥50 current-only load
+scenarios on the largest shipped synthetic benchmark grid, verifies the two
+paths agree to machine precision, asserts the ≥3x speedup acceptance bar
+and emits a JSON speedup record.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core import batched_solve_study, format_key_values
+from repro.grid import PerturbationKind, PerturbationSpec, SyntheticIBMSuite
+
+NUM_SCENARIOS = 50
+MIN_SPEEDUP = 3.0
+VOLTAGE_TOLERANCE = 1e-9
+
+
+def largest_benchmark_name(suite: SyntheticIBMSuite) -> str:
+    """Name of the shipped benchmark with the most grid nodes."""
+    return max(suite.names(), key=lambda name: suite.config(name).approx_nodes)
+
+
+def test_batched_solve_speedup(benchmark, results_dir):
+    """Cached-factorization multi-RHS vs per-solve baseline, ≥50 scenarios."""
+    suite = SyntheticIBMSuite()
+    name = largest_benchmark_name(suite)
+    grid = suite.load(name).build_uniform_grid(5.0)
+    spec = PerturbationSpec(gamma=0.2, kind=PerturbationKind.CURRENT_WORKLOADS, seed=2020)
+
+    study = benchmark.pedantic(
+        lambda: batched_solve_study(grid, spec, num_scenarios=NUM_SCENARIOS),
+        rounds=1,
+        iterations=1,
+    )
+
+    record = study.as_record()
+    record["grid_statistics"] = dict(
+        zip(("num_nodes", "num_resistors", "num_sources", "num_loads"),
+            grid.statistics().as_row())
+    )
+    print()
+    print(
+        format_key_values(
+            {
+                "benchmark": study.benchmark,
+                "scenarios": study.num_scenarios,
+                "naive (s)": round(study.naive_seconds, 4),
+                "batched (s)": round(study.batched_seconds, 4),
+                "speedup": round(study.speedup, 2),
+                "factorizations (batched)": study.batched_factorizations,
+                "max |dV| (V)": study.max_voltage_difference,
+            },
+            title=f"naive re-solve vs cached-factorization multi-RHS ({name})",
+        )
+    )
+    with open(results_dir / "bench_engine_batched_solve.json", "w") as handle:
+        json.dump(record, handle, indent=2)
+
+    assert study.batched_factorizations == 1
+    assert study.max_voltage_difference <= VOLTAGE_TOLERANCE
+    assert study.speedup >= MIN_SPEEDUP, (
+        f"batched engine speedup {study.speedup:.2f}x below the {MIN_SPEEDUP}x bar"
+    )

@@ -35,7 +35,7 @@ Quickstart::
     print(framework.evaluate(test_set))
 """
 
-from .analysis import EMChecker, IRDropAnalyzer, PowerGridSolver
+from .analysis import BatchedAnalysisEngine, EMChecker, IRDropAnalyzer, PowerGridSolver
 from .core import (
     DatasetBuilder,
     FeatureExtractor,
@@ -46,6 +46,7 @@ from .core import (
 )
 from .design import ConventionalPowerPlanner, DesignRules, ReliabilityConstraints
 from .grid import (
+    CompiledGrid,
     Floorplan,
     GridBuilder,
     PowerGridNetwork,
@@ -60,6 +61,8 @@ from .nn import MultiTargetRegressor, RegressorConfig
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchedAnalysisEngine",
+    "CompiledGrid",
     "ConventionalPowerPlanner",
     "DatasetBuilder",
     "DesignRules",

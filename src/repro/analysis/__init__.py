@@ -9,6 +9,7 @@ flow that PowerPlanningDL is designed to avoid.
 
 from .currents import (
     BranchCurrent,
+    branch_current_array,
     branch_currents,
     current_conservation_error,
     line_currents,
@@ -16,16 +17,26 @@ from .currents import (
     total_dissipated_power,
 )
 from .em import EMChecker, EMReport, EMViolation, em_lifetime_ratio, required_width_for_current
+from .engine import (
+    ENGINE_METHOD,
+    BatchAnalysisResult,
+    BatchedAnalysisEngine,
+    EngineCacheInfo,
+)
 from .irdrop import IRDropAnalyzer, IRDropResult, ir_drop_map
-from .mna import MNAAssembler, MNASystem, assemble
+from .mna import MNAAssembler, MNASystem, assemble, system_from_compiled
 from .solver import LinearSolverError, PowerGridSolver, SolveResult, SolverMethod
 from .vectorless import VectorlessAnalyzer, VectorlessBudget, VectorlessResult, uniform_budget
 
 __all__ = [
+    "BatchAnalysisResult",
+    "BatchedAnalysisEngine",
     "BranchCurrent",
     "EMChecker",
     "EMReport",
     "EMViolation",
+    "ENGINE_METHOD",
+    "EngineCacheInfo",
     "IRDropAnalyzer",
     "IRDropResult",
     "LinearSolverError",
@@ -38,6 +49,7 @@ __all__ = [
     "VectorlessBudget",
     "VectorlessResult",
     "assemble",
+    "branch_current_array",
     "branch_currents",
     "current_conservation_error",
     "em_lifetime_ratio",
@@ -45,6 +57,7 @@ __all__ = [
     "line_currents",
     "pad_currents",
     "required_width_for_current",
+    "system_from_compiled",
     "total_dissipated_power",
     "uniform_budget",
 ]

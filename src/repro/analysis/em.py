@@ -15,7 +15,6 @@ import numpy as np
 
 from ..grid.network import PowerGridNetwork
 from ..grid.technology import Technology
-from .currents import BranchCurrent, branch_currents
 from .irdrop import IRDropResult
 
 
@@ -96,36 +95,43 @@ class EMChecker:
         return self.technology.jmax * (1.0 - self.margin)
 
     def check(self, network: PowerGridNetwork, result: IRDropResult) -> EMReport:
-        """Evaluate the EM constraint on every sized wire segment."""
-        violations: list[EMViolation] = []
-        worst_density = 0.0
-        checked = 0
+        """Evaluate the EM constraint on every sized wire segment.
+
+        Current magnitudes and densities are computed vectorised over the
+        compiled grid arrays; per-violation objects are only materialised
+        for segments that actually exceed the limit.
+        """
         limit = self.effective_jmax
-        for branch in branch_currents(network, result):
-            resistor = branch.resistor
-            if resistor.width <= 0:
-                continue
-            checked += 1
-            density = branch.current_density
-            worst_density = max(worst_density, density)
-            if density > limit:
-                violations.append(
-                    EMViolation(
-                        resistor_name=resistor.name,
-                        line_id=resistor.line_id,
-                        current=branch.magnitude,
-                        width=resistor.width,
-                        current_density=density,
-                        jmax=limit,
-                    )
+        compiled = network.compile()
+        voltages = compiled.voltage_array(result.node_voltages)
+        magnitudes = np.abs(compiled.branch_current_array(voltages))
+
+        sized = compiled.res_width > 0
+        densities = magnitudes[sized] / compiled.res_width[sized]
+        worst_density = float(densities.max()) if densities.size else 0.0
+
+        violations: list[EMViolation] = []
+        sized_indices = np.flatnonzero(sized)
+        for position in np.flatnonzero(densities > limit):
+            branch_index = sized_indices[position]
+            resistor = compiled.resistors[branch_index]
+            violations.append(
+                EMViolation(
+                    resistor_name=resistor.name,
+                    line_id=resistor.line_id,
+                    current=float(magnitudes[branch_index]),
+                    width=resistor.width,
+                    current_density=float(densities[position]),
+                    jmax=limit,
                 )
+            )
         violations.sort(key=lambda violation: violation.severity, reverse=True)
         return EMReport(
             network_name=network.name,
             jmax=limit,
             violations=violations,
             worst_density=worst_density,
-            checked_segments=checked,
+            checked_segments=int(sized.sum()),
         )
 
 

@@ -1,0 +1,325 @@
+"""Cached-factorization, multi-RHS power-grid analysis engine.
+
+The conventional analysis path re-assembles and re-factorizes the nodal
+system for every solve.  For the workloads this repository actually runs —
+perturbation sweeps, vectorless budget bounds, planner iterations over many
+load scenarios — the expensive part (the sparse LU factorization of the
+reduced conductance matrix) depends only on the grid *topology* and branch
+conductances, not on the loads or pad voltages.
+
+:class:`BatchedAnalysisEngine` exploits that: it compiles the network once
+(:class:`~repro.grid.compiled.CompiledGrid`), caches the SuperLU
+factorization keyed on the compiled grid's topology fingerprint, and solves
+arbitrarily many right-hand sides against one factorization — either one at
+a time (:meth:`analyze`, a drop-in replacement for
+:class:`~repro.analysis.irdrop.IRDropAnalyzer`) or as a single multi-RHS
+triangular solve (:meth:`analyze_batch`).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+import scipy.sparse.linalg as spla
+
+from ..grid.compiled import CompiledGrid
+from ..grid.network import PowerGridNetwork
+from .irdrop import IRDropResult
+from .mna import system_from_compiled
+from .solver import LinearSolverError, PowerGridSolver, SolverMethod
+
+ENGINE_METHOD = "cached_lu"
+"""Solver-method tag recorded in results produced by the engine."""
+
+
+@dataclass(frozen=True)
+class EngineCacheInfo:
+    """Counters describing the engine's factorization cache behaviour.
+
+    Attributes:
+        factorizations: Number of sparse LU factorizations performed.
+        hits: Number of solves served by an already cached factorization.
+        entries: Number of factorizations currently cached.
+    """
+
+    factorizations: int
+    hits: int
+    entries: int
+
+
+@dataclass
+class BatchAnalysisResult:
+    """Voltages of many load scenarios solved against one grid topology.
+
+    The batched result intentionally keeps everything in arrays — per-node
+    dictionaries are only materialised when a scenario is converted into a
+    full :class:`~repro.analysis.irdrop.IRDropResult` via :meth:`result`.
+
+    Attributes:
+        compiled: The compiled grid all scenarios were solved on.
+        voltages: ``(num_nodes, num_scenarios)`` node-voltage matrix in
+            compiled node order.
+        scenario_names: One name per scenario (used for materialised
+            results).
+        analysis_time: Wall-clock time of the whole batched solve in
+            seconds.
+        factorization_reused: True if the solve was served from the engine's
+            factorization cache instead of factorizing anew.
+    """
+
+    compiled: CompiledGrid
+    voltages: np.ndarray
+    scenario_names: tuple[str, ...]
+    analysis_time: float
+    factorization_reused: bool
+
+    @property
+    def num_scenarios(self) -> int:
+        """Number of solved load scenarios."""
+        return self.voltages.shape[1]
+
+    @cached_property
+    def ir_drop(self) -> np.ndarray:
+        """``(num_nodes, num_scenarios)`` IR-drop matrix ``vdd - v``."""
+        return self.compiled.vdd - self.voltages
+
+    @cached_property
+    def worst_ir_drop(self) -> np.ndarray:
+        """Worst-case IR drop of each scenario, in volts."""
+        return self.ir_drop.max(axis=0)
+
+    @cached_property
+    def average_ir_drop(self) -> np.ndarray:
+        """Mean IR drop of each scenario over all nodes, in volts."""
+        return self.ir_drop.mean(axis=0)
+
+    @cached_property
+    def worst_node_index(self) -> np.ndarray:
+        """Compiled node index of the worst-drop node per scenario."""
+        return self.ir_drop.argmax(axis=0)
+
+    def worst_node(self, scenario: int) -> str:
+        """Name of the worst-drop node of one scenario."""
+        return self.compiled.node_names[int(self.worst_node_index[scenario])]
+
+    def scenario_voltages(self, scenario: int) -> np.ndarray:
+        """Per-node voltage vector of one scenario, in compiled order."""
+        return self.voltages[:, scenario]
+
+    def result(self, scenario: int) -> IRDropResult:
+        """Materialise one scenario as a full :class:`IRDropResult`."""
+        voltages = self.voltages[:, scenario]
+        drops = self.ir_drop[:, scenario]
+        compiled = self.compiled
+        return IRDropResult(
+            network_name=self.scenario_names[scenario],
+            vdd=compiled.vdd,
+            node_voltages=compiled.voltages_dict(voltages),
+            node_ir_drop=compiled.voltages_dict(drops),
+            worst_ir_drop=float(self.worst_ir_drop[scenario]),
+            worst_node=self.worst_node(scenario),
+            average_ir_drop=float(self.average_ir_drop[scenario]),
+            analysis_time=self.analysis_time / max(1, self.num_scenarios),
+            solver_method=ENGINE_METHOD,
+            solver_iterations=0,
+        )
+
+    def results(self) -> list[IRDropResult]:
+        """Materialise every scenario as a full :class:`IRDropResult`."""
+        return [self.result(i) for i in range(self.num_scenarios)]
+
+
+class BatchedAnalysisEngine:
+    """IR-drop analysis with a cross-solve sparse-factorization cache.
+
+    The engine quacks like :class:`~repro.analysis.irdrop.IRDropAnalyzer`
+    (its :meth:`analyze` signature and result type are identical), so it can
+    be handed to every consumer that previously owned an analyzer — the
+    planner, the vectorless analyzer, the CLI.  On top of that it offers
+    batched multi-RHS solving for sweeps where only the loads change.
+
+    Args:
+        cache_size: Maximum number of factorizations kept alive (LRU).
+        direct_size_limit: Systems with more unknowns than this fall back to
+            the memory-lean preconditioned-CG solver instead of a cached LU
+            factorization — the same threshold the legacy ``AUTO`` solver
+            policy used, preserved because SuperLU fill-in can exhaust
+            memory on the largest grids.
+    """
+
+    def __init__(self, cache_size: int = 8, direct_size_limit: int = 60000) -> None:
+        if cache_size < 1:
+            raise ValueError("cache_size must be at least 1")
+        if direct_size_limit < 1:
+            raise ValueError("direct_size_limit must be at least 1")
+        self.cache_size = cache_size
+        self.direct_size_limit = direct_size_limit
+        self._cg_solver = PowerGridSolver(method=SolverMethod.CG)
+        self._cache: OrderedDict[str, spla.SuperLU] = OrderedDict()
+        self._factorizations = 0
+        self._hits = 0
+
+    # ------------------------------------------------------------------
+    # Cache management
+    # ------------------------------------------------------------------
+    def cache_info(self) -> EngineCacheInfo:
+        """Return factorization / cache-hit counters."""
+        return EngineCacheInfo(
+            factorizations=self._factorizations,
+            hits=self._hits,
+            entries=len(self._cache),
+        )
+
+    def clear_cache(self) -> None:
+        """Drop all cached factorizations (counters are kept)."""
+        self._cache.clear()
+
+    def _factor(self, compiled: CompiledGrid) -> tuple[spla.SuperLU, bool]:
+        """Return the (cached) LU factorization of the reduced matrix."""
+        key = compiled.fingerprint
+        factor = self._cache.get(key)
+        if factor is not None:
+            self._hits += 1
+            self._cache.move_to_end(key)
+            return factor, True
+        try:
+            factor = spla.splu(compiled.reduced_matrix.tocsc())
+        except RuntimeError as exc:
+            raise LinearSolverError(f"factorization failed: {exc}") from exc
+        self._factorizations += 1
+        self._cache[key] = factor
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+        return factor, False
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _compiled(network: PowerGridNetwork | CompiledGrid) -> CompiledGrid:
+        compiled = network if isinstance(network, CompiledGrid) else network.compile()
+        if compiled.pad_node.size == 0:
+            raise ValueError("network has no voltage sources; the nodal system is singular")
+        return compiled
+
+    def _use_cg(self, compiled: CompiledGrid) -> bool:
+        return compiled.num_unknowns > self.direct_size_limit
+
+    def _solve_cg(self, compiled: CompiledGrid, rhs: np.ndarray) -> tuple[np.ndarray, int]:
+        system = system_from_compiled(compiled, matrix_copy=False)
+        system.rhs = rhs
+        result = self._cg_solver.solve(system)
+        return result.voltages, result.iterations
+
+    def _solve_unknowns(self, compiled: CompiledGrid, rhs: np.ndarray) -> tuple[np.ndarray, int]:
+        """Solve one RHS, returning unknown voltages and solver iterations."""
+        if rhs.size == 0:
+            return np.empty(0), 0
+        if self._use_cg(compiled):
+            return self._solve_cg(compiled, rhs)
+        factor, _ = self._factor(compiled)
+        return factor.solve(rhs), 0
+
+    def solve_voltages(
+        self,
+        network: PowerGridNetwork | CompiledGrid,
+        loads: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Solve one scenario and return per-node voltages in compiled order."""
+        compiled = self._compiled(network)
+        unknown, _ = self._solve_unknowns(compiled, compiled.rhs(loads))
+        if not np.all(np.isfinite(unknown)):
+            raise LinearSolverError("direct solve produced non-finite voltages")
+        return compiled.full_voltages(unknown)
+
+    def analyze(
+        self,
+        network: PowerGridNetwork | CompiledGrid,
+        loads: np.ndarray | None = None,
+        name: str | None = None,
+    ) -> IRDropResult:
+        """Run one IR-drop analysis (drop-in for ``IRDropAnalyzer.analyze``).
+
+        Args:
+            network: The grid (or its compiled form) to analyse.
+            loads: Optional per-node load override, in compiled node order.
+            name: Optional result name override.
+        """
+        start = time.perf_counter()
+        compiled = self._compiled(network)
+        unknown, iterations = self._solve_unknowns(compiled, compiled.rhs(loads))
+        if not np.all(np.isfinite(unknown)):
+            raise LinearSolverError("direct solve produced non-finite voltages")
+        voltages = compiled.full_voltages(unknown)
+        drops = compiled.vdd - voltages
+        worst = int(drops.argmax()) if drops.size else 0
+        elapsed = time.perf_counter() - start
+        return IRDropResult(
+            network_name=name or compiled.name,
+            vdd=compiled.vdd,
+            node_voltages=compiled.voltages_dict(voltages),
+            node_ir_drop=compiled.voltages_dict(drops),
+            worst_ir_drop=float(drops[worst]) if drops.size else 0.0,
+            worst_node=compiled.node_names[worst] if drops.size else "",
+            average_ir_drop=float(drops.mean()) if drops.size else 0.0,
+            analysis_time=elapsed,
+            solver_method=SolverMethod.CG.value if self._use_cg(compiled) else ENGINE_METHOD,
+            solver_iterations=iterations,
+        )
+
+    def analyze_batch(
+        self,
+        network: PowerGridNetwork | CompiledGrid,
+        load_matrix: np.ndarray,
+        names: list[str] | tuple[str, ...] | None = None,
+    ) -> BatchAnalysisResult:
+        """Solve many load scenarios against one factorization.
+
+        Args:
+            network: The grid (or its compiled form) all scenarios share.
+            load_matrix: ``(num_scenarios, num_nodes)`` per-node currents in
+                compiled node order.
+            names: Optional per-scenario names.
+
+        Returns:
+            A :class:`BatchAnalysisResult` with the full voltage matrix.
+        """
+        start = time.perf_counter()
+        compiled = self._compiled(network)
+        load_matrix = np.asarray(load_matrix, dtype=float)
+        if load_matrix.ndim != 2:
+            raise ValueError("load_matrix must be 2-D (num_scenarios, num_nodes)")
+        if load_matrix.shape[0] == 0:
+            raise ValueError("load_matrix must contain at least one scenario")
+        rhs = compiled.rhs_matrix(load_matrix)
+        if rhs.size == 0:
+            unknown, reused = np.empty((0, load_matrix.shape[0])), False
+        elif self._use_cg(compiled):
+            unknown = np.column_stack(
+                [self._solve_cg(compiled, rhs[:, k])[0] for k in range(rhs.shape[1])]
+            )
+            reused = False
+        else:
+            factor, reused = self._factor(compiled)
+            unknown = factor.solve(rhs)
+        if not np.all(np.isfinite(unknown)):
+            raise LinearSolverError("batched solve produced non-finite voltages")
+        voltages = compiled.full_voltages(unknown)
+        elapsed = time.perf_counter() - start
+
+        k = load_matrix.shape[0]
+        if names is None:
+            names = tuple(f"{compiled.name}[{i}]" for i in range(k))
+        elif len(names) != k:
+            raise ValueError(f"expected {k} scenario names, got {len(names)}")
+        return BatchAnalysisResult(
+            compiled=compiled,
+            voltages=voltages,
+            scenario_names=tuple(names),
+            analysis_time=elapsed,
+            factorization_reused=reused,
+        )

@@ -64,6 +64,13 @@ class IRDropResult:
 class IRDropAnalyzer:
     """Full static IR-drop analysis via sparse nodal solve.
 
+    Assembly runs on the network's cached compiled form (vectorised COO→CSR
+    stamping), but every call still factorizes the system from scratch —
+    this is the reference per-solve path.  Sweeps that only change loads or
+    pad voltages should use
+    :class:`~repro.analysis.engine.BatchedAnalysisEngine`, which shares one
+    factorization across scenarios.
+
     Args:
         solver: Linear solver to use; a default auto-selecting solver is
             created if omitted.

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
-from ..grid.elements import GROUND_NODE
+from ..grid.compiled import CompiledGrid
 from ..grid.network import PowerGridNetwork
 
 
@@ -71,91 +71,62 @@ class MNASystem:
 
 
 class MNAAssembler:
-    """Assemble the reduced nodal system of a power-grid network."""
+    """Assemble the reduced nodal system of a power-grid network.
 
-    def assemble(self, network: PowerGridNetwork) -> MNASystem:
+    Assembly is delegated to the network's cached :class:`CompiledGrid`: the
+    topology is lowered to integer-indexed arrays once, and the sparse
+    matrix is produced by a fully vectorised COO→CSR conversion instead of
+    per-element Python stamping.
+    """
+
+    def assemble(self, network: PowerGridNetwork | CompiledGrid) -> MNASystem:
         """Build ``G v = b`` for the non-pad nodes of ``network``.
+
+        Accepts either a :class:`PowerGridNetwork` (compiled on demand, with
+        caching) or an already compiled grid.
 
         Raises:
             ValueError: If the network has no supply pads (the system would
-                be singular) or a pad node also appears as a load-only island.
+                be singular).
         """
-        fixed_voltages: dict[str, float] = {}
-        for source in network.iter_pads():
-            fixed_voltages[source.node] = source.voltage
-        if not fixed_voltages:
-            raise ValueError("network has no voltage sources; the nodal system is singular")
-
-        node_names = list(network.nodes)
-        unknown_nodes = [name for name in node_names if name not in fixed_voltages]
-        index = {name: i for i, name in enumerate(unknown_nodes)}
-        n = len(unknown_nodes)
-
-        rows: list[int] = []
-        cols: list[int] = []
-        data: list[float] = []
-        rhs = np.zeros(n, dtype=float)
-        ground_connected = False
-
-        def stamp_diagonal(node: str, conductance: float) -> None:
-            i = index[node]
-            rows.append(i)
-            cols.append(i)
-            data.append(conductance)
-
-        for resistor in network.iter_resistors():
-            conductance = 1.0 / resistor.resistance
-            a, b = resistor.node_a, resistor.node_b
-            a_ground = a == GROUND_NODE
-            b_ground = b == GROUND_NODE
-            if a_ground and b_ground:
-                continue
-            if a_ground or b_ground:
-                ground_connected = True
-                node = b if a_ground else a
-                if node in index:
-                    stamp_diagonal(node, conductance)
-                # A resistor from a pad node to ground only affects the pad
-                # current, not the reduced system.
-                continue
-
-            a_fixed = a in fixed_voltages
-            b_fixed = b in fixed_voltages
-            if a_fixed and b_fixed:
-                continue
-            if a_fixed or b_fixed:
-                fixed, free = (a, b) if a_fixed else (b, a)
-                i = index[free]
-                stamp_diagonal(free, conductance)
-                rhs[i] += conductance * fixed_voltages[fixed]
-                continue
-
-            i, j = index[a], index[b]
-            stamp_diagonal(a, conductance)
-            stamp_diagonal(b, conductance)
-            rows.extend((i, j))
-            cols.extend((j, i))
-            data.extend((-conductance, -conductance))
-
-        for load in network.iter_loads():
-            if load.node in index:
-                rhs[index[load.node]] -= load.current
-            # Loads attached directly to pad nodes draw current from the
-            # ideal source and do not change the reduced system.
-
-        matrix = sp.csr_matrix(
-            (np.asarray(data), (np.asarray(rows), np.asarray(cols))), shape=(n, n)
-        )
-        matrix.sum_duplicates()
-        return MNASystem(
-            matrix=matrix,
-            rhs=rhs,
-            unknown_nodes=unknown_nodes,
-            fixed_voltages=fixed_voltages,
-            ground_connected=ground_connected,
-        )
+        compiled = network if isinstance(network, CompiledGrid) else network.compile()
+        return system_from_compiled(compiled)
 
 
-def assemble(network: PowerGridNetwork) -> MNASystem:
+def system_from_compiled(
+    compiled: CompiledGrid,
+    loads: np.ndarray | None = None,
+    matrix_copy: bool = True,
+) -> MNASystem:
+    """Build the legacy :class:`MNASystem` view of a compiled grid.
+
+    Args:
+        compiled: The compiled grid.
+        loads: Optional per-node load override (defaults to the grid's own
+            loads).
+        matrix_copy: Hand out a copy of the cached reduced matrix (the
+            default), preserving the legacy guarantee that every assembled
+            system is independently mutable.  Internal read-only consumers
+            may pass ``False`` to skip the copy.
+
+    Raises:
+        ValueError: If the grid has no supply pads.
+    """
+    if compiled.pad_node.size == 0:
+        raise ValueError("network has no voltage sources; the nodal system is singular")
+    fixed_voltages = {
+        compiled.node_names[i]: float(compiled.pad_voltage[i]) for i in compiled.pad_node
+    }
+    matrix = compiled.reduced_matrix
+    return MNASystem(
+        matrix=matrix.copy() if matrix_copy else matrix,
+        rhs=compiled.rhs(loads),
+        unknown_nodes=list(compiled.unknown_nodes),
+        fixed_voltages=fixed_voltages,
+        ground_connected=compiled.ground_connected,
+    )
+
+
+def assemble(network: PowerGridNetwork | CompiledGrid) -> MNASystem:
     """Convenience wrapper around :class:`MNAAssembler`."""
     return MNAAssembler().assemble(network)

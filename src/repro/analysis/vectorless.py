@@ -14,8 +14,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..grid.elements import CurrentSource
 from ..grid.network import PowerGridNetwork
+from .engine import BatchedAnalysisEngine
 from .irdrop import IRDropAnalyzer, IRDropResult
 
 
@@ -67,45 +70,88 @@ class VectorlessResult:
 class VectorlessAnalyzer:
     """Budget-based vectorless IR-drop bound analysis.
 
+    With the default :class:`~repro.analysis.engine.BatchedAnalysisEngine`
+    backend, the nominal and budgeted solves share one compiled grid and one
+    sparse factorization (the two scenarios only differ in their load
+    vectors).  A legacy :class:`IRDropAnalyzer` can still be supplied, in
+    which case both solves run independently.
+
     Args:
-        analyzer: The IR-drop analyzer to use for both the nominal and the
-            bounded solve.
+        analyzer: The IR-drop analyzer or batched engine to use for both the
+            nominal and the bounded solve.
     """
 
-    def __init__(self, analyzer: IRDropAnalyzer | None = None) -> None:
-        self.analyzer = analyzer or IRDropAnalyzer()
+    def __init__(self, analyzer: IRDropAnalyzer | BatchedAnalysisEngine | None = None) -> None:
+        self.analyzer = analyzer or BatchedAnalysisEngine()
 
     def analyze(self, network: PowerGridNetwork, budget: VectorlessBudget) -> VectorlessResult:
         """Run nominal and worst-case-budget analyses and compare them.
 
-        The worst-case network replaces each budgeted load by its maximum
+        The worst-case scenario replaces each budgeted load by its maximum
         value, then scales all loads uniformly so that the total respects the
         global utilisation bound.
         """
-        nominal = self.analyzer.analyze(network)
-
-        budgeted_loads: list[CurrentSource] = []
-        for load in network.iter_loads():
-            maximum = budget.per_load_max.get(load.name, load.current)
-            budgeted_loads.append(
-                CurrentSource(name=load.name, node=load.node, current=maximum, block=load.block)
+        if isinstance(self.analyzer, BatchedAnalysisEngine):
+            nominal, bound = self._analyze_batched(network, budget)
+        else:
+            nominal = self.analyzer.analyze(network)
+            bounded_network = network.replace_loads(
+                self._budgeted_loads(network, budget), name=f"{network.name}_vectorless"
             )
-        total_maximum = sum(load.current for load in budgeted_loads)
-        allowed_total = total_maximum * budget.global_utilisation
-        if total_maximum > 0 and allowed_total < total_maximum:
-            scale = allowed_total / total_maximum
-            budgeted_loads = [load.scaled(scale) for load in budgeted_loads]
-
-        bounded_network = network.replace_loads(
-            budgeted_loads, name=f"{network.name}_vectorless"
-        )
-        bound = self.analyzer.analyze(bounded_network)
+            bound = self.analyzer.analyze(bounded_network)
         pessimism = (
             bound.worst_ir_drop / nominal.worst_ir_drop
             if nominal.worst_ir_drop > 0
             else float("inf")
         )
         return VectorlessResult(bound_result=bound, nominal_result=nominal, pessimism=pessimism)
+
+    @staticmethod
+    def _budgeted_loads(network: PowerGridNetwork, budget: VectorlessBudget) -> list[CurrentSource]:
+        """Worst-case loads: per-load maxima capped by the global utilisation."""
+        budgeted_loads = [
+            CurrentSource(
+                name=load.name,
+                node=load.node,
+                current=budget.per_load_max.get(load.name, load.current),
+                block=load.block,
+            )
+            for load in network.iter_loads()
+        ]
+        total_maximum = sum(load.current for load in budgeted_loads)
+        allowed_total = total_maximum * budget.global_utilisation
+        if total_maximum > 0 and allowed_total < total_maximum:
+            scale = allowed_total / total_maximum
+            budgeted_loads = [load.scaled(scale) for load in budgeted_loads]
+        return budgeted_loads
+
+    def _analyze_batched(
+        self, network: PowerGridNetwork, budget: VectorlessBudget
+    ) -> tuple[IRDropResult, IRDropResult]:
+        """Solve the nominal and budgeted scenarios in one multi-RHS batch."""
+        compiled = network.compile()
+        budgeted = np.fromiter(
+            (
+                budget.per_load_max.get(name, float(current))
+                for name, current in zip(compiled.load_names, compiled.load_current)
+            ),
+            dtype=float,
+            count=len(compiled.load_names),
+        )
+        total_maximum = float(budgeted.sum())
+        if total_maximum > 0 and budget.global_utilisation < 1.0:
+            budgeted = budgeted * budget.global_utilisation
+        bounded_loads = (
+            np.bincount(compiled.load_node, weights=budgeted, minlength=compiled.num_nodes)
+            if budgeted.size
+            else np.zeros(compiled.num_nodes)
+        )
+        batch = self.analyzer.analyze_batch(
+            compiled,
+            np.vstack((compiled.base_loads, bounded_loads)),
+            names=(network.name, f"{network.name}_vectorless"),
+        )
+        return batch.result(0), batch.result(1)
 
 
 def uniform_budget(network: PowerGridNetwork, headroom: float = 1.5, utilisation: float = 1.0) -> VectorlessBudget:

@@ -23,7 +23,7 @@ from pathlib import Path
 
 import numpy as np
 
-from .analysis import EMChecker, IRDropAnalyzer
+from .analysis import BatchedAnalysisEngine, EMChecker
 from .core import PowerPlanningDL, format_key_values, format_table
 from .design import ConventionalPowerPlanner
 from .grid import (
@@ -112,7 +112,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print(f"error: netlist {args.netlist} does not exist", file=sys.stderr)
         return 2
     network = read_netlist(args.netlist)
-    result = IRDropAnalyzer().analyze(network)
+    result = BatchedAnalysisEngine().analyze(network)
     print(
         format_key_values(
             {
@@ -223,7 +223,7 @@ def _cmd_predict(args: argparse.Namespace) -> int:
         network = GridBuilder(bench.technology).build(
             floorplan, bench.topology, predicted.line_widths
         )
-        analysis = IRDropAnalyzer().analyze(network)
+        analysis = BatchedAnalysisEngine().analyze(network)
         em = EMChecker(bench.technology).check(network, analysis)
         summary["verified worst IR drop (mV)"] = analysis.worst_ir_drop_mv
         summary["verified EM violations"] = len(em.violations)

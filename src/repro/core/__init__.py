@@ -11,10 +11,12 @@ tracemalloc-based memory profiler and plain-text report formatting.
 from .dataset import BenchmarkDataset, DatasetBuilder, RegressionDataset
 from .evaluation import (
     AccuracyRow,
+    BatchedSolveStudy,
     ConvergenceComparison,
     FeatureScoreStudy,
     IRDropComparison,
     WidthPredictionStudy,
+    batched_solve_study,
     compare_convergence,
     compare_worst_ir_drop,
     feature_r2_study,
@@ -30,6 +32,7 @@ from .width_model import WidthPredictionResult, WidthPredictor
 
 __all__ = [
     "AccuracyRow",
+    "BatchedSolveStudy",
     "BenchmarkDataset",
     "ConvergenceComparison",
     "DatasetBuilder",
@@ -51,6 +54,7 @@ __all__ = [
     "WidthPredictionResult",
     "WidthPredictionStudy",
     "WidthPredictor",
+    "batched_solve_study",
     "compare_convergence",
     "compare_worst_ir_drop",
     "feature_r2_study",

@@ -10,11 +10,16 @@ correlation and error histograms (Fig. 7), worst-case IR-drop comparisons
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..analysis.engine import BatchedAnalysisEngine
+from ..analysis.irdrop import IRDropAnalyzer
 from ..design.planner import PowerPlanResult
+from ..grid.network import PowerGridNetwork
+from ..grid.perturbation import NetworkPerturbator, PerturbationSpec, perturbed_load_matrix
 from ..nn.metrics import (
     ErrorHistogram,
     error_histogram,
@@ -238,6 +243,106 @@ def compare_convergence(plan: PowerPlanResult, predicted: PredictedDesign) -> Co
         benchmark=plan.benchmark,
         conventional_seconds=single_iteration,
         powerplanningdl_seconds=predicted.convergence_time,
+    )
+
+
+# ----------------------------------------------------------------------
+# Batched-engine throughput: naive re-solve vs cached-factorization multi-RHS
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BatchedSolveStudy:
+    """Throughput comparison of the per-solve path vs the batched engine.
+
+    Attributes:
+        benchmark: Name of the analysed grid.
+        num_scenarios: Number of load scenarios solved by both paths.
+        naive_seconds: Wall-clock time of the per-solve baseline (one
+            assemble + factorize + solve per scenario).
+        batched_seconds: Wall-clock time of the batched engine (one
+            factorization, multi-RHS solve).
+        batched_factorizations: Factorizations performed by the engine
+            (1 for a current-only sweep).
+        max_voltage_difference: Worst per-node voltage difference between
+            the two paths over all scenarios, in volts.
+    """
+
+    benchmark: str
+    num_scenarios: int
+    naive_seconds: float
+    batched_seconds: float
+    batched_factorizations: int
+    max_voltage_difference: float
+
+    @property
+    def speedup(self) -> float:
+        """``T_naive / T_batched`` of the load-scenario sweep."""
+        if self.batched_seconds <= 0:
+            return float("inf")
+        return self.naive_seconds / self.batched_seconds
+
+    def as_record(self) -> dict:
+        """JSON-serialisable record of the study."""
+        return {
+            "benchmark": self.benchmark,
+            "num_scenarios": self.num_scenarios,
+            "naive_seconds": self.naive_seconds,
+            "batched_seconds": self.batched_seconds,
+            "batched_factorizations": self.batched_factorizations,
+            "max_voltage_difference": self.max_voltage_difference,
+            "speedup": self.speedup,
+        }
+
+
+def batched_solve_study(
+    network: PowerGridNetwork,
+    spec: PerturbationSpec,
+    num_scenarios: int,
+) -> BatchedSolveStudy:
+    """Compare naive per-scenario re-solving against the batched engine.
+
+    Both paths solve the same ``num_scenarios`` current-only perturbations
+    of ``network``.  The naive path rebuilds the perturbed network and runs
+    a fresh :class:`IRDropAnalyzer` per scenario (assembly + factorization
+    every time); the batched path compiles once and solves every RHS
+    against one cached factorization.  The per-node voltages of the two
+    paths are compared to guarantee the comparison is apples-to-apples.
+
+    Args:
+        network: The base grid (loads at nominal values).
+        spec: Current-only perturbation specification; scenario ``i`` uses
+            seed ``spec.seed + i``.
+        num_scenarios: Number of load scenarios (the acceptance sweep uses
+            at least 50).
+    """
+    load_matrix = perturbed_load_matrix(network, spec, num_scenarios)
+    compiled = network.compile()
+
+    engine = BatchedAnalysisEngine()
+    batched_start = time.perf_counter()
+    batch = engine.analyze_batch(compiled, load_matrix)
+    batched_seconds = time.perf_counter() - batched_start
+
+    analyzer = IRDropAnalyzer()
+    max_difference = 0.0
+    naive_seconds = 0.0
+    for scenario in range(num_scenarios):
+        perturbed = NetworkPerturbator(
+            PerturbationSpec(gamma=spec.gamma, kind=spec.kind, seed=spec.seed + scenario)
+        ).perturb(network)
+        naive_start = time.perf_counter()
+        result = analyzer.analyze(perturbed)
+        naive_seconds += time.perf_counter() - naive_start
+        naive_voltages = compiled.voltage_array(result.node_voltages)
+        difference = np.abs(naive_voltages - batch.scenario_voltages(scenario)).max()
+        max_difference = max(max_difference, float(difference))
+
+    return BatchedSolveStudy(
+        benchmark=network.name,
+        num_scenarios=num_scenarios,
+        naive_seconds=naive_seconds,
+        batched_seconds=batched_seconds,
+        batched_factorizations=engine.cache_info().factorizations,
+        max_voltage_difference=max_difference,
     )
 
 

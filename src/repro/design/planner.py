@@ -20,6 +20,7 @@ import numpy as np
 
 from ..analysis.currents import line_currents
 from ..analysis.em import EMChecker, EMReport
+from ..analysis.engine import BatchedAnalysisEngine
 from ..analysis.irdrop import IRDropAnalyzer, IRDropResult
 from ..grid.builder import GridBuilder, GridTopology
 from ..grid.floorplan import Floorplan
@@ -105,6 +106,11 @@ class ConventionalPowerPlanner:
         max_iterations: Cap on the number of resize iterations.
         upsize_factor: Multiplicative width increase applied to violating
             lines in each iteration.
+        analyzer: IR-drop backend; defaults to a
+            :class:`~repro.analysis.engine.BatchedAnalysisEngine`, whose
+            vectorised assembly and factorization cache speed up the
+            repeated analyses of the design loop.  A legacy
+            :class:`IRDropAnalyzer` is also accepted.
     """
 
     def __init__(
@@ -114,7 +120,7 @@ class ConventionalPowerPlanner:
         sizing_parameters: SizingParameters | None = None,
         max_iterations: int = 10,
         upsize_factor: float = 1.25,
-        analyzer: IRDropAnalyzer | None = None,
+        analyzer: IRDropAnalyzer | BatchedAnalysisEngine | None = None,
     ) -> None:
         if max_iterations < 1:
             raise ValueError("max_iterations must be at least 1")
@@ -125,7 +131,9 @@ class ConventionalPowerPlanner:
         self.sizer = AnalyticalSizer(technology, self.rules, sizing_parameters)
         self.max_iterations = max_iterations
         self.upsize_factor = upsize_factor
-        self.analyzer = analyzer or IRDropAnalyzer()
+        # Each resize iteration changes conductances (a new fingerprint), so
+        # a deep factorization cache would only pin dead memory: keep one.
+        self.analyzer = analyzer or BatchedAnalysisEngine(cache_size=1)
         self.em_checker = EMChecker(technology)
 
     # ------------------------------------------------------------------
@@ -250,8 +258,9 @@ class ConventionalPowerPlanner:
         new_widths = widths.copy()
         resized: set[int] = set()
 
-        for line_id in em_report.violating_lines:
-            per_line = line_currents(network, ir_result)
+        violating = em_report.violating_lines
+        per_line = line_currents(network, ir_result) if violating else {}
+        for line_id in violating:
             required = per_line.get(line_id, 0.0) / constraints.jmax
             target = max(new_widths[line_id] * self.upsize_factor, required)
             legal = self.rules.legalize_width(target)

@@ -53,6 +53,17 @@ class SizingParameters:
             raise ValueError("distance_decay must be positive")
 
 
+def _ir_width_array(
+    sheet_resistance: np.ndarray,
+    length: np.ndarray,
+    current: np.ndarray,
+    ir_budget: float,
+) -> np.ndarray:
+    """Vectorised eq. (1): ``w = rho * l * I / V_IR`` (0 for idle lines)."""
+    positive = (current > 0) & (length > 0)
+    return np.where(positive, sheet_resistance * length * current / ir_budget, 0.0)
+
+
 def estimate_line_currents(
     floorplan: Floorplan,
     topology: GridTopology,
@@ -123,27 +134,30 @@ class AnalyticalSizer:
             floorplan, topology, decay_fraction=params.distance_decay
         )
         ir_budget = self.technology.ir_drop_limit * params.ir_budget_fraction
-        widths = np.empty(topology.num_lines, dtype=float)
+        if ir_budget <= 0:
+            raise ValueError("ir_budget must be positive")
 
-        v_layer = self.technology.vertical_layer
-        h_layer = self.technology.horizontal_layer
-        for line_id in range(topology.num_lines):
-            vertical = topology.is_vertical(line_id)
-            layer = v_layer if vertical else h_layer
-            length = floorplan.core_height if vertical else floorplan.core_width
-            current = line_currents[line_id]
-            # Current only has to travel from a load to the nearest supply
-            # pad, so the effective length is half the pad pitch (bounded by
-            # a quarter of the span for pad-starved floorplans).
-            effective_length = min(
-                length / 4.0, self._pad_pitch(floorplan, vertical) / 2.0
-            )
-            ir_width = (
-                self.technology_sheet_width(layer.sheet_resistance, effective_length, current, ir_budget)
-            )
-            em_width = params.em_safety_factor * current / self.technology.jmax
-            widths[line_id] = max(ir_width, em_width, self.rules.min_width)
-
+        vertical = np.arange(topology.num_lines) < topology.num_vertical
+        sheet_resistance = np.where(
+            vertical,
+            self.technology.vertical_layer.sheet_resistance,
+            self.technology.horizontal_layer.sheet_resistance,
+        )
+        length = np.where(vertical, floorplan.core_height, floorplan.core_width)
+        # Current only has to travel from a load to the nearest supply pad,
+        # so the effective length is half the pad pitch (bounded by a
+        # quarter of the span for pad-starved floorplans).
+        effective_length = np.minimum(
+            length / 4.0,
+            np.where(
+                vertical,
+                self._pad_pitch(floorplan, True) / 2.0,
+                self._pad_pitch(floorplan, False) / 2.0,
+            ),
+        )
+        ir_width = _ir_width_array(sheet_resistance, effective_length, line_currents, ir_budget)
+        em_width = params.em_safety_factor * line_currents / self.technology.jmax
+        widths = np.maximum(np.maximum(ir_width, em_width), self.rules.min_width)
         return self.rules.legalize_widths(widths)
 
     @staticmethod
@@ -167,9 +181,14 @@ class AnalyticalSizer:
         """
         if ir_budget <= 0:
             raise ValueError("ir_budget must be positive")
-        if current <= 0 or length <= 0:
-            return 0.0
-        return sheet_resistance * length * current / ir_budget
+        return float(
+            _ir_width_array(
+                np.asarray(sheet_resistance, dtype=float),
+                np.asarray(length, dtype=float),
+                np.asarray(current, dtype=float),
+                ir_budget,
+            )
+        )
 
 
 def width_from_ir_budget(

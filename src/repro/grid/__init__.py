@@ -27,6 +27,7 @@ from .benchmarks import (
     load_benchmark,
 )
 from .builder import GridBuilder, GridTopology, uniform_topology
+from .compiled import CompiledGrid, compile_grid
 from .elements import GROUND_NODE, CurrentSource, GridNode, Resistor, VoltageSource
 from .floorplan import Floorplan, FunctionalBlock, PowerPad
 from .netlist import (
@@ -46,6 +47,7 @@ from .perturbation import (
     PerturbationKind,
     PerturbationSpec,
     perturbation_sweep,
+    perturbed_load_matrix,
 )
 from .technology import (
     DEFAULT_TECHNOLOGY,
@@ -57,6 +59,7 @@ from .technology import (
 
 __all__ = [
     "BenchmarkConfig",
+    "CompiledGrid",
     "CurrentSource",
     "DEFAULT_TECHNOLOGY",
     "Floorplan",
@@ -83,6 +86,7 @@ __all__ = [
     "Technology",
     "VoltageSource",
     "benchmark_config",
+    "compile_grid",
     "generate_floorplan",
     "generate_topology",
     "generic_45nm",
@@ -92,6 +96,7 @@ __all__ = [
     "parse_node_name",
     "parse_spice_value",
     "perturbation_sweep",
+    "perturbed_load_matrix",
     "read_netlist",
     "uniform_topology",
     "write_netlist",

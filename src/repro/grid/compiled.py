@@ -1,0 +1,365 @@
+"""One-shot compilation of a power-grid network into NumPy arrays.
+
+:class:`PowerGridNetwork` is optimised for incremental construction: every
+element lives in a string-keyed dict and refers to its terminals by node
+name.  That representation is convenient to build but slow to analyse — the
+MNA assembly used to walk those dicts element by element for every solve.
+
+:class:`CompiledGrid` is the analysis-side counterpart: a single pass over
+the network produces integer-indexed arrays (resistor endpoints, branch
+conductances, pad mask, load incidence) from which the reduced nodal system
+is assembled with vectorised COO→CSR operations.  The compiled form also
+exposes a **topology fingerprint** that identifies the reduced conductance
+matrix: two grids with the same fingerprint share the same matrix (pad
+voltages and load currents only enter the right-hand side), which is what
+lets :class:`~repro.analysis.engine.BatchedAnalysisEngine` reuse one sparse
+factorization across thousands of load scenarios.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from functools import cached_property
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+import numpy as np
+import scipy.sparse as sp
+
+from .elements import GROUND_NODE, CurrentSource, Resistor
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .network import PowerGridNetwork
+
+_GROUND_INDEX = -1
+"""Endpoint index used for the implicit ground node."""
+
+
+class CompiledGrid:
+    """Array-backed, analysis-ready form of a :class:`PowerGridNetwork`.
+
+    Instances are created by :func:`compile_grid` (or the cached
+    :meth:`PowerGridNetwork.compile`) and treated as immutable: all arrays
+    are derived once from the network and never written to afterwards.
+
+    Attributes:
+        name: Name of the source network.
+        vdd: Nominal supply voltage of the source network.
+        node_names: All node names in network insertion order; array indices
+            throughout the compiled grid refer to this order.
+        res_a: Resistor first-endpoint node indices (``-1`` for ground).
+        res_b: Resistor second-endpoint node indices (``-1`` for ground).
+        conductance: Per-resistor branch conductance in siemens.
+        res_width: Per-resistor drawn width in um (0 for vias).
+        res_line_id: Per-resistor power-grid line id (-1 for vias).
+        resistors: The source :class:`Resistor` objects, aligned with the
+            resistor arrays.
+        is_pad: Boolean mask over nodes marking supply-pad nodes.
+        pad_voltage: Per-node pad voltage (0 for non-pad nodes).  When
+            several pads share a node, the last added pad wins, matching the
+            legacy assembler.
+        base_loads: Per-node total load current in amperes.
+        load_node: Per-current-source node index, in insertion order.
+        load_current: Per-current-source nominal current, aligned with
+            ``load_node``.
+    """
+
+    def __init__(self, network: "PowerGridNetwork") -> None:
+        self.name = network.name
+        self.vdd = network.vdd
+        self.node_names: tuple[str, ...] = tuple(network.nodes)
+        index = {name: i for i, name in enumerate(self.node_names)}
+        self.node_index: dict[str, int] = index
+        n = len(self.node_names)
+
+        resistors = tuple(network.iter_resistors())
+        self.resistors: tuple[Resistor, ...] = resistors
+        self.res_a = np.fromiter(
+            (index.get(r.node_a, _GROUND_INDEX) for r in resistors), dtype=np.int64, count=len(resistors)
+        )
+        self.res_b = np.fromiter(
+            (index.get(r.node_b, _GROUND_INDEX) for r in resistors), dtype=np.int64, count=len(resistors)
+        )
+        self.conductance = np.fromiter(
+            (1.0 / r.resistance for r in resistors), dtype=float, count=len(resistors)
+        )
+        self.res_width = np.fromiter((r.width for r in resistors), dtype=float, count=len(resistors))
+        self.res_line_id = np.fromiter(
+            (r.line_id for r in resistors), dtype=np.int64, count=len(resistors)
+        )
+
+        self.is_pad = np.zeros(n, dtype=bool)
+        self.pad_voltage = np.zeros(n, dtype=float)
+        for pad in network.iter_pads():
+            i = index[pad.node]
+            self.is_pad[i] = True
+            self.pad_voltage[i] = pad.voltage
+        self.pad_names: tuple[str, ...] = tuple(pad.name for pad in network.iter_pads())
+        self.pad_node: np.ndarray = np.fromiter(
+            (index[pad.node] for pad in network.iter_pads()), dtype=np.int64, count=len(self.pad_names)
+        )
+
+        sources = tuple(network.iter_loads())
+        self.load_names: tuple[str, ...] = tuple(s.name for s in sources)
+        self.load_node = np.fromiter(
+            (index[s.node] for s in sources), dtype=np.int64, count=len(sources)
+        )
+        self.load_current = np.fromiter((s.current for s in sources), dtype=float, count=len(sources))
+        self.base_loads = np.bincount(
+            self.load_node, weights=self.load_current, minlength=n
+        ) if len(sources) else np.zeros(n, dtype=float)
+
+        # Reduced-system bookkeeping: unknown (non-pad) nodes keep their
+        # relative insertion order, exactly like the legacy assembler.
+        self.unknown_sel = np.flatnonzero(~self.is_pad)
+        self.unknown_index = np.full(n, _GROUND_INDEX, dtype=np.int64)
+        self.unknown_index[self.unknown_sel] = np.arange(len(self.unknown_sel))
+        self.unknown_nodes: tuple[str, ...] = tuple(
+            self.node_names[i] for i in self.unknown_sel
+        )
+
+        self._classify_branches()
+
+    # ------------------------------------------------------------------
+    # Sizes
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of grid nodes (excluding the implicit ground)."""
+        return len(self.node_names)
+
+    @property
+    def num_resistors(self) -> int:
+        """Number of resistive branches."""
+        return len(self.resistors)
+
+    @property
+    def num_unknowns(self) -> int:
+        """Number of unknown (non-pad) node voltages in the reduced system."""
+        return len(self.unknown_sel)
+
+    # ------------------------------------------------------------------
+    # Branch classification (done once at compile time)
+    # ------------------------------------------------------------------
+    def _classify_branches(self) -> None:
+        a, b = self.res_a, self.res_b
+        a_ground = a == _GROUND_INDEX
+        b_ground = b == _GROUND_INDEX
+        a_safe = np.where(a_ground, 0, a)
+        b_safe = np.where(b_ground, 0, b)
+        self._res_a_ground, self._res_b_ground = a_ground, b_ground
+        self._res_a_safe, self._res_b_safe = a_safe, b_safe
+        a_pad = ~a_ground & self.is_pad[a_safe]
+        b_pad = ~b_ground & self.is_pad[b_safe]
+        a_free = ~a_ground & ~a_pad
+        b_free = ~b_ground & ~b_pad
+
+        one_ground = a_ground ^ b_ground
+        self.ground_connected = bool(one_ground.any())
+
+        # Ground branch whose other endpoint is a free node: diagonal only.
+        ground_free = one_ground & (np.where(a_ground, b_free, a_free))
+        self._gf_node = self.unknown_index[np.where(a_ground, b_safe, a_safe)[ground_free]]
+        self._gf_g = self.conductance[ground_free]
+
+        # Pad-to-free branch: diagonal on the free node plus a pad-voltage
+        # contribution on the right-hand side.
+        pad_free = (a_pad & b_free) | (b_pad & a_free)
+        free_end = np.where(a_pad, b_safe, a_safe)[pad_free]
+        pad_end = np.where(a_pad, a_safe, b_safe)[pad_free]
+        self._pf_free = self.unknown_index[free_end]
+        self._pf_pad = pad_end
+        self._pf_g = self.conductance[pad_free]
+
+        # Free-to-free branch: two diagonal and two off-diagonal stamps.
+        free_free = a_free & b_free
+        self._ff_i = self.unknown_index[a_safe[free_free]]
+        self._ff_j = self.unknown_index[b_safe[free_free]]
+        self._ff_g = self.conductance[free_free]
+
+    # ------------------------------------------------------------------
+    # Reduced system assembly
+    # ------------------------------------------------------------------
+    @cached_property
+    def reduced_matrix(self) -> sp.csr_matrix:
+        """Sparse SPD conductance matrix over the unknown nodes (CSR).
+
+        Assembled fully vectorised: stamp coordinates are concatenated into
+        one COO triplet set and duplicate entries are summed by the COO→CSR
+        conversion.
+        """
+        n = self.num_unknowns
+        rows = np.concatenate(
+            (self._gf_node, self._pf_free, self._ff_i, self._ff_j, self._ff_i, self._ff_j)
+        )
+        cols = np.concatenate(
+            (self._gf_node, self._pf_free, self._ff_i, self._ff_j, self._ff_j, self._ff_i)
+        )
+        data = np.concatenate(
+            (self._gf_g, self._pf_g, self._ff_g, self._ff_g, -self._ff_g, -self._ff_g)
+        )
+        matrix = sp.coo_matrix((data, (rows, cols)), shape=(n, n)).tocsr()
+        matrix.sum_duplicates()
+        return matrix
+
+    @cached_property
+    def pad_rhs(self) -> np.ndarray:
+        """RHS contribution of the fixed pad voltages, over the unknowns."""
+        rhs = np.zeros(self.num_unknowns, dtype=float)
+        np.add.at(rhs, self._pf_free, self._pf_g * self.pad_voltage[self._pf_pad])
+        return rhs
+
+    def rhs(self, loads: np.ndarray | None = None) -> np.ndarray:
+        """Right-hand side of the reduced system for one load scenario.
+
+        Args:
+            loads: Per-node load currents over all nodes (defaults to the
+                compiled network's own loads).  Loads attached to pad nodes
+                are ignored, as in the legacy assembler.
+        """
+        loads = self.base_loads if loads is None else np.asarray(loads, dtype=float)
+        if loads.shape != (self.num_nodes,):
+            raise ValueError(f"expected loads of shape ({self.num_nodes},), got {loads.shape}")
+        return self.pad_rhs - loads[self.unknown_sel]
+
+    def rhs_matrix(self, load_matrix: np.ndarray) -> np.ndarray:
+        """Right-hand sides for many load scenarios at once.
+
+        Args:
+            load_matrix: ``(num_scenarios, num_nodes)`` per-node currents.
+
+        Returns:
+            ``(num_unknowns, num_scenarios)`` RHS matrix, ready for a
+            multi-RHS sparse triangular solve.
+        """
+        load_matrix = np.asarray(load_matrix, dtype=float)
+        if load_matrix.ndim != 2 or load_matrix.shape[1] != self.num_nodes:
+            raise ValueError(
+                f"expected load matrix of shape (k, {self.num_nodes}), got {load_matrix.shape}"
+            )
+        return self.pad_rhs[:, None] - load_matrix[:, self.unknown_sel].T
+
+    @cached_property
+    def load_incidence(self) -> sp.csr_matrix:
+        """Sparse ``(num_sources, num_nodes)`` current-source incidence.
+
+        Multiplying a ``(k, num_sources)`` matrix of per-source currents by
+        this incidence yields the ``(k, num_nodes)`` per-node load matrix —
+        the bridge between per-source perturbation factors and RHS vectors.
+        """
+        m = len(self.load_names)
+        return sp.csr_matrix(
+            (np.ones(m), (np.arange(m), self.load_node)),
+            shape=(m, self.num_nodes),
+        )
+
+    # ------------------------------------------------------------------
+    # Fingerprint
+    # ------------------------------------------------------------------
+    @cached_property
+    def fingerprint(self) -> str:
+        """Digest identifying the reduced conductance matrix.
+
+        Covers the node count, resistor endpoints, branch conductances and
+        the pad mask — everything that shapes the matrix.  Pad *voltages*
+        and load currents are deliberately excluded: they only affect the
+        right-hand side, so grids differing only in those share a
+        factorization.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(np.int64(self.num_nodes).tobytes())
+        digest.update(self.res_a.tobytes())
+        digest.update(self.res_b.tobytes())
+        digest.update(np.ascontiguousarray(self.conductance).tobytes())
+        digest.update(np.packbits(self.is_pad).tobytes())
+        return digest.hexdigest()
+
+    # ------------------------------------------------------------------
+    # Solution helpers
+    # ------------------------------------------------------------------
+    def full_voltages(self, unknown_voltages: np.ndarray) -> np.ndarray:
+        """Scatter solved unknowns and pad voltages into a per-node vector.
+
+        Args:
+            unknown_voltages: ``(num_unknowns,)`` solution vector, or a
+                ``(num_unknowns, k)`` matrix for batched solutions.
+
+        Returns:
+            ``(num_nodes,)`` (or ``(num_nodes, k)``) voltages over all nodes.
+        """
+        unknown_voltages = np.asarray(unknown_voltages, dtype=float)
+        if unknown_voltages.shape[0] != self.num_unknowns:
+            raise ValueError(
+                f"expected {self.num_unknowns} unknown voltages, got {unknown_voltages.shape[0]}"
+            )
+        shape = (self.num_nodes,) + unknown_voltages.shape[1:]
+        voltages = np.empty(shape, dtype=float)
+        voltages[self.unknown_sel] = unknown_voltages
+        pad_sel = np.flatnonzero(self.is_pad)
+        voltages[pad_sel] = (
+            self.pad_voltage[pad_sel][:, None]
+            if unknown_voltages.ndim == 2
+            else self.pad_voltage[pad_sel]
+        )
+        return voltages
+
+    def voltages_dict(self, voltages: np.ndarray) -> dict[str, float]:
+        """Convert a per-node voltage vector into a name-keyed mapping."""
+        return {name: float(v) for name, v in zip(self.node_names, voltages)}
+
+    def voltage_array(self, voltages: Mapping[str, float]) -> np.ndarray:
+        """Convert a name-keyed voltage mapping into compiled node order."""
+        return np.fromiter(
+            (voltages[name] for name in self.node_names), dtype=float, count=self.num_nodes
+        )
+
+    def branch_current_array(self, voltages: np.ndarray) -> np.ndarray:
+        """Vectorised Ohm's law over every branch.
+
+        Args:
+            voltages: Per-node voltages in compiled order.
+
+        Returns:
+            Signed currents flowing from ``node_a`` to ``node_b``, aligned
+            with :attr:`resistors`.
+        """
+        v = np.asarray(voltages, dtype=float)
+        va = np.where(self._res_a_ground, 0.0, v[self._res_a_safe])
+        vb = np.where(self._res_b_ground, 0.0, v[self._res_b_safe])
+        return (va - vb) * self.conductance
+
+    def node_outflow(self, branch_currents: np.ndarray) -> np.ndarray:
+        """Net branch current flowing out of each node, in amperes.
+
+        Args:
+            branch_currents: Signed per-branch currents (``node_a`` →
+                ``node_b``), aligned with :attr:`resistors`.
+        """
+        branch_currents = np.asarray(branch_currents, dtype=float)
+        outflow = np.zeros(self.num_nodes, dtype=float)
+        a_live = ~self._res_a_ground
+        b_live = ~self._res_b_ground
+        np.add.at(outflow, self._res_a_safe[a_live], branch_currents[a_live])
+        np.add.at(outflow, self._res_b_safe[b_live], -branch_currents[b_live])
+        return outflow
+
+    def loads_from_sources(self, sources: Iterable[CurrentSource]) -> np.ndarray:
+        """Aggregate arbitrary current sources into a per-node load vector.
+
+        Raises:
+            KeyError: If a source references a node unknown to this grid.
+        """
+        loads = np.zeros(self.num_nodes, dtype=float)
+        for source in sources:
+            loads[self.node_index[source.node]] += source.current
+        return loads
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"CompiledGrid(name={self.name!r}, nodes={self.num_nodes}, "
+            f"resistors={self.num_resistors}, unknowns={self.num_unknowns})"
+        )
+
+
+def compile_grid(network: "PowerGridNetwork") -> CompiledGrid:
+    """Compile ``network`` into its array-backed analysis form."""
+    return CompiledGrid(network)

@@ -17,6 +17,7 @@ from typing import Iterable, Iterator
 
 import networkx as nx
 
+from .compiled import CompiledGrid
 from .elements import GROUND_NODE, CurrentSource, GridNode, Resistor, VoltageSource
 
 
@@ -66,6 +67,7 @@ class PowerGridNetwork:
         self._voltage_sources: dict[str, VoltageSource] = {}
         self._current_sources: dict[str, CurrentSource] = {}
         self._node_index: dict[str, int] | None = None
+        self._compiled: "CompiledGrid | None" = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -88,6 +90,7 @@ class PowerGridNetwork:
             return existing
         self._nodes[node.name] = node
         self._node_index = None
+        self._compiled = None
         return node
 
     def add_resistor(self, resistor: Resistor) -> Resistor:
@@ -103,6 +106,7 @@ class PowerGridNetwork:
         self._require_node(resistor.node_a)
         self._require_node(resistor.node_b)
         self._resistors[resistor.name] = resistor
+        self._compiled = None
         return resistor
 
     def add_voltage_source(self, source: VoltageSource) -> VoltageSource:
@@ -115,6 +119,7 @@ class PowerGridNetwork:
             raise ValueError(f"voltage source {source.name!r} already exists")
         self._require_node(source.node)
         self._voltage_sources[source.name] = source
+        self._compiled = None
         return source
 
     def add_current_source(self, source: CurrentSource) -> CurrentSource:
@@ -127,6 +132,7 @@ class PowerGridNetwork:
             raise ValueError(f"current source {source.name!r} already exists")
         self._require_node(source.node)
         self._current_sources[source.name] = source
+        self._compiled = None
         return source
 
     def _require_node(self, name: str) -> None:
@@ -194,6 +200,16 @@ class PowerGridNetwork:
         if self._node_index is None:
             self._node_index = {name: i for i, name in enumerate(self._nodes)}
         return self._node_index
+
+    def compile(self) -> CompiledGrid:
+        """Return the array-backed :class:`CompiledGrid` form of this network.
+
+        The compiled form is cached and invalidated whenever an element is
+        added, so repeated analyses of an unchanged network compile once.
+        """
+        if self._compiled is None:
+            self._compiled = CompiledGrid(self)
+        return self._compiled
 
     def statistics(self) -> GridStatistics:
         """Return the Table II-style size statistics of the grid."""
@@ -277,6 +293,12 @@ class PowerGridNetwork:
         clone._resistors = dict(self._resistors)
         clone._voltage_sources = dict(self._voltage_sources)
         clone._current_sources = dict(self._current_sources)
+        # Callers (with_scaled_loads, replace_loads, NetworkPerturbator)
+        # overwrite the element dicts wholesale after copying, bypassing the
+        # add_* invalidation hooks — reset the derived caches explicitly so
+        # the clone can never serve a stale compiled form.
+        clone._node_index = None
+        clone._compiled = None
         return clone
 
     def with_scaled_loads(self, factor: float, name: str | None = None) -> "PowerGridNetwork":

@@ -23,6 +23,7 @@ from enum import Enum
 
 import numpy as np
 
+from .compiled import CompiledGrid
 from .elements import CurrentSource, VoltageSource
 from .floorplan import Floorplan
 from .network import PowerGridNetwork
@@ -152,6 +153,53 @@ class NetworkPerturbator:
                 for pad, factor in zip(pads, factors)
             }
         return clone
+
+
+def perturbed_load_matrix(
+    network: PowerGridNetwork | CompiledGrid,
+    spec: PerturbationSpec,
+    num_scenarios: int,
+) -> np.ndarray:
+    """Generate per-node load vectors for a current-only perturbation sweep.
+
+    Scenario ``i`` jitters every current source by independent factors in
+    ``1 +/- gamma`` drawn from ``default_rng(spec.seed + i)`` — scenario
+    ``i`` therefore matches ``NetworkPerturbator`` run with the same spec at
+    seed ``spec.seed + i``.  Because only the right-hand side changes, the
+    whole sweep can be solved against a single cached factorization by
+    :class:`~repro.analysis.engine.BatchedAnalysisEngine`.
+
+    Args:
+        network: The base grid (or its compiled form).
+        spec: Perturbation specification; must not perturb voltages (a pad
+            voltage change needs a rebuilt network, even though it too would
+            reuse the factorization).
+        num_scenarios: Number of load scenarios to generate.
+
+    Returns:
+        ``(num_scenarios, num_nodes)`` per-node current matrix in compiled
+        node order.
+
+    Raises:
+        ValueError: If the spec perturbs voltages or ``num_scenarios < 1``.
+    """
+    if spec.perturbs_voltages:
+        raise ValueError(
+            "perturbed_load_matrix only supports current-only perturbations; "
+            "use NetworkPerturbator for voltage perturbations"
+        )
+    if num_scenarios < 1:
+        raise ValueError("num_scenarios must be at least 1")
+    compiled = network if isinstance(network, CompiledGrid) else network.compile()
+    num_sources = len(compiled.load_names)
+    if num_sources == 0:
+        return np.zeros((num_scenarios, compiled.num_nodes))
+    factors = np.empty((num_scenarios, num_sources), dtype=float)
+    for scenario in range(num_scenarios):
+        rng = np.random.default_rng(spec.seed + scenario)
+        factors[scenario] = _relative_jitter(rng, num_sources, spec.gamma)
+    per_source = factors * compiled.load_current
+    return np.asarray(compiled.load_incidence.T.dot(per_source.T)).T
 
 
 def perturbation_sweep(gammas: list[float] | None = None) -> list[PerturbationSpec]:
