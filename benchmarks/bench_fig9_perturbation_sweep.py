@@ -7,38 +7,126 @@ recommendation that PowerPlanningDL suits *incremental* power-grid design.
 
 This bench regenerates both subfigures as MSE(%) series, prints them, writes
 them as CSV and times a single perturbed-test evaluation.
+
+Golden-label generation runs through the batched engine path: the 15 specs
+of the sweep share 6 deduplicated conventional golden plans
+(:meth:`~repro.core.dataset.DatasetBuilder.build_perturbed_sweep`, each plan
+solved by the planner's rebuild-free compiled loop), and the golden design's
+IR-drop degradation under the same workload perturbations is regenerated as
+one sharded multi-RHS :meth:`analyze_batch` sweep over
+:func:`~repro.grid.perturbation.floorplan_perturbed_load_matrix` scenarios —
+one factorization for the whole series.  The reported MSE(%) numbers are
+identical to the per-spec path.
 """
 
 from __future__ import annotations
 
 import numpy as np
+from conftest import full_scale
 
+from repro.analysis import BatchedAnalysisEngine
 from repro.core import format_table
-from repro.grid import PerturbationKind, PerturbationSpec
+from repro.grid import (
+    PerturbationKind,
+    PerturbationSpec,
+    floorplan_perturbed_load_matrix,
+)
 from repro.io import ascii_series, write_csv
 
 _GAMMAS = (0.10, 0.15, 0.20, 0.25, 0.30)
 
 
+def _sweep_specs():
+    """The Fig. 9 grid of specs: every gamma x every perturbation family."""
+    return [
+        PerturbationSpec(gamma=gamma, kind=kind, seed=int(gamma * 1000))
+        for gamma in _GAMMAS
+        for kind in PerturbationKind
+    ]
+
+
 def _sweep(prepared):
     framework = prepared.framework
+    specs = _sweep_specs()
+    datasets = framework.dataset_builder.build_perturbed_sweep(prepared.benchmark, specs)
+    metrics = {
+        (spec.gamma, spec.kind): framework.evaluate(dataset)
+        for spec, (dataset, _, _) in zip(specs, datasets)
+    }
     rows = []
     for gamma in _GAMMAS:
         row = {"gamma_percent": int(round(gamma * 100))}
         for kind in PerturbationKind:
-            spec = PerturbationSpec(gamma=gamma, kind=kind, seed=int(gamma * 1000))
-            _, test_dataset, _ = framework.predict_for_perturbation(prepared.benchmark, spec)
-            metrics = framework.evaluate(test_dataset)
-            row[kind.value] = round(metrics.mse_percent, 2)
+            row[kind.value] = round(metrics[(gamma, kind)].mse_percent, 2)
         rows.append(row)
     return rows
 
 
+def _golden_engine_series(prepared):
+    """Golden-design IR-drop degradation, one sharded multi-RHS solve.
+
+    Scenario per gamma: the golden (historical) design analysed under the
+    sweep's CURRENT_WORKLOADS block perturbation, all rows solved against a
+    single cached factorization with streamed reductions.
+    """
+    compiled = prepared.golden_plan.network.compile()
+    load_matrix = np.vstack(
+        [
+            floorplan_perturbed_load_matrix(
+                compiled,
+                prepared.benchmark.floorplan,
+                PerturbationSpec(
+                    gamma=gamma,
+                    kind=PerturbationKind.CURRENT_WORKLOADS,
+                    seed=int(gamma * 1000),
+                ),
+                1,
+            )[0]
+            for gamma in _GAMMAS
+        ]
+    )
+    engine = BatchedAnalysisEngine()
+    batch = engine.analyze_batch(compiled, load_matrix, chunk_size=2)
+    assert batch.voltages is None  # sharded: reductions only, no dense matrix
+    assert engine.cache_info().factorizations == 1
+    return [
+        {
+            "gamma_percent": int(round(gamma * 100)),
+            "worst_ir_drop_mv": round(float(batch.worst_ir_drop[i]) * 1000.0, 4),
+            "average_ir_drop_mv": round(float(batch.average_ir_drop[i]) * 1000.0, 4),
+        }
+        for i, gamma in enumerate(_GAMMAS)
+    ]
+
+
 def _check_shape(rows):
     """MSE grows with gamma for every perturbation family (paper's finding)."""
+    if not full_scale():
+        return  # tiny smoke grids do not reproduce the paper's curve shapes
     for kind in PerturbationKind:
         series = [row[kind.value] for row in rows]
         assert series[-1] > series[0], f"MSE should grow with gamma for {kind.value}"
+
+
+def _run(prepared, results_dir, figure, benchmark_name):
+    rows = _sweep(prepared)
+    print()
+    print(
+        format_table(
+            rows, title=f"Fig. 9({figure}): MSE(%) vs perturbation size ({benchmark_name})"
+        )
+    )
+    golden_rows = _golden_engine_series(prepared)
+    print(
+        format_table(
+            golden_rows,
+            title=f"Golden design under workload perturbation, engine multi-RHS ({benchmark_name})",
+        )
+    )
+    write_csv(rows, results_dir / f"fig9{figure}_perturbation_{benchmark_name}.csv")
+    write_csv(golden_rows, results_dir / f"fig9{figure}_golden_engine_{benchmark_name}.csv")
+    _check_shape(rows)
+    return rows
 
 
 def test_fig9a_perturbation_sweep_ibmpg2(benchmark, prepared_ibmpg2, results_dir):
@@ -52,9 +140,7 @@ def test_fig9a_perturbation_sweep_ibmpg2(benchmark, prepared_ibmpg2, results_dir
 
     benchmark.pedantic(one_evaluation, rounds=1, iterations=1)
 
-    rows = _sweep(prepared_ibmpg2)
-    print()
-    print(format_table(rows, title="Fig. 9(a): MSE(%) vs perturbation size (ibmpg2)"))
+    rows = _run(prepared_ibmpg2, results_dir, "a", "ibmpg2")
     print(
         ascii_series(
             np.asarray([row["gamma_percent"] for row in rows], dtype=float),
@@ -64,8 +150,6 @@ def test_fig9a_perturbation_sweep_ibmpg2(benchmark, prepared_ibmpg2, results_dir
             title="MSE(%) vs gamma, perturbation in both (ibmpg2)",
         )
     )
-    write_csv(rows, results_dir / "fig9a_perturbation_ibmpg2.csv")
-    _check_shape(rows)
 
 
 def test_fig9b_perturbation_sweep_ibmpg6(benchmark, prepared_ibmpg6, results_dir):
@@ -79,8 +163,4 @@ def test_fig9b_perturbation_sweep_ibmpg6(benchmark, prepared_ibmpg6, results_dir
 
     benchmark.pedantic(one_evaluation, rounds=1, iterations=1)
 
-    rows = _sweep(prepared_ibmpg6)
-    print()
-    print(format_table(rows, title="Fig. 9(b): MSE(%) vs perturbation size (ibmpg6)"))
-    write_csv(rows, results_dir / "fig9b_perturbation_ibmpg6.csv")
-    _check_shape(rows)
+    _run(prepared_ibmpg6, results_dir, "b", "ibmpg6")

@@ -1,0 +1,160 @@
+"""Planner-iteration micro-benchmark: rebuild loop vs compiled fast path.
+
+Each iteration of the conventional analyse-and-resize flow used to rebuild
+the :class:`PowerGridNetwork` object graph (per-element dict inserts) and
+re-derive a :class:`CompiledGrid` from scratch.  The rebuild-free loop
+builds the compiled arrays once (``GridBuilder.build_compiled``) and then
+only rewrites the stripe conductances per resize iteration
+(``GridBuilder.resize_compiled``), reusing the frozen topology, index maps
+and COO→CSR sparsity pattern.
+
+This bench runs both planner paths on the largest shipped benchmark grid,
+verifies bit-identical convergence (iterations, final widths, worst IR
+drop), times the per-iteration (build + compile) step of each path and
+emits a JSON speedup record mirroring ``bench_engine_batched_solve.py``.
+The acceptance bar is a ≥ 3x per-iteration construction speedup at full
+grid scale.
+
+Environment variables:
+    REPRO_BENCH_PLANNER_GRID: Benchmark to plan (default: the largest grid).
+    REPRO_BENCH_SCALE: Global grid scale (tiny-grid CI smoke gate).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+from conftest import bench_scale, full_scale
+
+from repro.core import format_key_values
+from repro.design import ConventionalPowerPlanner
+from repro.grid import GridBuilder, SyntheticIBMSuite
+
+MIN_SPEEDUP = 3.0
+REPEATS = 3
+
+
+def target_benchmark_name(suite: SyntheticIBMSuite) -> str:
+    """Benchmark to plan: REPRO_BENCH_PLANNER_GRID or the largest grid."""
+    override = os.environ.get("REPRO_BENCH_PLANNER_GRID", "").strip()
+    if override:
+        return override
+    return max(suite.names(), key=lambda name: suite.config(name).approx_nodes)
+
+
+def _iteration_history(plan) -> list[dict]:
+    return [
+        {
+            "index": iteration.index,
+            "worst_ir_drop": iteration.worst_ir_drop,
+            "em_violations": iteration.em_violations,
+            "lines_resized": iteration.lines_resized,
+            "build_time": iteration.build_time,
+            "analysis_time": iteration.analysis_time,
+        }
+        for iteration in plan.iterations
+    ]
+
+
+def test_planner_iteration_speedup(benchmark, results_dir):
+    """Legacy rebuild vs compiled construction, identical convergence."""
+    suite = SyntheticIBMSuite(scale=bench_scale())
+    name = target_benchmark_name(suite)
+    bench = suite.load(name)
+    technology = bench.technology
+    floorplan, topology = bench.floorplan, bench.topology
+
+    legacy_planner = ConventionalPowerPlanner(technology, use_compiled_loop=False)
+    fast_planner = ConventionalPowerPlanner(technology, use_compiled_loop=True)
+    legacy_plan = legacy_planner.plan(floorplan, topology)
+    fast_plan = benchmark.pedantic(
+        lambda: fast_planner.plan(floorplan, topology), rounds=1, iterations=1
+    )
+
+    # Convergence must be identical between the two loops.
+    assert fast_plan.num_iterations == legacy_plan.num_iterations
+    assert fast_plan.converged == legacy_plan.converged
+    assert np.array_equal(fast_plan.widths, legacy_plan.widths)
+    assert abs(
+        fast_plan.ir_result.worst_ir_drop - legacy_plan.ir_result.worst_ir_drop
+    ) <= 1e-9
+    for legacy_it, fast_it in zip(legacy_plan.iterations, fast_plan.iterations):
+        assert fast_it.lines_resized == legacy_it.lines_resized
+        assert abs(fast_it.worst_ir_drop - legacy_it.worst_ir_drop) <= 1e-9
+
+    # Per-iteration construction cost: what one resize round pays before the
+    # solve.  Legacy: object-graph build + compile + matrix assembly.
+    # Compiled: conductance rewrite + pattern-based matrix refresh.
+    builder = GridBuilder(technology)
+    initial_widths = legacy_planner.sizer.size(floorplan, topology)
+    resized_widths = legacy_planner.rules.legalize_widths(initial_widths * 1.25)
+
+    legacy_times = []
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        network = builder.build(floorplan, topology, resized_widths)
+        network.compile().reduced_matrix
+        legacy_times.append(time.perf_counter() - start)
+
+    start = time.perf_counter()
+    base = builder.build_compiled(floorplan, topology, initial_widths)
+    base.reduced_matrix
+    first_build_time = time.perf_counter() - start
+
+    compiled_times = []
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        builder.resize_compiled(base, topology, resized_widths).reduced_matrix
+        compiled_times.append(time.perf_counter() - start)
+
+    legacy_seconds = float(np.mean(legacy_times))
+    compiled_seconds = float(np.mean(compiled_times))
+    speedup = legacy_seconds / compiled_seconds
+
+    record = {
+        "benchmark": name,
+        "scale": bench_scale(),
+        "grid_statistics": dict(
+            zip(
+                ("num_nodes", "num_resistors", "num_sources", "num_loads"),
+                legacy_plan.network.statistics().as_row(),
+            )
+        ),
+        "num_iterations": legacy_plan.num_iterations,
+        "converged": legacy_plan.converged,
+        "legacy_iteration_build_seconds": legacy_seconds,
+        "compiled_iteration_build_seconds": compiled_seconds,
+        "compiled_first_build_seconds": first_build_time,
+        "iteration_build_speedup": speedup,
+        "legacy_history": _iteration_history(legacy_plan),
+        "compiled_history": _iteration_history(fast_plan),
+        "legacy_plan_total_seconds": legacy_plan.total_time,
+        "compiled_plan_total_seconds": fast_plan.total_time,
+    }
+    print()
+    print(
+        format_key_values(
+            {
+                "benchmark": name,
+                "iterations": legacy_plan.num_iterations,
+                "legacy build+compile (s)": round(legacy_seconds, 5),
+                "compiled resize (s)": round(compiled_seconds, 5),
+                "compiled first build (s)": round(first_build_time, 5),
+                "per-iteration speedup": round(speedup, 2),
+                "plan total legacy (s)": round(legacy_plan.total_time, 4),
+                "plan total compiled (s)": round(fast_plan.total_time, 4),
+            },
+            title=f"rebuild loop vs compiled planner iteration ({name})",
+        )
+    )
+    with open(results_dir / "bench_planner_iteration.json", "w") as handle:
+        json.dump(record, handle, indent=2)
+
+    if full_scale():
+        assert speedup >= MIN_SPEEDUP, (
+            f"compiled planner iteration speedup {speedup:.2f}x below the "
+            f"{MIN_SPEEDUP}x bar"
+        )

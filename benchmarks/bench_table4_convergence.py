@@ -13,7 +13,6 @@ DL flow wins everywhere and the largest grids see the largest speedups.
 
 from __future__ import annotations
 
-import numpy as np
 
 from conftest import suite_names
 

@@ -10,6 +10,11 @@ Environment variables:
     REPRO_BENCH_SUITE: Comma-separated benchmark names to run (default: the
         full 8-benchmark suite of the paper's Table II).
     REPRO_BENCH_EPOCHS: Training epochs for the width model (default 60).
+    REPRO_BENCH_SCALE: Global grid scale factor (default 1.0).  Values < 1
+        shrink every benchmark's stripe counts — used by the CI smoke run
+        to exercise the bench entry points on tiny grids.  Benches gate
+        their full-size assertions (speedup bars, curve shapes) on
+        ``scale == 1``.
 """
 
 from __future__ import annotations
@@ -21,7 +26,7 @@ from pathlib import Path
 import pytest
 
 from repro.core import PowerPlanningDL, PredictedDesign
-from repro.design import ConventionalPowerPlanner, PowerPlanResult
+from repro.design import PowerPlanResult
 from repro.grid import SUITE_NAMES, SyntheticBenchmark, SyntheticIBMSuite
 from repro.nn import RegressorConfig, TrainingConfig
 
@@ -44,6 +49,16 @@ def suite_names() -> tuple[str, ...]:
 def training_epochs() -> int:
     """Width-model training epochs, controlled by REPRO_BENCH_EPOCHS."""
     return int(os.environ.get("REPRO_BENCH_EPOCHS", "60"))
+
+
+def bench_scale() -> float:
+    """Global benchmark grid scale, controlled by REPRO_BENCH_SCALE."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1"))
+
+
+def full_scale() -> bool:
+    """True when running the full-size grids (assertions are gated on this)."""
+    return bench_scale() == 1.0
 
 
 def bench_regressor_config() -> RegressorConfig:
@@ -81,7 +96,7 @@ class BenchmarkCache:
     """Session-level cache of prepared benchmarks (train each at most once)."""
 
     def __init__(self) -> None:
-        self._suite = SyntheticIBMSuite()
+        self._suite = SyntheticIBMSuite(scale=bench_scale())
         self._prepared: dict[str, PreparedBenchmark] = {}
 
     def get(self, name: str) -> PreparedBenchmark:

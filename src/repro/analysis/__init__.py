@@ -13,6 +13,7 @@ from .currents import (
     branch_currents,
     current_conservation_error,
     line_currents,
+    line_currents_from_voltages,
     pad_currents,
     total_dissipated_power,
 )
@@ -21,6 +22,7 @@ from .engine import (
     ENGINE_METHOD,
     BatchAnalysisResult,
     BatchedAnalysisEngine,
+    BatchReductions,
     EngineCacheInfo,
 )
 from .irdrop import IRDropAnalyzer, IRDropResult, ir_drop_map
@@ -30,6 +32,7 @@ from .vectorless import VectorlessAnalyzer, VectorlessBudget, VectorlessResult, 
 
 __all__ = [
     "BatchAnalysisResult",
+    "BatchReductions",
     "BatchedAnalysisEngine",
     "BranchCurrent",
     "EMChecker",
@@ -55,6 +58,7 @@ __all__ = [
     "em_lifetime_ratio",
     "ir_drop_map",
     "line_currents",
+    "line_currents_from_voltages",
     "pad_currents",
     "required_width_for_current",
     "system_from_compiled",

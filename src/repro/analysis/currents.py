@@ -94,7 +94,20 @@ def line_currents(
     first.
     """
     compiled, voltages = _compiled_and_voltages(network, result)
-    magnitudes = np.abs(compiled.branch_current_array(voltages))
+    return line_currents_from_voltages(compiled, voltages)
+
+
+def line_currents_from_voltages(
+    network: PowerGridNetwork | CompiledGrid, voltages: np.ndarray
+) -> dict[int, float]:
+    """Array-level :func:`line_currents` for callers that hold raw voltages.
+
+    Args:
+        network: The grid (or its compiled form).
+        voltages: Per-node voltages in compiled node order.
+    """
+    compiled = network if isinstance(network, CompiledGrid) else network.compile()
+    magnitudes = np.abs(compiled.branch_current_array(np.asarray(voltages, dtype=float)))
     on_line = compiled.res_line_id >= 0
     line_ids = compiled.res_line_id[on_line]
     if line_ids.size == 0:

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..grid.compiled import CompiledGrid
 from ..grid.network import PowerGridNetwork
 from ..grid.technology import Technology
 from .irdrop import IRDropResult
@@ -94,40 +95,62 @@ class EMChecker:
         """The limit actually enforced, after applying the margin."""
         return self.technology.jmax * (1.0 - self.margin)
 
-    def check(self, network: PowerGridNetwork, result: IRDropResult) -> EMReport:
+    def check(self, network: PowerGridNetwork | CompiledGrid, result: IRDropResult) -> EMReport:
         """Evaluate the EM constraint on every sized wire segment.
 
         Current magnitudes and densities are computed vectorised over the
         compiled grid arrays; per-violation objects are only materialised
         for segments that actually exceed the limit.
         """
-        limit = self.effective_jmax
-        compiled = network.compile()
+        compiled = network if isinstance(network, CompiledGrid) else network.compile()
         voltages = compiled.voltage_array(result.node_voltages)
-        magnitudes = np.abs(compiled.branch_current_array(voltages))
+        return self.check_voltages(compiled, voltages)
+
+    def check_voltages(
+        self,
+        network: PowerGridNetwork | CompiledGrid,
+        voltages: np.ndarray,
+        name: str | None = None,
+    ) -> EMReport:
+        """Array-level :meth:`check` for callers that hold raw voltages.
+
+        This is the planner's fast path: it never materialises
+        :class:`~repro.grid.elements.Resistor` objects — violating segments
+        are reported straight from the compiled arrays.
+
+        Args:
+            network: The grid (or its compiled form).
+            voltages: Per-node voltages in compiled node order.
+            name: Optional report name (defaults to the grid name).
+        """
+        limit = self.effective_jmax
+        compiled = network if isinstance(network, CompiledGrid) else network.compile()
+        magnitudes = np.abs(compiled.branch_current_array(np.asarray(voltages, dtype=float)))
 
         sized = compiled.res_width > 0
         densities = magnitudes[sized] / compiled.res_width[sized]
         worst_density = float(densities.max()) if densities.size else 0.0
 
         violations: list[EMViolation] = []
-        sized_indices = np.flatnonzero(sized)
-        for position in np.flatnonzero(densities > limit):
-            branch_index = sized_indices[position]
-            resistor = compiled.resistors[branch_index]
-            violations.append(
-                EMViolation(
-                    resistor_name=resistor.name,
-                    line_id=resistor.line_id,
-                    current=float(magnitudes[branch_index]),
-                    width=resistor.width,
-                    current_density=float(densities[position]),
-                    jmax=limit,
+        violating = np.flatnonzero(densities > limit)
+        if violating.size:
+            names = compiled.res_names
+            sized_indices = np.flatnonzero(sized)
+            for position in violating:
+                branch_index = sized_indices[position]
+                violations.append(
+                    EMViolation(
+                        resistor_name=names[branch_index],
+                        line_id=int(compiled.res_line_id[branch_index]),
+                        current=float(magnitudes[branch_index]),
+                        width=float(compiled.res_width[branch_index]),
+                        current_density=float(densities[position]),
+                        jmax=limit,
+                    )
                 )
-            )
-        violations.sort(key=lambda violation: violation.severity, reverse=True)
+            violations.sort(key=lambda violation: violation.severity, reverse=True)
         return EMReport(
-            network_name=network.name,
+            network_name=name or compiled.name,
             jmax=limit,
             violations=violations,
             worst_density=worst_density,

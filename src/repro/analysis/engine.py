@@ -51,6 +51,38 @@ class EngineCacheInfo:
     entries: int
 
 
+def _column_reductions(ir_drop: np.ndarray) -> "BatchReductions":
+    """Per-scenario worst / mean / worst-node over a ``(num_nodes, k)`` block.
+
+    Reduces over contiguous per-scenario rows (the transposed layout) so the
+    floating-point summation order per scenario is identical no matter how
+    many scenarios share the block — which is what makes sharded reductions
+    bitwise-equal to unsharded ones for every chunk size.
+    """
+    rows = np.ascontiguousarray(ir_drop.T)
+    return BatchReductions(
+        worst_ir_drop=rows.max(axis=1),
+        average_ir_drop=rows.mean(axis=1),
+        worst_node_index=rows.argmax(axis=1),
+    )
+
+
+@dataclass(frozen=True)
+class BatchReductions:
+    """Per-scenario IR-drop reductions streamed out of a sharded solve.
+
+    Attributes:
+        worst_ir_drop: ``(num_scenarios,)`` worst IR drop per scenario.
+        average_ir_drop: ``(num_scenarios,)`` mean IR drop per scenario.
+        worst_node_index: ``(num_scenarios,)`` compiled node index of the
+            worst-drop node per scenario.
+    """
+
+    worst_ir_drop: np.ndarray
+    average_ir_drop: np.ndarray
+    worst_node_index: np.ndarray
+
+
 @dataclass
 class BatchAnalysisResult:
     """Voltages of many load scenarios solved against one grid topology.
@@ -59,48 +91,77 @@ class BatchAnalysisResult:
     dictionaries are only materialised when a scenario is converted into a
     full :class:`~repro.analysis.irdrop.IRDropResult` via :meth:`result`.
 
+    When the solve was sharded (``chunk_size`` passed to
+    :meth:`BatchedAnalysisEngine.analyze_batch`), the dense
+    ``(num_nodes, num_scenarios)`` voltage matrix is never materialised:
+    :attr:`voltages` is ``None`` and the per-scenario reductions
+    (:attr:`worst_ir_drop`, :attr:`average_ir_drop`,
+    :attr:`worst_node_index`) were accumulated chunk by chunk.  They are
+    bitwise-identical to the unsharded reductions.
+
     Attributes:
         compiled: The compiled grid all scenarios were solved on.
         voltages: ``(num_nodes, num_scenarios)`` node-voltage matrix in
-            compiled node order.
+            compiled node order, or ``None`` for sharded solves.
         scenario_names: One name per scenario (used for materialised
             results).
         analysis_time: Wall-clock time of the whole batched solve in
             seconds.
         factorization_reused: True if the solve was served from the engine's
             factorization cache instead of factorizing anew.
+        reductions: Streamed per-scenario reductions (sharded solves only).
     """
 
     compiled: CompiledGrid
-    voltages: np.ndarray
+    voltages: np.ndarray | None
     scenario_names: tuple[str, ...]
     analysis_time: float
     factorization_reused: bool
+    reductions: BatchReductions | None = None
 
     @property
     def num_scenarios(self) -> int:
         """Number of solved load scenarios."""
-        return self.voltages.shape[1]
+        return len(self.scenario_names)
+
+    def _require_voltages(self) -> np.ndarray:
+        if self.voltages is None:
+            raise ValueError(
+                "this batch was solved with RHS sharding; the dense voltage "
+                "matrix was never materialised (only the streamed reductions "
+                "are available)"
+            )
+        return self.voltages
 
     @cached_property
     def ir_drop(self) -> np.ndarray:
-        """``(num_nodes, num_scenarios)`` IR-drop matrix ``vdd - v``."""
-        return self.compiled.vdd - self.voltages
+        """``(num_nodes, num_scenarios)`` IR-drop matrix ``vdd - v``.
+
+        Raises:
+            ValueError: If the batch was solved with RHS sharding.
+        """
+        return self.compiled.vdd - self._require_voltages()
 
     @cached_property
+    def _reductions(self) -> BatchReductions:
+        if self.reductions is not None:
+            return self.reductions
+        return _column_reductions(self.ir_drop)
+
+    @property
     def worst_ir_drop(self) -> np.ndarray:
         """Worst-case IR drop of each scenario, in volts."""
-        return self.ir_drop.max(axis=0)
+        return self._reductions.worst_ir_drop
 
-    @cached_property
+    @property
     def average_ir_drop(self) -> np.ndarray:
         """Mean IR drop of each scenario over all nodes, in volts."""
-        return self.ir_drop.mean(axis=0)
+        return self._reductions.average_ir_drop
 
-    @cached_property
+    @property
     def worst_node_index(self) -> np.ndarray:
         """Compiled node index of the worst-drop node per scenario."""
-        return self.ir_drop.argmax(axis=0)
+        return self._reductions.worst_node_index
 
     def worst_node(self, scenario: int) -> str:
         """Name of the worst-drop node of one scenario."""
@@ -108,11 +169,11 @@ class BatchAnalysisResult:
 
     def scenario_voltages(self, scenario: int) -> np.ndarray:
         """Per-node voltage vector of one scenario, in compiled order."""
-        return self.voltages[:, scenario]
+        return self._require_voltages()[:, scenario]
 
     def result(self, scenario: int) -> IRDropResult:
         """Materialise one scenario as a full :class:`IRDropResult`."""
-        voltages = self.voltages[:, scenario]
+        voltages = self._require_voltages()[:, scenario]
         drops = self.ir_drop[:, scenario]
         compiled = self.compiled
         return IRDropResult(
@@ -271,34 +332,13 @@ class BatchedAnalysisEngine:
             solver_iterations=iterations,
         )
 
-    def analyze_batch(
-        self,
-        network: PowerGridNetwork | CompiledGrid,
-        load_matrix: np.ndarray,
-        names: list[str] | tuple[str, ...] | None = None,
-    ) -> BatchAnalysisResult:
-        """Solve many load scenarios against one factorization.
-
-        Args:
-            network: The grid (or its compiled form) all scenarios share.
-            load_matrix: ``(num_scenarios, num_nodes)`` per-node currents in
-                compiled node order.
-            names: Optional per-scenario names.
-
-        Returns:
-            A :class:`BatchAnalysisResult` with the full voltage matrix.
-        """
-        start = time.perf_counter()
-        compiled = self._compiled(network)
-        load_matrix = np.asarray(load_matrix, dtype=float)
-        if load_matrix.ndim != 2:
-            raise ValueError("load_matrix must be 2-D (num_scenarios, num_nodes)")
-        if load_matrix.shape[0] == 0:
-            raise ValueError("load_matrix must contain at least one scenario")
-        rhs = compiled.rhs_matrix(load_matrix)
-        if rhs.size == 0:
-            unknown, reused = np.empty((0, load_matrix.shape[0])), False
-        elif self._use_cg(compiled):
+    def _solve_rhs_block(
+        self, compiled: CompiledGrid, rhs: np.ndarray
+    ) -> tuple[np.ndarray, bool]:
+        """Solve one ``(num_unknowns, c)`` RHS block; returns (unknowns, reused)."""
+        if rhs.shape[0] == 0:
+            return np.empty((0, rhs.shape[1])), False
+        if self._use_cg(compiled):
             unknown = np.column_stack(
                 [self._solve_cg(compiled, rhs[:, k])[0] for k in range(rhs.shape[1])]
             )
@@ -308,18 +348,169 @@ class BatchedAnalysisEngine:
             unknown = factor.solve(rhs)
         if not np.all(np.isfinite(unknown)):
             raise LinearSolverError("batched solve produced non-finite voltages")
-        voltages = compiled.full_voltages(unknown)
-        elapsed = time.perf_counter() - start
+        return unknown, reused
 
-        k = load_matrix.shape[0]
+    def _batch_scenarios(
+        self,
+        compiled: CompiledGrid,
+        load_matrix: np.ndarray | None,
+        pad_voltage_matrix: np.ndarray | None,
+        chunk_size: int | None,
+    ) -> tuple[np.ndarray | None, BatchReductions | None, bool]:
+        """Shared core of the batched solvers.
+
+        Without ``chunk_size`` the full ``(num_nodes, k)`` voltage matrix is
+        returned; with it, scenarios are solved in RHS blocks of at most
+        ``chunk_size`` columns and only the per-scenario worst / mean /
+        worst-node reductions are accumulated, so the dense voltage matrix
+        (and the dense RHS matrix) never exist for huge sweeps.
+        """
+        k = (load_matrix if pad_voltage_matrix is None else pad_voltage_matrix).shape[0]
+        if chunk_size is None:
+            pad_vectors = (
+                None
+                if pad_voltage_matrix is None
+                else compiled.pad_voltage_vectors(pad_voltage_matrix)
+            )
+            rhs = compiled.rhs_matrix(load_matrix, pad_voltage_matrix)
+            unknown, reused = self._solve_rhs_block(compiled, rhs)
+            voltages = compiled.full_voltages(unknown, pad_voltage_vectors=pad_vectors)
+            return voltages, None, reused
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
+        worst = np.empty(k, dtype=float)
+        average = np.empty(k, dtype=float)
+        worst_index = np.empty(k, dtype=np.int64)
+        reused = False
+        for begin in range(0, k, chunk_size):
+            end = min(begin + chunk_size, k)
+            load_chunk = None if load_matrix is None else load_matrix[begin:end]
+            pad_chunk = None if pad_voltage_matrix is None else pad_voltage_matrix[begin:end]
+            pad_vectors = None if pad_chunk is None else compiled.pad_voltage_vectors(pad_chunk)
+            rhs = compiled.rhs_matrix(load_chunk, pad_chunk)
+            unknown, chunk_reused = self._solve_rhs_block(compiled, rhs)
+            reused = reused or chunk_reused
+            voltages = compiled.full_voltages(unknown, pad_voltage_vectors=pad_vectors)
+            chunk_reductions = _column_reductions(compiled.vdd - voltages)
+            worst[begin:end] = chunk_reductions.worst_ir_drop
+            average[begin:end] = chunk_reductions.average_ir_drop
+            worst_index[begin:end] = chunk_reductions.worst_node_index
+        reductions = BatchReductions(
+            worst_ir_drop=worst, average_ir_drop=average, worst_node_index=worst_index
+        )
+        return None, reductions, reused
+
+    @staticmethod
+    def _scenario_names(
+        compiled: CompiledGrid, k: int, names: list[str] | tuple[str, ...] | None
+    ) -> tuple[str, ...]:
         if names is None:
-            names = tuple(f"{compiled.name}[{i}]" for i in range(k))
-        elif len(names) != k:
+            return tuple(f"{compiled.name}[{i}]" for i in range(k))
+        if len(names) != k:
             raise ValueError(f"expected {k} scenario names, got {len(names)}")
+        return tuple(names)
+
+    def analyze_batch(
+        self,
+        network: PowerGridNetwork | CompiledGrid,
+        load_matrix: np.ndarray,
+        names: list[str] | tuple[str, ...] | None = None,
+        chunk_size: int | None = None,
+    ) -> BatchAnalysisResult:
+        """Solve many load scenarios against one factorization.
+
+        Args:
+            network: The grid (or its compiled form) all scenarios share.
+            load_matrix: ``(num_scenarios, num_nodes)`` per-node currents in
+                compiled node order.
+            names: Optional per-scenario names.
+            chunk_size: Optional RHS shard size.  When given, scenarios are
+                solved in blocks of at most this many right-hand sides and
+                the worst / mean / worst-node reductions are streamed, so
+                the dense ``(num_nodes, num_scenarios)`` voltage matrix is
+                never allocated — the memory high-water mark is
+                ``O(num_nodes * chunk_size)`` regardless of sweep size.
+
+        Returns:
+            A :class:`BatchAnalysisResult` — with the full voltage matrix,
+            or (sharded) with streamed reductions only.
+        """
+        start = time.perf_counter()
+        compiled = self._compiled(network)
+        load_matrix = np.asarray(load_matrix, dtype=float)
+        if load_matrix.ndim != 2:
+            raise ValueError("load_matrix must be 2-D (num_scenarios, num_nodes)")
+        if load_matrix.shape[0] == 0:
+            raise ValueError("load_matrix must contain at least one scenario")
+        voltages, reductions, reused = self._batch_scenarios(
+            compiled, load_matrix, None, chunk_size
+        )
+        elapsed = time.perf_counter() - start
         return BatchAnalysisResult(
             compiled=compiled,
             voltages=voltages,
-            scenario_names=tuple(names),
+            scenario_names=self._scenario_names(compiled, load_matrix.shape[0], names),
             analysis_time=elapsed,
             factorization_reused=reused,
+            reductions=reductions,
+        )
+
+    def analyze_pad_batch(
+        self,
+        network: PowerGridNetwork | CompiledGrid,
+        pad_voltage_matrix: np.ndarray,
+        load_matrix: np.ndarray | None = None,
+        names: list[str] | tuple[str, ...] | None = None,
+        chunk_size: int | None = None,
+    ) -> BatchAnalysisResult:
+        """Solve many pad-voltage scenarios against one factorization.
+
+        Pad voltages only enter the right-hand side of the reduced system,
+        so a NODE_VOLTAGES sweep (paper Fig. 9) shares a single
+        factorization exactly like a current-only sweep: scenario ``i``
+        fixes each pad to ``pad_voltage_matrix[i]`` instead of the grid's
+        nominal pad voltages.
+
+        Args:
+            network: The grid (or its compiled form) all scenarios share.
+            pad_voltage_matrix: ``(num_scenarios, num_pads)`` per-pad
+                voltages aligned with the compiled grid's ``pad_names``.
+            load_matrix: Optional ``(num_scenarios, num_nodes)`` per-node
+                currents (the grid's own loads are used when omitted),
+                letting one batch sweep currents and pad voltages together.
+            names: Optional per-scenario names.
+            chunk_size: Optional RHS shard size (see :meth:`analyze_batch`).
+
+        Returns:
+            A :class:`BatchAnalysisResult`; scenario voltages report each
+            pad node at its per-scenario voltage.
+        """
+        start = time.perf_counter()
+        compiled = self._compiled(network)
+        pad_voltage_matrix = np.asarray(pad_voltage_matrix, dtype=float)
+        if pad_voltage_matrix.ndim != 2 or pad_voltage_matrix.shape[1] != len(compiled.pad_node):
+            raise ValueError(
+                "pad_voltage_matrix must be 2-D (num_scenarios, "
+                f"{len(compiled.pad_node)})"
+            )
+        if pad_voltage_matrix.shape[0] == 0:
+            raise ValueError("pad_voltage_matrix must contain at least one scenario")
+        if load_matrix is not None:
+            load_matrix = np.asarray(load_matrix, dtype=float)
+            if load_matrix.shape != (pad_voltage_matrix.shape[0], compiled.num_nodes):
+                raise ValueError(
+                    "load_matrix must have shape (num_scenarios, num_nodes) "
+                    "matching pad_voltage_matrix"
+                )
+        voltages, reductions, reused = self._batch_scenarios(
+            compiled, load_matrix, pad_voltage_matrix, chunk_size
+        )
+        elapsed = time.perf_counter() - start
+        return BatchAnalysisResult(
+            compiled=compiled,
+            voltages=voltages,
+            scenario_names=self._scenario_names(compiled, pad_voltage_matrix.shape[0], names),
+            analysis_time=elapsed,
+            factorization_reused=reused,
+            reductions=reductions,
         )

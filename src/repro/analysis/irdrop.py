@@ -10,12 +10,12 @@ IR-drop values onto a 2-D map (the paper's Fig. 8 plots these maps on a
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..grid.network import PowerGridNetwork
-from .mna import MNAAssembler, MNASystem
+from .mna import MNAAssembler
 from .solver import PowerGridSolver, SolverMethod
 
 

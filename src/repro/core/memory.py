@@ -18,7 +18,7 @@ from __future__ import annotations
 import threading
 import time
 import tracemalloc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 _BYTES_PER_MIB = 1024.0 * 1024.0

@@ -7,7 +7,7 @@ comparable with the paper (and with EXPERIMENTS.md).
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, Mapping, Sequence
 
 
 def format_table(

@@ -14,21 +14,38 @@ train the PowerPlanningDL width predictor.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from ..analysis.currents import line_currents
+from ..analysis.currents import line_currents, line_currents_from_voltages
 from ..analysis.em import EMChecker, EMReport
-from ..analysis.engine import BatchedAnalysisEngine
+from ..analysis.engine import ENGINE_METHOD, BatchedAnalysisEngine
 from ..analysis.irdrop import IRDropAnalyzer, IRDropResult
+from ..analysis.solver import SolverMethod
 from ..grid.builder import GridBuilder, GridTopology
+from ..grid.compiled import CompiledGrid
 from ..grid.floorplan import Floorplan
 from ..grid.network import PowerGridNetwork
 from ..grid.technology import Technology
 from .constraints import ConstraintEvaluation, ReliabilityConstraints
 from .rules import DesignRules
 from .sizing import AnalyticalSizer, SizingParameters
+
+
+@dataclass(frozen=True)
+class _LoopAnalysis:
+    """Array-level analysis state of one compiled-loop iteration.
+
+    Carries exactly what the resize decision and the constraint evaluation
+    consume — no name-keyed dictionaries are materialised inside the loop.
+    """
+
+    voltages: np.ndarray
+    worst_index: int
+    worst_ir_drop: float
+    average_ir_drop: float
+    analysis_time: float
 
 
 @dataclass
@@ -111,6 +128,14 @@ class ConventionalPowerPlanner:
             vectorised assembly and factorization cache speed up the
             repeated analyses of the design loop.  A legacy
             :class:`IRDropAnalyzer` is also accepted.
+        use_compiled_loop: When True (the default) and the analyzer is a
+            :class:`BatchedAnalysisEngine`, the resize loop stays entirely
+            in compiled-array land: the grid is built once with
+            :meth:`~repro.grid.builder.GridBuilder.build_compiled` and each
+            iteration only rewrites the stripe conductances via
+            :meth:`~repro.grid.builder.GridBuilder.resize_compiled` —
+            no object-graph rebuild, no full recompile.  Set to False to
+            force the legacy rebuild loop (kept as the equivalence oracle).
     """
 
     def __init__(
@@ -121,6 +146,7 @@ class ConventionalPowerPlanner:
         max_iterations: int = 10,
         upsize_factor: float = 1.25,
         analyzer: IRDropAnalyzer | BatchedAnalysisEngine | None = None,
+        use_compiled_loop: bool = True,
     ) -> None:
         if max_iterations < 1:
             raise ValueError("max_iterations must be at least 1")
@@ -134,6 +160,7 @@ class ConventionalPowerPlanner:
         # Each resize iteration changes conductances (a new fingerprint), so
         # a deep factorization cache would only pin dead memory: keep one.
         self.analyzer = analyzer or BatchedAnalysisEngine(cache_size=1)
+        self.use_compiled_loop = use_compiled_loop
         self.em_checker = EMChecker(technology)
 
     # ------------------------------------------------------------------
@@ -162,9 +189,7 @@ class ConventionalPowerPlanner:
         constraints = constraints or ReliabilityConstraints.from_technology(
             self.technology, floorplan.core_width, floorplan.core_height
         )
-        builder = GridBuilder(self.technology)
         start = time.perf_counter()
-        analysis_time = 0.0
 
         if initial_widths is None:
             widths = self.sizer.size(floorplan, topology)
@@ -175,6 +200,24 @@ class ConventionalPowerPlanner:
                     f"initial_widths must have length {topology.num_lines}"
                 )
 
+        if self.use_compiled_loop and isinstance(self.analyzer, BatchedAnalysisEngine):
+            return self._plan_compiled(floorplan, topology, constraints, widths, start)
+        return self._plan_legacy(floorplan, topology, constraints, widths, start)
+
+    # ------------------------------------------------------------------
+    # Legacy rebuild loop (equivalence oracle)
+    # ------------------------------------------------------------------
+    def _plan_legacy(
+        self,
+        floorplan: Floorplan,
+        topology: GridTopology,
+        constraints: ReliabilityConstraints,
+        widths: np.ndarray,
+        start: float,
+    ) -> PowerPlanResult:
+        """Rebuild-per-iteration loop: network rebuild + full recompile."""
+        builder = GridBuilder(self.technology)
+        analysis_time = 0.0
         iterations: list[PlanningIteration] = []
         build_start = time.perf_counter()
         network = builder.build(floorplan, topology, widths)
@@ -225,12 +268,120 @@ class ConventionalPowerPlanner:
         )
 
     # ------------------------------------------------------------------
+    # Compiled-array loop (rebuild-free fast path)
+    # ------------------------------------------------------------------
+    def _analyze_compiled(
+        self, engine: BatchedAnalysisEngine, compiled: CompiledGrid
+    ) -> _LoopAnalysis:
+        """One engine solve plus the array-level reductions the loop needs."""
+        analysis_start = time.perf_counter()
+        voltages = engine.solve_voltages(compiled)
+        elapsed = time.perf_counter() - analysis_start
+        drops = compiled.vdd - voltages
+        worst_index = int(drops.argmax()) if drops.size else 0
+        return _LoopAnalysis(
+            voltages=voltages,
+            worst_index=worst_index,
+            worst_ir_drop=float(drops[worst_index]) if drops.size else 0.0,
+            average_ir_drop=float(drops.mean()) if drops.size else 0.0,
+            analysis_time=elapsed,
+        )
+
+    def _plan_compiled(
+        self,
+        floorplan: Floorplan,
+        topology: GridTopology,
+        constraints: ReliabilityConstraints,
+        widths: np.ndarray,
+        start: float,
+    ) -> PowerPlanResult:
+        """Rebuild-free loop: the grid is compiled once, then every resize
+        iteration only rewrites the stripe conductances (shared topology,
+        index maps and sparsity pattern) and re-solves through the engine.
+        The converged design is materialised as an object-level network and
+        a full :class:`IRDropResult` only once, at the end.
+        """
+        builder = GridBuilder(self.technology)
+        engine = self.analyzer
+        analysis_time = 0.0
+        iterations: list[PlanningIteration] = []
+
+        build_start = time.perf_counter()
+        compiled = builder.build_compiled(floorplan, topology, widths)
+        build_time = time.perf_counter() - build_start
+        analysis = self._analyze_compiled(engine, compiled)
+        em_report = self.em_checker.check_voltages(compiled, analysis.voltages)
+        analysis_time += analysis.analysis_time
+        evaluation = self._evaluate(constraints, analysis, em_report, widths, topology)
+
+        for iteration in range(self.max_iterations):
+            resized = 0
+            if not evaluation.all_satisfied:
+                widths, resized = self._resize_compiled(
+                    widths, topology, compiled, analysis, em_report, constraints
+                )
+            iterations.append(
+                PlanningIteration(
+                    index=iteration,
+                    worst_ir_drop=analysis.worst_ir_drop,
+                    em_violations=len(em_report.violations),
+                    lines_resized=resized,
+                    analysis_time=analysis.analysis_time,
+                    build_time=build_time,
+                )
+            )
+            if evaluation.all_satisfied or resized == 0:
+                break
+            build_start = time.perf_counter()
+            compiled = builder.resize_compiled(compiled, topology, widths)
+            build_time = time.perf_counter() - build_start
+            analysis = self._analyze_compiled(engine, compiled)
+            em_report = self.em_checker.check_voltages(compiled, analysis.voltages)
+            analysis_time += analysis.analysis_time
+            evaluation = self._evaluate(constraints, analysis, em_report, widths, topology)
+
+        # Materialise the object-level deliverables once, outside the loop:
+        # the final network for downstream consumers and the full IR-drop
+        # result, built straight from the already-solved voltages.
+        network = builder.build(floorplan, topology, widths, name=floorplan.name)
+        drops = compiled.vdd - analysis.voltages
+        ir_result = IRDropResult(
+            network_name=compiled.name,
+            vdd=compiled.vdd,
+            node_voltages=compiled.voltages_dict(analysis.voltages),
+            node_ir_drop=compiled.voltages_dict(drops),
+            worst_ir_drop=analysis.worst_ir_drop,
+            worst_node=compiled.node_names[analysis.worst_index] if drops.size else "",
+            average_ir_drop=analysis.average_ir_drop,
+            analysis_time=analysis.analysis_time,
+            solver_method=(
+                SolverMethod.CG.value
+                if compiled.num_unknowns > engine.direct_size_limit
+                else ENGINE_METHOD
+            ),
+            solver_iterations=0,
+        )
+        total_time = time.perf_counter() - start
+        return PowerPlanResult(
+            benchmark=floorplan.name,
+            widths=widths,
+            network=network,
+            ir_result=ir_result,
+            em_report=em_report,
+            evaluation=evaluation,
+            iterations=iterations,
+            converged=evaluation.all_satisfied,
+            total_time=total_time,
+            analysis_time=analysis_time,
+        )
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _evaluate(
         self,
         constraints: ReliabilityConstraints,
-        ir_result: IRDropResult,
+        ir_result: IRDropResult | _LoopAnalysis,
         em_report: EMReport,
         widths: np.ndarray,
         topology: GridTopology,
@@ -248,6 +399,58 @@ class ConventionalPowerPlanner:
         em_report: EMReport,
         constraints: ReliabilityConstraints,
     ) -> tuple[np.ndarray, int]:
+        """Legacy-loop resize: worst-node lookup through the object network."""
+        violating = em_report.violating_lines
+        per_line = line_currents(network, ir_result) if violating else {}
+        worst = network.nodes[ir_result.worst_node]
+        return self._resize_core(
+            widths,
+            topology,
+            constraints,
+            violating_lines=violating,
+            per_line_current=per_line,
+            worst_ir_drop=ir_result.worst_ir_drop,
+            worst_x=worst.x,
+            worst_y=worst.y,
+        )
+
+    def _resize_compiled(
+        self,
+        widths: np.ndarray,
+        topology: GridTopology,
+        compiled: CompiledGrid,
+        analysis: _LoopAnalysis,
+        em_report: EMReport,
+        constraints: ReliabilityConstraints,
+    ) -> tuple[np.ndarray, int]:
+        """Compiled-loop resize: everything comes from the arrays."""
+        violating = em_report.violating_lines
+        per_line = (
+            line_currents_from_voltages(compiled, analysis.voltages) if violating else {}
+        )
+        return self._resize_core(
+            widths,
+            topology,
+            constraints,
+            violating_lines=violating,
+            per_line_current=per_line,
+            worst_ir_drop=analysis.worst_ir_drop,
+            worst_x=float(compiled.node_x[analysis.worst_index]),
+            worst_y=float(compiled.node_y[analysis.worst_index]),
+        )
+
+    def _resize_core(
+        self,
+        widths: np.ndarray,
+        topology: GridTopology,
+        constraints: ReliabilityConstraints,
+        *,
+        violating_lines: set[int],
+        per_line_current: dict[int, float],
+        worst_ir_drop: float,
+        worst_x: float,
+        worst_y: float,
+    ) -> tuple[np.ndarray, int]:
         """Upsize lines that violate the IR-drop or EM constraints.
 
         EM-violating lines are resized to at least the width the EM limit
@@ -258,25 +461,22 @@ class ConventionalPowerPlanner:
         new_widths = widths.copy()
         resized: set[int] = set()
 
-        violating = em_report.violating_lines
-        per_line = line_currents(network, ir_result) if violating else {}
-        for line_id in violating:
-            required = per_line.get(line_id, 0.0) / constraints.jmax
+        for line_id in violating_lines:
+            required = per_line_current.get(line_id, 0.0) / constraints.jmax
             target = max(new_widths[line_id] * self.upsize_factor, required)
             legal = self.rules.legalize_width(target)
             if legal > new_widths[line_id]:
                 new_widths[line_id] = legal
                 resized.add(line_id)
 
-        if ir_result.worst_ir_drop > constraints.ir_drop_limit:
-            worst = network.nodes[ir_result.worst_node]
+        if worst_ir_drop > constraints.ir_drop_limit:
             v_positions = np.asarray(topology.vertical_positions)
             h_positions = np.asarray(topology.horizontal_positions)
             # Upsize the few lines closest to the worst-drop location in both
             # directions; this is the local fix a designer would apply.
             num_local = max(1, topology.num_vertical // 8)
-            v_order = np.argsort(np.abs(v_positions - worst.x))[:num_local]
-            h_order = np.argsort(np.abs(h_positions - worst.y))[:num_local]
+            v_order = np.argsort(np.abs(v_positions - worst_x))[:num_local]
+            h_order = np.argsort(np.abs(h_positions - worst_y))[:num_local]
             for index in v_order:
                 line_id = int(index)
                 legal = self.rules.legalize_width(new_widths[line_id] * self.upsize_factor)

@@ -46,8 +46,10 @@ from .perturbation import (
     NetworkPerturbator,
     PerturbationKind,
     PerturbationSpec,
+    floorplan_perturbed_load_matrix,
     perturbation_sweep,
     perturbed_load_matrix,
+    perturbed_pad_voltage_matrix,
 )
 from .technology import (
     DEFAULT_TECHNOLOGY,
@@ -87,6 +89,7 @@ __all__ = [
     "VoltageSource",
     "benchmark_config",
     "compile_grid",
+    "floorplan_perturbed_load_matrix",
     "generate_floorplan",
     "generate_topology",
     "generic_45nm",
@@ -97,6 +100,7 @@ __all__ = [
     "parse_spice_value",
     "perturbation_sweep",
     "perturbed_load_matrix",
+    "perturbed_pad_voltage_matrix",
     "read_netlist",
     "uniform_topology",
     "write_netlist",

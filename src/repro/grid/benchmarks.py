@@ -15,7 +15,7 @@ reproducible across runs and machines.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -234,6 +234,11 @@ class SyntheticBenchmark:
         """Build the power grid with per-line widths."""
         builder = GridBuilder(self.technology)
         return builder.build(self.floorplan, self.topology, widths, name=self.name)
+
+    def build_compiled_grid(self, widths: np.ndarray | list[float] | float = 5.0):
+        """Build the compiled (array-form) grid directly, skipping the network."""
+        builder = GridBuilder(self.technology)
+        return builder.build_compiled(self.floorplan, self.topology, widths, name=self.name)
 
 
 class SyntheticIBMSuite:

@@ -21,10 +21,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .compiled import CompiledGrid
 from .elements import CurrentSource, GridNode, Resistor, VoltageSource
 from .floorplan import Floorplan
-from .network import PowerGridNetwork
 from .netlist import node_name
+from .network import PowerGridNetwork
 from .technology import Technology
 
 
@@ -218,9 +219,221 @@ class GridBuilder:
         self._attach_pads(network, floorplan, topology, upper_names)
         return network
 
+    def build_compiled(
+        self,
+        floorplan: Floorplan,
+        topology: GridTopology,
+        widths: np.ndarray | list[float] | float,
+        name: str | None = None,
+    ) -> CompiledGrid:
+        """Build the grid straight into its compiled array form.
+
+        Produces exactly the grid :meth:`build` followed by
+        :meth:`~repro.grid.network.PowerGridNetwork.compile` would — same
+        node/resistor/load/pad ordering, bitwise-identical conductances and
+        therefore the same topology fingerprint — but assembles the arrays
+        with vectorised NumPy operations instead of an object graph of
+        :class:`GridNode` / :class:`Resistor` dataclasses behind name-keyed
+        dicts.  This is the planner's construction fast path; name-keyed
+        views of the result are synthesised lazily on demand.
+
+        Args:
+            floorplan: Floorplan providing core size, blocks and pads.
+            topology: Stripe topology (counts and positions).
+            widths: Per-line width in um (scalar or per-line vector).
+            name: Optional name for the grid; defaults to the floorplan name.
+
+        Raises:
+            ValueError: If the width vector is malformed, a stripe pitch is
+                negative, the via resistance is not positive, or the
+                floorplan has no power pads.
+        """
+        width_vector = self._normalise_widths(topology, widths)
+        v_layer = self.technology.vertical_layer
+        h_layer = self.technology.horizontal_layer
+        if self.technology.via_resistance <= 0:
+            raise ValueError("via resistance must be positive to build a mesh grid")
+        xs = np.asarray(topology.vertical_positions, dtype=float)
+        ys = np.asarray(topology.horizontal_positions, dtype=float)
+        nx, ny = len(xs), len(ys)
+        v_pitch = np.diff(ys)
+        h_pitch = np.diff(xs)
+        if np.any(v_pitch < 0) or np.any(h_pitch < 0):
+            raise ValueError("stripe positions must be non-decreasing")
+
+        # Node layout mirrors build(): for each (vertical i, horizontal j)
+        # crossing, the lower-layer node then the upper-layer node, with i
+        # as the outer loop.  index(lower(i, j)) = 2 * (i * ny + j).
+        num_nodes = 2 * nx * ny
+        pair_x = np.repeat(xs, ny)
+        pair_y = np.tile(ys, nx)
+        node_x = np.repeat(pair_x, 2)
+        node_y = np.repeat(pair_y, 2)
+        node_layer_index = np.tile(np.asarray([1, 2], dtype=np.int8), nx * ny)
+
+        # Vertical stripe segments (lower layer), i outer / j inner.
+        v_i = np.repeat(np.arange(nx), ny - 1)
+        v_j = np.tile(np.arange(ny - 1), nx)
+        va = 2 * (v_i * ny + v_j)
+        vb = va + 2
+        v_length = np.tile(v_pitch, nx)
+        v_width = np.repeat(width_vector[:nx], ny - 1)
+        v_resistance = v_layer.sheet_resistance * v_length / v_width
+
+        # Horizontal stripe segments (upper layer), j outer / i inner.
+        h_j = np.repeat(np.arange(ny), nx - 1)
+        h_i = np.tile(np.arange(nx - 1), ny)
+        ha = 2 * (h_i * ny + h_j) + 1
+        hb = ha + 2 * ny
+        h_length = np.tile(h_pitch, ny)
+        h_width = np.repeat(width_vector[nx:], nx - 1)
+        h_resistance = h_layer.sheet_resistance * h_length / h_width
+
+        # Vias at every crossing, i outer / j inner.
+        via_a = 2 * np.arange(nx * ny)
+        via_b = via_a + 1
+        num_vias = nx * ny
+
+        res_a = np.concatenate((va, ha, via_a))
+        res_b = np.concatenate((vb, hb, via_b))
+        conductance = np.concatenate(
+            (
+                1.0 / v_resistance,
+                1.0 / h_resistance,
+                np.full(num_vias, 1.0 / self.technology.via_resistance),
+            )
+        )
+        res_width = np.concatenate((v_width, h_width, np.zeros(num_vias)))
+        res_length = np.concatenate((v_length, h_length, np.zeros(num_vias)))
+        res_line_id = np.concatenate(
+            (v_i, topology.num_vertical + h_j, np.full(num_vias, -1, dtype=np.int64))
+        )
+        res_layer_codes = np.concatenate(
+            (
+                np.zeros(len(va), dtype=np.int8),
+                np.ones(len(ha), dtype=np.int8),
+                np.full(num_vias, 2, dtype=np.int8),
+            )
+        )
+
+        load_node, load_current, load_block = self._compiled_loads(floorplan, topology, xs, ys, ny)
+        pad_node, pad_voltage_values = self._compiled_pads(floorplan, xs, ys, ny)
+
+        return CompiledGrid.from_arrays(
+            name=name or floorplan.name,
+            vdd=self.technology.vdd,
+            num_nodes=num_nodes,
+            node_x=node_x,
+            node_y=node_y,
+            node_layer_index=node_layer_index,
+            res_a=res_a,
+            res_b=res_b,
+            conductance=conductance,
+            res_width=res_width,
+            res_length=res_length,
+            res_line_id=res_line_id,
+            res_layer_codes=res_layer_codes,
+            res_layer_names=(v_layer.name, h_layer.name, "VIA"),
+            pad_node=pad_node,
+            pad_voltage_values=pad_voltage_values,
+            load_node=load_node,
+            load_current=load_current,
+            load_block=load_block,
+        )
+
+    def resize_compiled(
+        self,
+        compiled: CompiledGrid,
+        topology: GridTopology,
+        widths: np.ndarray | list[float] | float,
+    ) -> CompiledGrid:
+        """Re-size the stripes of a compiled grid without rebuilding it.
+
+        Only the conductances and drawn widths of the stripe segments
+        change; vias, topology, loads and pads are shared with ``compiled``
+        via :meth:`CompiledGrid.with_conductances`.  The result is
+        bitwise-identical (same fingerprint) to ``build_compiled`` called
+        with the new widths.
+
+        Args:
+            compiled: A grid previously built for the same topology.
+            topology: The stripe topology the grid was built from.
+            widths: New per-line widths in um.
+        """
+        width_vector = self._normalise_widths(topology, widths)
+        segment = compiled.res_line_id >= 0
+        line = compiled.res_line_id[segment]
+        sheet_resistance = np.where(
+            line < topology.num_vertical,
+            self.technology.vertical_layer.sheet_resistance,
+            self.technology.horizontal_layer.sheet_resistance,
+        )
+        resistance = sheet_resistance * compiled.res_length[segment] / width_vector[line]
+        conductance = compiled.conductance.copy()
+        conductance[segment] = 1.0 / resistance
+        res_width = compiled.res_width.copy()
+        res_width[segment] = width_vector[line]
+        return compiled.with_conductances(conductance, res_width=res_width)
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _compiled_loads(
+        self,
+        floorplan: Floorplan,
+        topology: GridTopology,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        ny: int,
+    ) -> tuple[np.ndarray, np.ndarray, tuple[str, ...]]:
+        """Vectorised twin of :meth:`_attach_loads` (same source ordering)."""
+        nodes: list[np.ndarray] = []
+        currents: list[np.ndarray] = []
+        blocks: list[str] = []
+        for block in floorplan.iter_blocks():
+            if block.switching_current <= 0:
+                continue
+            ix = np.where((xs >= block.x) & (xs <= block.x + block.width))[0]
+            iy = np.where((ys >= block.y) & (ys <= block.y + block.height))[0]
+            if ix.size == 0 or iy.size == 0:
+                # Block smaller than the stripe pitch: snap to the nearest node.
+                cx, cy = block.center
+                ix = np.asarray([int(np.argmin(np.abs(xs - cx)))])
+                iy = np.asarray([int(np.argmin(np.abs(ys - cy)))])
+            share = block.switching_current / (ix.size * iy.size)
+            block_nodes = (2 * (ix[:, None] * ny + iy[None, :])).ravel()
+            nodes.append(block_nodes)
+            currents.append(np.full(block_nodes.size, share))
+            blocks.extend([block.name] * block_nodes.size)
+        if not nodes:
+            return (
+                np.zeros(0, dtype=np.int64),
+                np.zeros(0, dtype=float),
+                (),
+            )
+        return (
+            np.concatenate(nodes).astype(np.int64, copy=False),
+            np.concatenate(currents),
+            tuple(blocks),
+        )
+
+    def _compiled_pads(
+        self, floorplan: Floorplan, xs: np.ndarray, ys: np.ndarray, ny: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised twin of :meth:`_attach_pads` (keep-first node dedupe)."""
+        pads = list(floorplan.iter_pads())
+        if not pads:
+            raise ValueError("floorplan has no power pads; the grid would be floating")
+        pad_x = np.fromiter((pad.x for pad in pads), dtype=float, count=len(pads))
+        pad_y = np.fromiter((pad.y for pad in pads), dtype=float, count=len(pads))
+        pad_v = np.fromiter((pad.voltage for pad in pads), dtype=float, count=len(pads))
+        i = np.argmin(np.abs(xs[None, :] - pad_x[:, None]), axis=1)
+        j = np.argmin(np.abs(ys[None, :] - pad_y[:, None]), axis=1)
+        node = 2 * (i * ny + j) + 1
+        _, first = np.unique(node, return_index=True)
+        keep = np.sort(first)
+        return node[keep].astype(np.int64, copy=False), pad_v[keep]
+
     def _normalise_widths(
         self, topology: GridTopology, widths: np.ndarray | list[float] | float
     ) -> np.ndarray:

@@ -9,7 +9,7 @@ both read from the same source of truth.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Iterable, Iterator
 
 import numpy as np

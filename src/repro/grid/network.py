@@ -12,7 +12,7 @@ mirror Table II of the paper (``#n``, ``#r``, ``#v``, ``#i``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 import networkx as nx

@@ -202,6 +202,96 @@ def perturbed_load_matrix(
     return np.asarray(compiled.load_incidence.T.dot(per_source.T)).T
 
 
+def perturbed_pad_voltage_matrix(
+    network: PowerGridNetwork | CompiledGrid,
+    spec: PerturbationSpec,
+    num_scenarios: int,
+) -> np.ndarray:
+    """Generate per-pad voltage rows for a voltage-only perturbation sweep.
+
+    Scenario ``i`` jitters every supply pad by independent factors in
+    ``1 +/- gamma`` drawn from ``default_rng(spec.seed + i)`` — scenario
+    ``i`` therefore matches ``NetworkPerturbator`` run with the same spec at
+    seed ``spec.seed + i``.  Pad voltages only enter the right-hand side, so
+    the whole sweep can be solved against one cached factorization by
+    :meth:`~repro.analysis.engine.BatchedAnalysisEngine.analyze_pad_batch`
+    (the Fig. 9 NODE_VOLTAGES sweep run multi-RHS).
+
+    Args:
+        network: The base grid (or its compiled form).
+        spec: Perturbation specification; must perturb voltages only (a
+            current perturbation belongs in the load matrix).
+        num_scenarios: Number of pad-voltage scenarios to generate.
+
+    Returns:
+        ``(num_scenarios, num_pads)`` per-pad voltage matrix aligned with
+        the compiled grid's ``pad_names``.
+
+    Raises:
+        ValueError: If the spec perturbs currents or ``num_scenarios < 1``.
+    """
+    if spec.kind is not PerturbationKind.NODE_VOLTAGES:
+        raise ValueError(
+            "perturbed_pad_voltage_matrix only supports voltage-only perturbations; "
+            "use perturbed_load_matrix for current perturbations"
+        )
+    if num_scenarios < 1:
+        raise ValueError("num_scenarios must be at least 1")
+    compiled = network if isinstance(network, CompiledGrid) else network.compile()
+    base = compiled.pad_voltage_values
+    factors = np.empty((num_scenarios, base.size), dtype=float)
+    for scenario in range(num_scenarios):
+        rng = np.random.default_rng(spec.seed + scenario)
+        factors[scenario] = _relative_jitter(rng, base.size, spec.gamma)
+    return factors * base
+
+
+def floorplan_perturbed_load_matrix(
+    network: PowerGridNetwork | CompiledGrid,
+    floorplan: Floorplan,
+    spec: PerturbationSpec,
+    num_scenarios: int,
+) -> np.ndarray:
+    """Per-node load scenarios matching floorplan-level block perturbation.
+
+    Scenario ``i`` reproduces the loads of a grid rebuilt (same topology and
+    widths) from ``FloorplanPerturbator`` applied at seed ``spec.seed + i``:
+    per-*block* jitter factors are drawn exactly like the floorplan
+    perturbator draws them and mapped onto the grid's current sources
+    through their block attribution — without rebuilding anything.  This is
+    how the Fig. 9 golden workload scenarios are generated on the engine.
+
+    Args:
+        network: The base grid (or its compiled form), built from
+            ``floorplan``.
+        floorplan: The floorplan whose block ordering defines the factor
+            columns.
+        spec: Perturbation specification; must perturb currents only.
+        num_scenarios: Number of load scenarios to generate.
+
+    Returns:
+        ``(num_scenarios, num_nodes)`` per-node current matrix in compiled
+        node order.
+
+    Raises:
+        ValueError: If the spec perturbs voltages or ``num_scenarios < 1``.
+    """
+    if spec.perturbs_voltages:
+        raise ValueError(
+            "floorplan_perturbed_load_matrix only supports current-only perturbations"
+        )
+    if num_scenarios < 1:
+        raise ValueError("num_scenarios must be at least 1")
+    compiled = network if isinstance(network, CompiledGrid) else network.compile()
+    blocks = list(floorplan.iter_blocks())
+    block_names = tuple(block.name for block in blocks)
+    factors = np.empty((num_scenarios, len(blocks)), dtype=float)
+    for scenario in range(num_scenarios):
+        rng = np.random.default_rng(spec.seed + scenario)
+        factors[scenario] = _relative_jitter(rng, len(blocks), spec.gamma)
+    return compiled.block_factor_load_matrix(block_names, factors)
+
+
 def perturbation_sweep(gammas: list[float] | None = None) -> list[PerturbationSpec]:
     """Return the Fig. 9 sweep: every gamma x every perturbation kind.
 

@@ -16,7 +16,7 @@ currents in amperes (A), voltages in volts (V) and resistances in ohms.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 
 @dataclass(frozen=True)

@@ -12,13 +12,12 @@ from __future__ import annotations
 
 import itertools
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from .metrics import mean_squared_error, r2_score
 from .regression import MultiTargetRegressor, RegressorConfig
-from .training import TrainingConfig
 
 
 @dataclass(frozen=True)

@@ -8,7 +8,7 @@ ReLU) and plain scaled-normal initialisation.
 
 from __future__ import annotations
 
-from typing import Callable, Protocol
+from typing import Protocol
 
 import numpy as np
 

@@ -10,11 +10,10 @@ backpropagation-based gradient computation used by the trainer.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from .activations import Activation
 from .layers import DenseLayer
 from .losses import Loss, get_loss
 

@@ -1,6 +1,5 @@
 """Tests for branch-current extraction."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import (

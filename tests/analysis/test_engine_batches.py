@@ -1,0 +1,174 @@
+"""Tests for RHS sharding and the pad-voltage batch API of the engine.
+
+Sharded sweeps must stream their reductions without ever materialising the
+dense ``(num_nodes, k)`` voltage matrix, and the streamed reductions must be
+bitwise-identical to the unsharded ones.  Pad-voltage batches must match the
+per-scenario ``NetworkPerturbator`` + ``analyze`` path to 1e-9 per node.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import BatchedAnalysisEngine
+from repro.grid import (
+    NetworkPerturbator,
+    PerturbationKind,
+    PerturbationSpec,
+    SyntheticIBMSuite,
+    perturbed_load_matrix,
+    perturbed_pad_voltage_matrix,
+)
+
+VOLTAGE_TOLERANCE = 1e-9
+
+
+@pytest.fixture(scope="module")
+def ibmpg1_grid():
+    return SyntheticIBMSuite().load("ibmpg1").build_uniform_grid(5.0)
+
+
+@pytest.fixture(scope="module")
+def load_sweep(ibmpg1_grid):
+    spec = PerturbationSpec(gamma=0.2, kind=PerturbationKind.CURRENT_WORKLOADS, seed=11)
+    return perturbed_load_matrix(ibmpg1_grid, spec, 37)
+
+
+class TestShardedBatch:
+    @pytest.mark.parametrize("chunk_size", [1, 8, 37, 100])
+    def test_sharded_reductions_bitwise_match_unsharded(
+        self, ibmpg1_grid, load_sweep, chunk_size
+    ):
+        engine = BatchedAnalysisEngine()
+        full = engine.analyze_batch(ibmpg1_grid, load_sweep)
+        sharded = engine.analyze_batch(ibmpg1_grid, load_sweep, chunk_size=chunk_size)
+        assert np.array_equal(full.worst_ir_drop, sharded.worst_ir_drop)
+        assert np.array_equal(full.average_ir_drop, sharded.average_ir_drop)
+        assert np.array_equal(full.worst_node_index, sharded.worst_node_index)
+
+    def test_sharded_batch_never_materialises_voltages(self, ibmpg1_grid, load_sweep):
+        engine = BatchedAnalysisEngine()
+        sharded = engine.analyze_batch(ibmpg1_grid, load_sweep, chunk_size=8)
+        assert sharded.voltages is None
+        assert sharded.reductions is not None
+        assert sharded.num_scenarios == load_sweep.shape[0]
+        with pytest.raises(ValueError, match="sharding"):
+            sharded.scenario_voltages(0)
+        with pytest.raises(ValueError, match="sharding"):
+            sharded.result(0)
+        with pytest.raises(ValueError, match="sharding"):
+            sharded.ir_drop
+
+    def test_sharded_batch_uses_one_factorization(self, ibmpg1_grid, load_sweep):
+        engine = BatchedAnalysisEngine()
+        engine.analyze_batch(ibmpg1_grid, load_sweep, chunk_size=5)
+        assert engine.cache_info().factorizations == 1
+
+    def test_worst_node_names_consistent(self, ibmpg1_grid, load_sweep):
+        engine = BatchedAnalysisEngine()
+        full = engine.analyze_batch(ibmpg1_grid, load_sweep)
+        sharded = engine.analyze_batch(ibmpg1_grid, load_sweep, chunk_size=4)
+        for scenario in range(0, load_sweep.shape[0], 9):
+            assert sharded.worst_node(scenario) == full.worst_node(scenario)
+
+    def test_invalid_chunk_size_rejected(self, ibmpg1_grid, load_sweep):
+        with pytest.raises(ValueError, match="chunk_size"):
+            BatchedAnalysisEngine().analyze_batch(ibmpg1_grid, load_sweep, chunk_size=0)
+
+    def test_large_sharded_sweep(self):
+        """A ≥1e4-scenario sweep completes with chunk-bounded memory."""
+        grid = SyntheticIBMSuite(scale=0.25).load("ibmpg1").build_uniform_grid(5.0)
+        compiled = grid.compile()
+        num_scenarios = 10_000
+        rng = np.random.default_rng(0)
+        load_matrix = compiled.base_loads * (
+            1.0 + rng.uniform(-0.25, 0.25, size=(num_scenarios, 1))
+        )
+        engine = BatchedAnalysisEngine()
+        batch = engine.analyze_batch(grid, load_matrix, chunk_size=512)
+        assert batch.voltages is None
+        assert batch.worst_ir_drop.shape == (num_scenarios,)
+        assert engine.cache_info().factorizations == 1
+        # Spot-check a handful of scenarios against unsharded solves.
+        sample = [0, 1234, 9999]
+        reference = engine.analyze_batch(grid, load_matrix[sample])
+        assert np.array_equal(batch.worst_ir_drop[sample], reference.worst_ir_drop)
+        assert np.array_equal(batch.average_ir_drop[sample], reference.average_ir_drop)
+
+
+class TestPadVoltageBatch:
+    @pytest.fixture(scope="class")
+    def pad_sweep(self, ibmpg1_grid):
+        spec = PerturbationSpec(gamma=0.15, kind=PerturbationKind.NODE_VOLTAGES, seed=17)
+        return spec, perturbed_pad_voltage_matrix(ibmpg1_grid, spec, 6)
+
+    def test_batch_matches_per_scenario_analyze(self, ibmpg1_grid, pad_sweep):
+        spec, pad_matrix = pad_sweep
+        engine = BatchedAnalysisEngine()
+        batch = engine.analyze_pad_batch(ibmpg1_grid, pad_matrix)
+        compiled = ibmpg1_grid.compile()
+        for scenario in range(pad_matrix.shape[0]):
+            per_spec = PerturbationSpec(
+                gamma=spec.gamma, kind=spec.kind, seed=spec.seed + scenario
+            )
+            perturbed = NetworkPerturbator(per_spec).perturb(ibmpg1_grid)
+            reference = BatchedAnalysisEngine().analyze(perturbed)
+            reference_voltages = compiled.voltage_array(reference.node_voltages)
+            difference = np.abs(
+                reference_voltages - batch.scenario_voltages(scenario)
+            ).max()
+            assert difference <= VOLTAGE_TOLERANCE
+
+    def test_pad_sweep_shares_one_factorization(self, ibmpg1_grid, pad_sweep):
+        _, pad_matrix = pad_sweep
+        engine = BatchedAnalysisEngine()
+        engine.analyze(ibmpg1_grid)
+        batch = engine.analyze_pad_batch(ibmpg1_grid, pad_matrix)
+        assert batch.factorization_reused
+        assert engine.cache_info().factorizations == 1
+
+    def test_sharded_pad_batch_matches_unsharded(self, ibmpg1_grid, pad_sweep):
+        _, pad_matrix = pad_sweep
+        engine = BatchedAnalysisEngine()
+        full = engine.analyze_pad_batch(ibmpg1_grid, pad_matrix)
+        sharded = engine.analyze_pad_batch(ibmpg1_grid, pad_matrix, chunk_size=2)
+        assert sharded.voltages is None
+        assert np.array_equal(full.worst_ir_drop, sharded.worst_ir_drop)
+        assert np.array_equal(full.average_ir_drop, sharded.average_ir_drop)
+        assert np.array_equal(full.worst_node_index, sharded.worst_node_index)
+
+    def test_combined_load_and_pad_batch(self, ibmpg1_grid, pad_sweep):
+        _, pad_matrix = pad_sweep
+        compiled = ibmpg1_grid.compile()
+        load_matrix = np.tile(compiled.base_loads, (pad_matrix.shape[0], 1))
+        engine = BatchedAnalysisEngine()
+        with_loads = engine.analyze_pad_batch(
+            ibmpg1_grid, pad_matrix, load_matrix=load_matrix
+        )
+        without = engine.analyze_pad_batch(ibmpg1_grid, pad_matrix)
+        assert np.allclose(
+            with_loads.worst_ir_drop, without.worst_ir_drop, atol=VOLTAGE_TOLERANCE
+        )
+
+    def test_input_validation(self, ibmpg1_grid, pad_sweep):
+        _, pad_matrix = pad_sweep
+        engine = BatchedAnalysisEngine()
+        with pytest.raises(ValueError):
+            engine.analyze_pad_batch(ibmpg1_grid, pad_matrix[:, :-1])
+        with pytest.raises(ValueError, match="at least one scenario"):
+            engine.analyze_pad_batch(ibmpg1_grid, pad_matrix[:0])
+        with pytest.raises(ValueError):
+            engine.analyze_pad_batch(
+                ibmpg1_grid, pad_matrix, load_matrix=np.zeros((2, 3))
+            )
+
+    def test_pad_matrix_generator_validation(self, ibmpg1_grid):
+        current_spec = PerturbationSpec(
+            gamma=0.1, kind=PerturbationKind.CURRENT_WORKLOADS, seed=1
+        )
+        with pytest.raises(ValueError):
+            perturbed_pad_voltage_matrix(ibmpg1_grid, current_spec, 4)
+        voltage_spec = PerturbationSpec(
+            gamma=0.1, kind=PerturbationKind.NODE_VOLTAGES, seed=1
+        )
+        with pytest.raises(ValueError):
+            perturbed_pad_voltage_matrix(ibmpg1_grid, voltage_spec, 0)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.analysis import MNAAssembler, PowerGridSolver, assemble
+from repro.analysis import PowerGridSolver, assemble
 from repro.grid import CurrentSource, GridNode, PowerGridNetwork, Resistor, VoltageSource
 
 

@@ -120,3 +120,36 @@ class TestDatasetBuilder:
         builder = DatasetBuilder()
         planner = builder.planner_for(small_benchmark)
         assert planner.technology is small_benchmark.technology
+
+
+class TestPerturbedSweep:
+    """build_perturbed_sweep must reproduce build_perturbed_test with fewer plans."""
+
+    SPECS = [
+        PerturbationSpec(gamma=gamma, kind=kind, seed=int(gamma * 1000))
+        for gamma in (0.10, 0.20)
+        for kind in PerturbationKind
+    ]
+
+    def test_sweep_matches_per_spec_path(self, small_benchmark):
+        per_spec_builder = DatasetBuilder(ConventionalPowerPlanner(small_benchmark.technology))
+        swept_builder = DatasetBuilder(ConventionalPowerPlanner(small_benchmark.technology))
+        swept = swept_builder.build_perturbed_sweep(small_benchmark, self.SPECS)
+        assert len(swept) == len(self.SPECS)
+        for spec, (dataset, floorplan, plan) in zip(self.SPECS, swept):
+            reference, ref_floorplan, ref_plan = per_spec_builder.build_perturbed_test(
+                small_benchmark, spec
+            )
+            assert dataset.name == reference.name
+            assert floorplan.name == ref_floorplan.name
+            assert np.array_equal(dataset.features, reference.features)
+            assert np.array_equal(dataset.widths, reference.widths)
+            assert np.array_equal(plan.widths, ref_plan.widths)
+
+    def test_sweep_dedupes_golden_plans(self, small_benchmark):
+        builder = DatasetBuilder(ConventionalPowerPlanner(small_benchmark.technology))
+        swept = builder.build_perturbed_sweep(small_benchmark, self.SPECS)
+        plans = [plan for _, _, plan in swept]
+        # 6 specs collapse onto 3 golden plans: one nominal (NODE_VOLTAGES)
+        # plus one per gamma (shared by CURRENT_WORKLOADS and BOTH).
+        assert len({id(plan) for plan in plans}) == 3

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.analysis import IRDropAnalyzer
 from repro.design import ConventionalPowerPlanner, DesignRules, ReliabilityConstraints
 
 
@@ -71,6 +72,68 @@ class TestResizing:
         plan = planner.plan(small_benchmark.floorplan, small_benchmark.topology, constraints=relaxed)
         assert plan.converged
         assert plan.num_iterations == 1
+
+
+class TestCompiledLoopEquivalence:
+    """The rebuild-free compiled loop must reproduce the legacy loop exactly."""
+
+    @pytest.fixture(scope="class")
+    def plan_pair(self, small_benchmark):
+        """Legacy and compiled plans from an undersized start (forces resizes)."""
+        rules = DesignRules.from_technology(small_benchmark.technology)
+        tiny_widths = np.full(small_benchmark.topology.num_lines, rules.min_width)
+        legacy = ConventionalPowerPlanner(
+            small_benchmark.technology, max_iterations=6, use_compiled_loop=False
+        ).plan(small_benchmark.floorplan, small_benchmark.topology, initial_widths=tiny_widths)
+        compiled = ConventionalPowerPlanner(
+            small_benchmark.technology, max_iterations=6, use_compiled_loop=True
+        ).plan(small_benchmark.floorplan, small_benchmark.topology, initial_widths=tiny_widths)
+        return legacy, compiled
+
+    def test_identical_convergence_history(self, plan_pair):
+        legacy, compiled = plan_pair
+        assert compiled.num_iterations == legacy.num_iterations
+        assert compiled.converged == legacy.converged
+        assert compiled.num_iterations > 1  # the undersized start forced resizes
+        for legacy_it, compiled_it in zip(legacy.iterations, compiled.iterations):
+            assert compiled_it.index == legacy_it.index
+            assert compiled_it.lines_resized == legacy_it.lines_resized
+            assert compiled_it.em_violations == legacy_it.em_violations
+            assert compiled_it.worst_ir_drop == pytest.approx(
+                legacy_it.worst_ir_drop, abs=1e-9
+            )
+
+    def test_identical_final_widths(self, plan_pair):
+        legacy, compiled = plan_pair
+        assert np.array_equal(compiled.widths, legacy.widths)
+
+    def test_identical_final_analysis(self, plan_pair):
+        legacy, compiled = plan_pair
+        assert compiled.ir_result.worst_ir_drop == pytest.approx(
+            legacy.ir_result.worst_ir_drop, abs=1e-9
+        )
+        assert compiled.ir_result.worst_node == legacy.ir_result.worst_node
+        assert compiled.em_report.passed == legacy.em_report.passed
+        assert compiled.network.statistics() == legacy.network.statistics()
+
+    def test_compiled_loop_records_times(self, plan_pair):
+        _, compiled = plan_pair
+        assert compiled.total_time > 0
+        assert compiled.analysis_time > 0
+        for iteration in compiled.iterations:
+            assert iteration.analysis_time > 0
+            assert iteration.build_time > 0
+
+    def test_legacy_analyzer_falls_back_to_rebuild_loop(self, small_benchmark):
+        """A non-engine analyzer cannot drive the compiled loop."""
+        planner = ConventionalPowerPlanner(
+            small_benchmark.technology,
+            analyzer=IRDropAnalyzer(),
+            use_compiled_loop=True,
+        )
+        plan = planner.plan(small_benchmark.floorplan, small_benchmark.topology)
+        assert plan.converged
+        assert plan.ir_result.solver_method not in ("",)
 
 
 class TestParameters:

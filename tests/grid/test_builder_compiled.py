@@ -1,0 +1,165 @@
+"""Tests for direct-to-compiled grid construction and conductance updates.
+
+The acceptance bar for ``GridBuilder.build_compiled`` is equivalence with
+the reference ``build()`` + ``compile()`` path — same ordering, same arrays,
+same fingerprint, voltages within 1e-9 — on at least two benchmark grids.
+``resize_compiled`` / ``with_conductances`` must reproduce a full rebuild
+with the new widths bit-for-bit while sharing the frozen topology.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import BatchedAnalysisEngine
+from repro.grid import GridBuilder, SyntheticIBMSuite
+
+VOLTAGE_TOLERANCE = 1e-9
+
+ARRAY_ATTRIBUTES = (
+    "res_a",
+    "res_b",
+    "conductance",
+    "res_width",
+    "res_length",
+    "res_line_id",
+    "is_pad",
+    "pad_voltage",
+    "pad_node",
+    "pad_voltage_values",
+    "load_node",
+    "load_current",
+    "base_loads",
+    "node_x",
+    "node_y",
+    "unknown_sel",
+)
+
+
+@pytest.fixture(scope="module", params=["ibmpg1", "ibmpg2"])
+def benchmark_pair(request):
+    """(benchmark, reference compiled, direct compiled) for two suite grids."""
+    scale = 1.0 if request.param == "ibmpg1" else 0.5
+    bench = SyntheticIBMSuite(scale=scale).load(request.param)
+    builder = GridBuilder(bench.technology)
+    network = builder.build(bench.floorplan, bench.topology, 5.0, name=bench.name)
+    direct = builder.build_compiled(bench.floorplan, bench.topology, 5.0, name=bench.name)
+    return bench, network.compile(), direct
+
+
+class TestBuildCompiledEquivalence:
+    def test_arrays_match_reference_path(self, benchmark_pair):
+        _, reference, direct = benchmark_pair
+        assert direct.num_nodes == reference.num_nodes
+        assert direct.num_resistors == reference.num_resistors
+        assert direct.num_unknowns == reference.num_unknowns
+        for attribute in ARRAY_ATTRIBUTES:
+            assert np.array_equal(
+                getattr(direct, attribute), getattr(reference, attribute)
+            ), attribute
+
+    def test_lazy_names_match_reference_path(self, benchmark_pair):
+        _, reference, direct = benchmark_pair
+        assert direct.node_names == reference.node_names
+        assert direct.unknown_nodes == reference.unknown_nodes
+        assert direct.res_names == reference.res_names
+        assert direct.res_layers == reference.res_layers
+        assert direct.pad_names == reference.pad_names
+        assert direct.load_names == reference.load_names
+        assert direct.load_block == reference.load_block
+
+    def test_fingerprints_match(self, benchmark_pair):
+        """Identical digests: both construction paths share factorizations."""
+        _, reference, direct = benchmark_pair
+        assert direct.fingerprint == reference.fingerprint
+
+    def test_voltages_match_reference_path(self, benchmark_pair):
+        _, reference, direct = benchmark_pair
+        engine = BatchedAnalysisEngine()
+        reference_voltages = engine.solve_voltages(reference)
+        direct_voltages = engine.solve_voltages(direct)
+        assert np.abs(reference_voltages - direct_voltages).max() <= VOLTAGE_TOLERANCE
+
+    def test_materialised_resistors_match(self, benchmark_pair):
+        _, reference, direct = benchmark_pair
+        sample = slice(0, 25)
+        for ref, made in zip(reference.resistors[sample], direct.resistors[sample]):
+            assert made.name == ref.name
+            assert made.node_a == ref.node_a
+            assert made.node_b == ref.node_b
+            assert made.layer == ref.layer
+            assert made.line_id == ref.line_id
+            assert made.resistance == pytest.approx(ref.resistance, rel=1e-12)
+
+    def test_width_validation(self, benchmark_pair):
+        bench, _, _ = benchmark_pair
+        builder = GridBuilder(bench.technology)
+        with pytest.raises(ValueError):
+            builder.build_compiled(bench.floorplan, bench.topology, [1.0, 2.0])
+        with pytest.raises(ValueError):
+            builder.build_compiled(bench.floorplan, bench.topology, -1.0)
+
+
+class TestResizeCompiled:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        bench = SyntheticIBMSuite().load("ibmpg1")
+        builder = GridBuilder(bench.technology)
+        base = builder.build_compiled(bench.floorplan, bench.topology, 5.0)
+        base.reduced_matrix  # populate the shared sparsity pattern
+        rng = np.random.default_rng(7)
+        new_widths = 5.0 * rng.uniform(1.0, 2.0, size=bench.topology.num_lines)
+        return bench, builder, base, new_widths
+
+    def test_resize_matches_fresh_build(self, setup):
+        bench, builder, base, new_widths = setup
+        resized = builder.resize_compiled(base, bench.topology, new_widths)
+        rebuilt = builder.build_compiled(bench.floorplan, bench.topology, new_widths)
+        assert np.array_equal(resized.conductance, rebuilt.conductance)
+        assert np.array_equal(resized.res_width, rebuilt.res_width)
+        assert resized.fingerprint == rebuilt.fingerprint
+        a, b = resized.reduced_matrix, rebuilt.reduced_matrix
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.data, b.data)
+
+    def test_resize_shares_frozen_topology(self, setup):
+        bench, builder, base, new_widths = setup
+        resized = builder.resize_compiled(base, bench.topology, new_widths)
+        assert resized.res_a is base.res_a
+        assert resized.unknown_sel is base.unknown_sel
+        assert resized._pattern_box is base._pattern_box
+        assert resized.base_loads is base.base_loads
+        # Value-dependent state must not be shared.
+        assert resized.conductance is not base.conductance
+        assert resized.fingerprint != base.fingerprint
+
+    def test_resize_leaves_vias_untouched(self, setup):
+        bench, builder, base, new_widths = setup
+        resized = builder.resize_compiled(base, bench.topology, new_widths)
+        vias = base.res_line_id < 0
+        assert np.array_equal(resized.conductance[vias], base.conductance[vias])
+        assert np.array_equal(resized.res_width[vias], base.res_width[vias])
+
+    def test_with_conductances_validation(self, setup):
+        _, _, base, _ = setup
+        with pytest.raises(ValueError):
+            base.with_conductances(np.ones(3))
+        bad = base.conductance.copy()
+        bad[0] = 0.0
+        with pytest.raises(ValueError):
+            base.with_conductances(bad)
+        with pytest.raises(ValueError):
+            base.with_conductances(base.conductance, res_width=np.ones(3))
+
+    def test_with_conductances_on_network_built_grid(self, tiny_grid):
+        """The update path also works for grids compiled from a network."""
+        compiled = tiny_grid.compile()
+        compiled.reduced_matrix
+        doubled = compiled.with_conductances(compiled.conductance * 2.0)
+        assert doubled.fingerprint != compiled.fingerprint
+        dense = doubled.reduced_matrix.toarray()
+        np.testing.assert_allclose(dense, 2.0 * compiled.reduced_matrix.toarray(), rtol=1e-12)
+        # Lazy views survive the clone (names are value-independent).
+        assert doubled.res_names == compiled.res_names
+        assert doubled.resistors[0].resistance == pytest.approx(
+            compiled.resistors[0].resistance / 2.0
+        )

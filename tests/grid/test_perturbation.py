@@ -1,6 +1,5 @@
 """Tests for the gamma-perturbation engine (paper Section IV-D)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -7,11 +7,10 @@ qualitative claims of the paper hold on the synthetic benchmark.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import EMChecker, IRDropAnalyzer
 from repro.core import compare_convergence, compare_worst_ir_drop
-from repro.design import ConventionalPowerPlanner, DesignRules
+from repro.design import DesignRules
 from repro.grid import GridBuilder
 
 

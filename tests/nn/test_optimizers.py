@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.nn import SGD, Adam, DenseLayer, MeanSquaredError, MomentumSGD, get_optimizer
+from repro.nn import SGD, Adam, DenseLayer, MomentumSGD, get_optimizer
 
 
 class _QuadraticProblem:
