@@ -36,7 +36,9 @@ def test_ablation_hidden_layer_depth(benchmark, benchmark_cache, results_dir):
     dataset = prepared.framework.trained.benchmark_dataset.training
 
     base = RegressorConfig(hidden_layers=2, hidden_width=32, training=_QUICK_TRAINING, seed=0)
-    space = SearchSpace(hidden_layers=(2, 4, 6, 10), hidden_width=(32,), learning_rate=(1e-3,), batch_size=(128,))
+    space = SearchSpace(
+        hidden_layers=(2, 4, 6, 10), hidden_width=(32,), learning_rate=(1e-3,), batch_size=(128,)
+    )
     search = HyperparameterSearch(base, space, validation_fraction=0.25, seed=0)
 
     result = benchmark.pedantic(

@@ -1,0 +1,224 @@
+"""Mega-sweep benchmark: 1e5+ pad x load scenarios through streamed sinks.
+
+The paper's value proposition is evaluating huge numbers of PDN scenarios
+cheaply.  This bench drives the combined pad-voltage x load-perturbation
+cross product (:meth:`BatchedAnalysisEngine.analyze_mega_sweep`) at
+``>= 1e5`` scenarios on ``ibmpg1``, with the full sink stack attached —
+P2 / reservoir quantiles, per-node histograms, exceedance counts and a
+top-k shortlist — all in chunk-bounded memory: neither the dense
+``(num_nodes, k)`` voltage matrix nor the ``(k, num_nodes)`` scenario
+matrix is ever allocated (the cross product is generated per chunk).
+
+Before the timed run, the exact-reduction sinks (histogram, exceedance,
+top-k) and the streamed worst/mean reductions are verified **bitwise**
+against a dense single-shot reference on a cross-product subset small
+enough to materialise, and the reservoir quantile sink (sized to hold the
+whole subset) is verified bitwise against ``numpy.quantile``.
+
+A JSON throughput record is written to ``benchmarks/results/`` for the CI
+artifact upload and the regression checker (``check_results.py``).
+
+Environment variables:
+    REPRO_BENCH_SCALE: Global grid scale; scales the scenario counts down
+        too (tiny-grid CI smoke gate).  Full-scale acceptance asserts
+        >= 1e5 scenarios.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+from conftest import bench_scale, full_scale
+
+from repro.analysis import (
+    BatchedAnalysisEngine,
+    ExceedanceCountSink,
+    NodeHistogramSink,
+    P2QuantileSink,
+    ReservoirQuantileSink,
+    TopKScenarioSink,
+)
+from repro.core import format_key_values
+from repro.grid import SyntheticIBMSuite, mega_sweep_matrices
+
+BENCHMARK = "ibmpg1"
+GAMMA = 0.2
+SEED = 2020
+FULL_NUM_LOADS = 400
+FULL_NUM_PADS = 256
+CHUNK_SIZE = 512
+QUANTILES = (0.5, 0.9, 0.99)
+TOP_K = 10
+NUM_BINS = 32
+REFERENCE_SCENARIO_BUDGET = 2048
+MIN_FULL_SCALE_SCENARIOS = 100_000
+
+
+def scenario_counts(scale: float) -> tuple[int, int]:
+    """Load / pad row counts, scaled with the grid for the CI smoke run."""
+    return max(6, round(FULL_NUM_LOADS * scale)), max(4, round(FULL_NUM_PADS * scale))
+
+
+def build_sinks(nominal_worst: float, reservoir_capacity: int) -> dict:
+    """One fresh instance of every sink the bench exercises."""
+    return {
+        "p2": P2QuantileSink(QUANTILES),
+        "reservoir": ReservoirQuantileSink(reservoir_capacity, QUANTILES, seed=SEED),
+        "histogram": NodeHistogramSink.uniform(0.0, max(2.0 * nominal_worst, 1e-6), NUM_BINS),
+        "exceedance": ExceedanceCountSink(nominal_worst),
+        "topk": TopKScenarioSink(TOP_K),
+    }
+
+
+def dense_reference(engine, grid, load_rows, pad_matrix, edges, threshold):
+    """Single-shot dense solve of a small cross product + numpy reductions."""
+    num_pads = pad_matrix.shape[0]
+    dense = engine.analyze_pad_batch(
+        grid,
+        np.tile(pad_matrix, (load_rows.shape[0], 1)),
+        load_matrix=np.repeat(load_rows, num_pads, axis=0),
+    )
+    drops = dense.compiled.vdd - dense.voltages
+    counts = np.empty((drops.shape[0], len(edges) - 1), dtype=np.int64)
+    for node in range(drops.shape[0]):
+        counts[node] = np.histogram(drops[node], bins=edges)[0]
+    # Per-scenario reductions over contiguous rows, matching the engine's
+    # fixed floating-point summation order.
+    rows = np.ascontiguousarray(drops.T)
+    worst = rows.max(axis=1)
+    order = np.lexsort((np.arange(worst.size), -worst))[:TOP_K]
+    return {
+        "worst": worst,
+        "average": rows.mean(axis=1),
+        "histogram_counts": counts,
+        "underflow": (drops < edges[0]).sum(axis=1),
+        "overflow": (drops > edges[-1]).sum(axis=1),
+        "exceedance": (drops > threshold).sum(axis=1),
+        "topk_index": order,
+        "topk_value": worst[order],
+        "topk_node": rows.argmax(axis=1)[order],
+        "quantiles": np.quantile(worst, QUANTILES),
+    }
+
+
+def test_mega_sweep_sinks(benchmark, results_dir):
+    """>= 1e5 streamed scenarios; exact sinks bitwise-equal to dense."""
+    scale = bench_scale()
+    suite = SyntheticIBMSuite(scale=scale)
+    bench = suite.load(BENCHMARK)
+    grid = bench.build_uniform_grid(5.0)
+    num_loads, num_pads = scenario_counts(scale)
+    load_matrix, pad_matrix = mega_sweep_matrices(
+        grid, bench.floorplan, GAMMA, num_loads, num_pads, seed=SEED
+    )
+
+    engine = BatchedAnalysisEngine()
+    nominal = engine.analyze(grid)
+
+    # --- Exactness gate: streamed sinks vs a dense single-shot reference
+    # on a materialisable cross-product subset (loads-outer ordering).
+    ref_loads = max(1, min(num_loads, REFERENCE_SCENARIO_BUDGET // num_pads))
+    ref_scenarios = ref_loads * num_pads
+    ref_sinks = build_sinks(nominal.worst_ir_drop, reservoir_capacity=ref_scenarios)
+    streamed_ref = engine.analyze_mega_sweep(
+        grid,
+        load_matrix[:ref_loads],
+        pad_matrix,
+        chunk_size=max(1, ref_scenarios // 7),  # deliberately not a divisor
+        sinks=tuple(ref_sinks.values()),
+    )
+    edges = ref_sinks["histogram"].edges
+    reference = dense_reference(
+        engine, grid, load_matrix[:ref_loads], pad_matrix, edges, nominal.worst_ir_drop
+    )
+
+    assert np.array_equal(streamed_ref.worst_ir_drop, reference["worst"])
+    assert np.array_equal(streamed_ref.average_ir_drop, reference["average"])
+    histogram = ref_sinks["histogram"].result()
+    assert np.array_equal(histogram.counts, reference["histogram_counts"])
+    assert np.array_equal(histogram.underflow, reference["underflow"])
+    assert np.array_equal(histogram.overflow, reference["overflow"])
+    exceedance = ref_sinks["exceedance"].result()
+    assert np.array_equal(exceedance.counts, reference["exceedance"])
+    topk = ref_sinks["topk"].result()
+    assert np.array_equal(topk.scenario_index, reference["topk_index"])
+    assert np.array_equal(topk.worst_ir_drop, reference["topk_value"])
+    assert np.array_equal(topk.worst_node_index, reference["topk_node"])
+    # Reservoir sized to the whole subset == exact empirical quantiles.
+    reservoir = ref_sinks["reservoir"].result()
+    assert reservoir.exact
+    assert np.array_equal(reservoir.values, reference["quantiles"])
+    exact_sinks_match = True
+
+    # --- Timed full mega-sweep, chunk-bounded memory, one factorization.
+    sweep_engine = BatchedAnalysisEngine()
+    sinks = build_sinks(nominal.worst_ir_drop, reservoir_capacity=4096)
+    result = benchmark.pedantic(
+        lambda: sweep_engine.analyze_mega_sweep(
+            grid,
+            load_matrix,
+            pad_matrix,
+            chunk_size=CHUNK_SIZE,
+            sinks=tuple(sinks.values()),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.num_scenarios == num_loads * num_pads
+    assert sweep_engine.cache_info().factorizations == 1
+    if full_scale():
+        assert result.num_scenarios >= MIN_FULL_SCALE_SCENARIOS
+
+    p2_estimate = sinks["p2"].result()
+    reservoir_estimate = sinks["reservoir"].result()
+    exceedance = sinks["exceedance"].result()
+    topk = sinks["topk"].result()
+    dense_voltage_bytes = 8 * result.compiled.num_nodes * result.num_scenarios
+    chunk_bytes = 8 * result.compiled.num_nodes * CHUNK_SIZE
+
+    record = {
+        "benchmark": BENCHMARK,
+        "scale": scale,
+        "num_nodes": result.compiled.num_nodes,
+        "num_load_scenarios": num_loads,
+        "num_pad_scenarios": num_pads,
+        "num_scenarios": result.num_scenarios,
+        "chunk_size": CHUNK_SIZE,
+        "factorizations": sweep_engine.cache_info().factorizations,
+        "elapsed_seconds": result.analysis_time,
+        "scenarios_per_second": result.scenarios_per_second,
+        "exact_sinks_match": exact_sinks_match,
+        "reference_scenarios": ref_scenarios,
+        "dense_voltage_bytes_avoided": dense_voltage_bytes,
+        "chunk_working_set_bytes": chunk_bytes,
+        "nominal_worst_ir_drop": nominal.worst_ir_drop,
+        "sweep_worst_ir_drop": float(result.worst_ir_drop.max()),
+        "p2_quantiles": dict(zip(map(str, QUANTILES), p2_estimate.values.tolist())),
+        "reservoir_quantiles": dict(
+            zip(map(str, QUANTILES), reservoir_estimate.values.tolist())
+        ),
+        "max_node_exceedance_rate": float(exceedance.rates.max()),
+        "top_scenario": int(topk.scenario_index[0]),
+        "top_worst_ir_drop": float(topk.worst_ir_drop[0]),
+    }
+    print()
+    print(
+        format_key_values(
+            {
+                "benchmark": BENCHMARK,
+                "grid nodes": result.compiled.num_nodes,
+                "scenarios": f"{num_loads} x {num_pads} = {result.num_scenarios}",
+                "chunk size": CHUNK_SIZE,
+                "elapsed (s)": round(result.analysis_time, 3),
+                "scenarios / s": round(result.scenarios_per_second),
+                "dense GB avoided": round(dense_voltage_bytes / 1e9, 3),
+                "chunk MB working set": round(chunk_bytes / 1e6, 3),
+                "P99 worst drop (mV)": round(p2_estimate.values[-1] * 1000.0, 3),
+                "exact sinks match": exact_sinks_match,
+            },
+            title=f"streamed mega-sweep with sinks ({BENCHMARK})",
+        )
+    )
+    with open(results_dir / "bench_mega_sweep_sinks.json", "w") as handle:
+        json.dump(record, handle, indent=2)

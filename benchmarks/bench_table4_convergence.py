@@ -71,7 +71,9 @@ def test_table4_convergence_time_and_speedup(benchmark, benchmark_cache, results
     print(f"best speedup: {best['benchmark']} at {format_speedup(best['speedup'])} "
           f"(paper best: ibmpg5 at 5.87x)")
     write_csv(rows, results_dir / "table4_convergence.csv")
-    write_json({row["benchmark"]: row["speedup"] for row in rows}, results_dir / "table4_speedups.json")
+    write_json(
+        {row["benchmark"]: row["speedup"] for row in rows}, results_dir / "table4_speedups.json"
+    )
 
     # Paper shape claims.
     assert all(row["speedup"] > 1.0 for row in rows), "DL flow must win on every benchmark"

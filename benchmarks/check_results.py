@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Regression checker for the benchmark JSON records.
+
+CI uploads every ``benchmarks/results/*.json`` record as a workflow
+artifact and then runs this script, which fails the build when a recorded
+speedup (or exactness invariant) falls below its acceptance bar.  Bars
+that only hold on the full-size grids are gated on the record's ``scale``
+field, so the tiny-grid smoke runs still exercise the checker without
+asserting full-scale performance.
+
+Stdlib-only on purpose: it must run before (or without) the package being
+installed.
+
+Usage::
+
+    python benchmarks/check_results.py [--results-dir benchmarks/results]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _full_scale(record: dict) -> bool:
+    """True when the record was produced at full grid scale.
+
+    Records without a ``scale`` field (e.g. the engine micro-benchmark,
+    which always runs the full-size grid) count as full scale.
+    """
+    return float(record.get("scale", 1.0)) == 1.0
+
+
+def check_engine_batched_solve(record: dict) -> list[str]:
+    problems = []
+    if record.get("speedup", 0.0) < 3.0:
+        problems.append(f"batched-solve speedup {record.get('speedup')} below the 3.0x bar")
+    if record.get("batched_factorizations", 1) != 1:
+        problems.append(
+            f"batched sweep used {record.get('batched_factorizations')} factorizations, expected 1"
+        )
+    return problems
+
+
+def check_planner_iteration(record: dict) -> list[str]:
+    problems = []
+    if _full_scale(record) and record.get("iteration_build_speedup", 0.0) < 3.0:
+        problems.append(
+            f"planner iteration speedup {record.get('iteration_build_speedup')} "
+            "below the 3.0x bar"
+        )
+    if _full_scale(record) and not record.get("converged", False):
+        problems.append("planner did not converge")
+    return problems
+
+
+def check_mega_sweep_sinks(record: dict) -> list[str]:
+    problems = []
+    if not record.get("exact_sinks_match", False):
+        problems.append("streamed sinks did not match the dense reference bitwise")
+    if record.get("factorizations", 1) != 1:
+        problems.append(
+            f"mega-sweep used {record.get('factorizations')} factorizations, expected 1"
+        )
+    if _full_scale(record) and record.get("num_scenarios", 0) < 100_000:
+        problems.append(
+            f"full-scale mega-sweep ran {record.get('num_scenarios')} scenarios, "
+            "expected >= 100000"
+        )
+    return problems
+
+
+CHECKS = {
+    "bench_engine_batched_solve.json": check_engine_batched_solve,
+    "bench_planner_iteration.json": check_planner_iteration,
+    "bench_mega_sweep_sinks.json": check_mega_sweep_sinks,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results-dir",
+        type=Path,
+        default=Path(__file__).parent / "results",
+        help="directory holding the benchmark JSON records",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.results_dir.is_dir():
+        print(f"no results directory at {args.results_dir}; nothing to check")
+        return 0
+
+    failures = []
+    checked = 0
+    for path in sorted(args.results_dir.glob("*.json")):
+        check = CHECKS.get(path.name)
+        if check is None:
+            print(f"  - {path.name}: no acceptance bars registered, skipped")
+            continue
+        try:
+            record = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            failures.append(f"{path.name}: unreadable JSON ({exc})")
+            continue
+        problems = check(record)
+        checked += 1
+        scale = record.get("scale", 1.0)
+        if problems:
+            failures.extend(f"{path.name}: {problem}" for problem in problems)
+            print(f"  - {path.name} (scale={scale}): FAIL")
+        else:
+            print(f"  - {path.name} (scale={scale}): ok")
+
+    if failures:
+        print(f"\n{len(failures)} benchmark regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"{checked} benchmark record(s) within acceptance bars")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -75,7 +75,9 @@ def main() -> None:
         format_key_values(
             {
                 "power-grid lines": topology.num_lines,
-                "median predicted width (um)": float(sorted(predicted.line_widths)[len(predicted.line_widths) // 2]),
+                "median predicted width (um)": float(
+                    sorted(predicted.line_widths)[len(predicted.line_widths) // 2]
+                ),
                 "max predicted width (um)": float(predicted.line_widths.max()),
                 "predicted worst IR drop (mV)": predicted.ir_drop.worst_ir_drop_mv,
                 "prediction time (s)": predicted.convergence_time,
@@ -97,13 +99,19 @@ def main() -> None:
                     "check": "worst-case IR drop",
                     "value": f"{analysis.worst_ir_drop_mv:.1f} mV",
                     "limit": f"{history.technology.ir_drop_limit * 1000:.0f} mV",
-                    "status": "PASS" if analysis.worst_ir_drop <= history.technology.ir_drop_limit else "REVIEW",
+                    "status": (
+                        "PASS"
+                        if analysis.worst_ir_drop <= history.technology.ir_drop_limit
+                        else "REVIEW"
+                    ),
                 },
                 {
                     "check": "EM current density",
                     "value": f"{em_report.worst_density * 1000:.2f} mA/um",
                     "limit": f"{history.technology.jmax * 1000:.0f} mA/um",
-                    "status": "PASS" if em_report.passed else f"{len(em_report.violations)} violations",
+                    "status": (
+                        "PASS" if em_report.passed else f"{len(em_report.violations)} violations"
+                    ),
                 },
             ],
             title="sign-off verification of the predicted design",

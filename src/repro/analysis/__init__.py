@@ -24,11 +24,33 @@ from .engine import (
     BatchedAnalysisEngine,
     BatchReductions,
     EngineCacheInfo,
+    MegaSweepResult,
+    ScenarioSource,
+    StreamedSweepResult,
 )
 from .irdrop import IRDropAnalyzer, IRDropResult, ir_drop_map
 from .mna import MNAAssembler, MNASystem, assemble, system_from_compiled
+from .sinks import (
+    ExceedanceCounts,
+    ExceedanceCountSink,
+    IRDropSink,
+    NodeHistogram,
+    NodeHistogramSink,
+    P2QuantileSink,
+    QuantileEstimate,
+    ReservoirQuantileSink,
+    ScenarioSink,
+    TopKScenarios,
+    TopKScenarioSink,
+)
 from .solver import LinearSolverError, PowerGridSolver, SolveResult, SolverMethod
-from .vectorless import VectorlessAnalyzer, VectorlessBudget, VectorlessResult, uniform_budget
+from .vectorless import (
+    StatisticalVectorlessResult,
+    VectorlessAnalyzer,
+    VectorlessBudget,
+    VectorlessResult,
+    uniform_budget,
+)
 
 __all__ = [
     "BatchAnalysisResult",
@@ -40,14 +62,29 @@ __all__ = [
     "EMViolation",
     "ENGINE_METHOD",
     "EngineCacheInfo",
+    "ExceedanceCounts",
+    "ExceedanceCountSink",
     "IRDropAnalyzer",
     "IRDropResult",
+    "IRDropSink",
     "LinearSolverError",
     "MNAAssembler",
     "MNASystem",
+    "MegaSweepResult",
+    "NodeHistogram",
+    "NodeHistogramSink",
+    "P2QuantileSink",
     "PowerGridSolver",
+    "QuantileEstimate",
+    "ReservoirQuantileSink",
+    "ScenarioSink",
+    "ScenarioSource",
     "SolveResult",
     "SolverMethod",
+    "StatisticalVectorlessResult",
+    "StreamedSweepResult",
+    "TopKScenarios",
+    "TopKScenarioSink",
     "VectorlessAnalyzer",
     "VectorlessBudget",
     "VectorlessResult",

@@ -22,6 +22,7 @@ import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from functools import cached_property
+from typing import Callable, Sequence
 
 import numpy as np
 import scipy.sparse.linalg as spla
@@ -30,10 +31,21 @@ from ..grid.compiled import CompiledGrid
 from ..grid.network import PowerGridNetwork
 from .irdrop import IRDropResult
 from .mna import system_from_compiled
+from .sinks import IRDropSink, ScenarioSink
 from .solver import LinearSolverError, PowerGridSolver, SolverMethod
 
 ENGINE_METHOD = "cached_lu"
 """Solver-method tag recorded in results produced by the engine."""
+
+ScenarioSource = Callable[[int, int], tuple[np.ndarray | None, np.ndarray | None]]
+"""Chunk generator for streamed sweeps.
+
+Called with a half-open scenario range ``(begin, end)``; returns the
+``(end - begin, num_nodes)`` load chunk and the ``(end - begin, num_pads)``
+pad-voltage chunk for those scenarios (either may be ``None`` to use the
+grid's own loads / pad voltages).  Sources must be pure functions of the
+range so that resuming or re-chunking a sweep reproduces it exactly.
+"""
 
 
 @dataclass(frozen=True)
@@ -51,6 +63,15 @@ class EngineCacheInfo:
     entries: int
 
 
+def _row_reductions(rows: np.ndarray) -> "BatchReductions":
+    """Per-scenario worst / mean / worst-node over contiguous ``(k, n)`` rows."""
+    return BatchReductions(
+        worst_ir_drop=rows.max(axis=1),
+        average_ir_drop=rows.mean(axis=1),
+        worst_node_index=rows.argmax(axis=1),
+    )
+
+
 def _column_reductions(ir_drop: np.ndarray) -> "BatchReductions":
     """Per-scenario worst / mean / worst-node over a ``(num_nodes, k)`` block.
 
@@ -59,12 +80,27 @@ def _column_reductions(ir_drop: np.ndarray) -> "BatchReductions":
     many scenarios share the block — which is what makes sharded reductions
     bitwise-equal to unsharded ones for every chunk size.
     """
-    rows = np.ascontiguousarray(ir_drop.T)
-    return BatchReductions(
-        worst_ir_drop=rows.max(axis=1),
-        average_ir_drop=rows.mean(axis=1),
-        worst_node_index=rows.argmax(axis=1),
-    )
+    return _row_reductions(np.ascontiguousarray(ir_drop.T))
+
+
+def _feed_sinks(
+    sinks: Sequence[ScenarioSink],
+    voltages: np.ndarray,
+    drop_rows: np.ndarray,
+    scenario_offset: int,
+) -> None:
+    """Offer one solved chunk to every sink, sharing the drop rows.
+
+    :class:`~repro.analysis.sinks.IRDropSink` subclasses take the
+    precomputed contiguous ``(c, num_nodes)`` IR-drop block the engine
+    already derived for its reductions; other protocol implementations get
+    the raw voltage chunk.
+    """
+    for sink in sinks:
+        if isinstance(sink, IRDropSink):
+            sink.consume_drop_rows(drop_rows, scenario_offset)
+        else:
+            sink.consume(voltages, scenario_offset)
 
 
 @dataclass(frozen=True)
@@ -110,6 +146,8 @@ class BatchAnalysisResult:
         factorization_reused: True if the solve was served from the engine's
             factorization cache instead of factorizing anew.
         reductions: Streamed per-scenario reductions (sharded solves only).
+        sinks: The scenario sinks that observed this solve, in the order
+            they were passed (empty when none were attached).
     """
 
     compiled: CompiledGrid
@@ -118,6 +156,11 @@ class BatchAnalysisResult:
     analysis_time: float
     factorization_reused: bool
     reductions: BatchReductions | None = None
+    sinks: tuple[ScenarioSink, ...] = ()
+
+    def sink_results(self) -> tuple:
+        """Finished results of every attached sink, in sink order."""
+        return tuple(sink.result() for sink in self.sinks)
 
     @property
     def num_scenarios(self) -> int:
@@ -192,6 +235,88 @@ class BatchAnalysisResult:
     def results(self) -> list[IRDropResult]:
         """Materialise every scenario as a full :class:`IRDropResult`."""
         return [self.result(i) for i in range(self.num_scenarios)]
+
+
+@dataclass
+class StreamedSweepResult:
+    """Outcome of a chunk-streamed sweep that never held dense voltages.
+
+    Streamed sweeps (:meth:`BatchedAnalysisEngine.analyze_scenario_stream`,
+    :meth:`BatchedAnalysisEngine.analyze_mega_sweep`) solve scenarios in
+    RHS chunks and keep only the per-scenario reductions plus whatever the
+    attached :class:`~repro.analysis.sinks.ScenarioSink` objects
+    accumulated — the memory high-water mark is ``O(num_nodes *
+    chunk_size)`` regardless of sweep size.
+
+    Attributes:
+        compiled: The compiled grid every scenario was solved on.
+        num_scenarios: Number of scenarios streamed.
+        chunk_size: RHS chunk width used for the solve.
+        reductions: Per-scenario worst / mean / worst-node reductions,
+            bitwise-identical to an unsharded solve of the same scenarios.
+        sinks: The scenario sinks that observed the sweep, in order.
+        analysis_time: Wall-clock time of the whole sweep in seconds.
+        factorization_reused: True if at least one chunk was served from
+            the engine's factorization cache.
+    """
+
+    compiled: CompiledGrid
+    num_scenarios: int
+    chunk_size: int
+    reductions: BatchReductions
+    sinks: tuple[ScenarioSink, ...]
+    analysis_time: float
+    factorization_reused: bool
+
+    @property
+    def worst_ir_drop(self) -> np.ndarray:
+        """Worst-case IR drop of each scenario, in volts."""
+        return self.reductions.worst_ir_drop
+
+    @property
+    def average_ir_drop(self) -> np.ndarray:
+        """Mean IR drop of each scenario over all nodes, in volts."""
+        return self.reductions.average_ir_drop
+
+    @property
+    def worst_node_index(self) -> np.ndarray:
+        """Compiled node index of the worst-drop node per scenario."""
+        return self.reductions.worst_node_index
+
+    @property
+    def scenarios_per_second(self) -> float:
+        """Solved-scenario throughput of the sweep."""
+        return self.num_scenarios / self.analysis_time if self.analysis_time > 0 else 0.0
+
+    def worst_node(self, scenario: int) -> str:
+        """Name of the worst-drop node of one scenario."""
+        return self.compiled.node_names[int(self.worst_node_index[scenario])]
+
+    def sink_results(self) -> tuple:
+        """Finished results of every attached sink, in sink order."""
+        return tuple(sink.result() for sink in self.sinks)
+
+
+@dataclass
+class MegaSweepResult(StreamedSweepResult):
+    """Streamed result of a pad-voltage × load cross-product mega-sweep.
+
+    Scenario ``s`` combines load row ``s // num_pad_scenarios`` with pad
+    row ``s % num_pad_scenarios`` (loads outer, pads inner).
+
+    Attributes:
+        num_load_scenarios: Number of rows of the load matrix swept.
+        num_pad_scenarios: Number of rows of the pad-voltage matrix swept.
+    """
+
+    num_load_scenarios: int = 0
+    num_pad_scenarios: int = 0
+
+    def scenario_pair(self, scenario: int) -> tuple[int, int]:
+        """Map a global scenario index to its (load row, pad row) pair."""
+        if not 0 <= scenario < self.num_scenarios:
+            raise IndexError(f"scenario {scenario} out of range [0, {self.num_scenarios})")
+        return scenario // self.num_pad_scenarios, scenario % self.num_pad_scenarios
 
 
 class BatchedAnalysisEngine:
@@ -350,23 +475,80 @@ class BatchedAnalysisEngine:
             raise LinearSolverError("batched solve produced non-finite voltages")
         return unknown, reused
 
+    def _stream_scenarios(
+        self,
+        compiled: CompiledGrid,
+        scenario_source: ScenarioSource,
+        num_scenarios: int,
+        chunk_size: int,
+        sinks: Sequence[ScenarioSink],
+    ) -> tuple[BatchReductions, bool]:
+        """Solve a sweep chunk by chunk, feeding reductions and sinks.
+
+        The dense ``(num_nodes, num_scenarios)`` voltage matrix never
+        exists: each ``(num_nodes, ≤chunk_size)`` chunk is folded into the
+        per-scenario reduction vectors and every attached sink, then
+        dropped.
+        """
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
+        for sink in sinks:
+            sink.bind(compiled, num_scenarios)
+        worst = np.empty(num_scenarios, dtype=float)
+        average = np.empty(num_scenarios, dtype=float)
+        worst_index = np.empty(num_scenarios, dtype=np.int64)
+        reused = False
+        for begin in range(0, num_scenarios, chunk_size):
+            end = min(begin + chunk_size, num_scenarios)
+            load_chunk, pad_chunk = scenario_source(begin, end)
+            if load_chunk is None and pad_chunk is None:
+                raise ValueError(
+                    f"scenario source returned neither loads nor pad voltages "
+                    f"for scenarios [{begin}, {end})"
+                )
+            for chunk in (load_chunk, pad_chunk):
+                if chunk is not None and chunk.shape[0] != end - begin:
+                    raise ValueError(
+                        f"scenario source returned {chunk.shape[0]} rows for "
+                        f"scenarios [{begin}, {end})"
+                    )
+            pad_vectors = None if pad_chunk is None else compiled.pad_voltage_vectors(pad_chunk)
+            rhs = compiled.rhs_matrix(load_chunk, pad_chunk)
+            unknown, chunk_reused = self._solve_rhs_block(compiled, rhs)
+            reused = reused or chunk_reused
+            voltages = compiled.full_voltages(unknown, pad_voltage_vectors=pad_vectors)
+            drop_rows = np.ascontiguousarray((compiled.vdd - voltages).T)
+            chunk_reductions = _row_reductions(drop_rows)
+            worst[begin:end] = chunk_reductions.worst_ir_drop
+            average[begin:end] = chunk_reductions.average_ir_drop
+            worst_index[begin:end] = chunk_reductions.worst_node_index
+            _feed_sinks(sinks, voltages, drop_rows, begin)
+        reductions = BatchReductions(
+            worst_ir_drop=worst, average_ir_drop=average, worst_node_index=worst_index
+        )
+        return reductions, reused
+
     def _batch_scenarios(
         self,
         compiled: CompiledGrid,
         load_matrix: np.ndarray | None,
         pad_voltage_matrix: np.ndarray | None,
         chunk_size: int | None,
+        sinks: Sequence[ScenarioSink] = (),
     ) -> tuple[np.ndarray | None, BatchReductions | None, bool]:
         """Shared core of the batched solvers.
 
         Without ``chunk_size`` the full ``(num_nodes, k)`` voltage matrix is
-        returned; with it, scenarios are solved in RHS blocks of at most
-        ``chunk_size`` columns and only the per-scenario worst / mean /
-        worst-node reductions are accumulated, so the dense voltage matrix
-        (and the dense RHS matrix) never exist for huge sweeps.
+        returned (and offered to the sinks as one chunk); with it, scenarios
+        are solved in RHS blocks of at most ``chunk_size`` columns and only
+        the per-scenario worst / mean / worst-node reductions plus the sink
+        states are accumulated, so the dense voltage matrix (and the dense
+        RHS matrix) never exist for huge sweeps.
         """
         k = (load_matrix if pad_voltage_matrix is None else pad_voltage_matrix).shape[0]
         if chunk_size is None:
+            for sink in sinks:
+                sink.bind(compiled, k)
             pad_vectors = (
                 None
                 if pad_voltage_matrix is None
@@ -375,29 +557,18 @@ class BatchedAnalysisEngine:
             rhs = compiled.rhs_matrix(load_matrix, pad_voltage_matrix)
             unknown, reused = self._solve_rhs_block(compiled, rhs)
             voltages = compiled.full_voltages(unknown, pad_voltage_vectors=pad_vectors)
+            if sinks:
+                drop_rows = np.ascontiguousarray((compiled.vdd - voltages).T)
+                _feed_sinks(sinks, voltages, drop_rows, 0)
             return voltages, None, reused
-        if chunk_size < 1:
-            raise ValueError("chunk_size must be at least 1")
-        worst = np.empty(k, dtype=float)
-        average = np.empty(k, dtype=float)
-        worst_index = np.empty(k, dtype=np.int64)
-        reused = False
-        for begin in range(0, k, chunk_size):
-            end = min(begin + chunk_size, k)
-            load_chunk = None if load_matrix is None else load_matrix[begin:end]
-            pad_chunk = None if pad_voltage_matrix is None else pad_voltage_matrix[begin:end]
-            pad_vectors = None if pad_chunk is None else compiled.pad_voltage_vectors(pad_chunk)
-            rhs = compiled.rhs_matrix(load_chunk, pad_chunk)
-            unknown, chunk_reused = self._solve_rhs_block(compiled, rhs)
-            reused = reused or chunk_reused
-            voltages = compiled.full_voltages(unknown, pad_voltage_vectors=pad_vectors)
-            chunk_reductions = _column_reductions(compiled.vdd - voltages)
-            worst[begin:end] = chunk_reductions.worst_ir_drop
-            average[begin:end] = chunk_reductions.average_ir_drop
-            worst_index[begin:end] = chunk_reductions.worst_node_index
-        reductions = BatchReductions(
-            worst_ir_drop=worst, average_ir_drop=average, worst_node_index=worst_index
-        )
+
+        def slice_source(begin: int, end: int) -> tuple[np.ndarray | None, np.ndarray | None]:
+            return (
+                None if load_matrix is None else load_matrix[begin:end],
+                None if pad_voltage_matrix is None else pad_voltage_matrix[begin:end],
+            )
+
+        reductions, reused = self._stream_scenarios(compiled, slice_source, k, chunk_size, sinks)
         return None, reductions, reused
 
     @staticmethod
@@ -416,6 +587,7 @@ class BatchedAnalysisEngine:
         load_matrix: np.ndarray,
         names: list[str] | tuple[str, ...] | None = None,
         chunk_size: int | None = None,
+        sinks: Sequence[ScenarioSink] = (),
     ) -> BatchAnalysisResult:
         """Solve many load scenarios against one factorization.
 
@@ -430,6 +602,10 @@ class BatchedAnalysisEngine:
                 the dense ``(num_nodes, num_scenarios)`` voltage matrix is
                 never allocated — the memory high-water mark is
                 ``O(num_nodes * chunk_size)`` regardless of sweep size.
+            sinks: Scenario sinks to stream every solved voltage chunk
+                into (see :mod:`repro.analysis.sinks`); composes with
+                ``chunk_size``.  Each sink observes every scenario exactly
+                once, in order.
 
         Returns:
             A :class:`BatchAnalysisResult` — with the full voltage matrix,
@@ -443,7 +619,7 @@ class BatchedAnalysisEngine:
         if load_matrix.shape[0] == 0:
             raise ValueError("load_matrix must contain at least one scenario")
         voltages, reductions, reused = self._batch_scenarios(
-            compiled, load_matrix, None, chunk_size
+            compiled, load_matrix, None, chunk_size, sinks
         )
         elapsed = time.perf_counter() - start
         return BatchAnalysisResult(
@@ -453,6 +629,7 @@ class BatchedAnalysisEngine:
             analysis_time=elapsed,
             factorization_reused=reused,
             reductions=reductions,
+            sinks=tuple(sinks),
         )
 
     def analyze_pad_batch(
@@ -462,6 +639,7 @@ class BatchedAnalysisEngine:
         load_matrix: np.ndarray | None = None,
         names: list[str] | tuple[str, ...] | None = None,
         chunk_size: int | None = None,
+        sinks: Sequence[ScenarioSink] = (),
     ) -> BatchAnalysisResult:
         """Solve many pad-voltage scenarios against one factorization.
 
@@ -480,6 +658,8 @@ class BatchedAnalysisEngine:
                 letting one batch sweep currents and pad voltages together.
             names: Optional per-scenario names.
             chunk_size: Optional RHS shard size (see :meth:`analyze_batch`).
+            sinks: Scenario sinks to stream every solved voltage chunk
+                into (see :meth:`analyze_batch`).
 
         Returns:
             A :class:`BatchAnalysisResult`; scenario voltages report each
@@ -503,7 +683,7 @@ class BatchedAnalysisEngine:
                     "matching pad_voltage_matrix"
                 )
         voltages, reductions, reused = self._batch_scenarios(
-            compiled, load_matrix, pad_voltage_matrix, chunk_size
+            compiled, load_matrix, pad_voltage_matrix, chunk_size, sinks
         )
         elapsed = time.perf_counter() - start
         return BatchAnalysisResult(
@@ -513,4 +693,130 @@ class BatchedAnalysisEngine:
             analysis_time=elapsed,
             factorization_reused=reused,
             reductions=reductions,
+            sinks=tuple(sinks),
+        )
+
+    def analyze_scenario_stream(
+        self,
+        network: PowerGridNetwork | CompiledGrid,
+        scenario_source: ScenarioSource,
+        num_scenarios: int,
+        *,
+        chunk_size: int = 1024,
+        sinks: Sequence[ScenarioSink] = (),
+    ) -> StreamedSweepResult:
+        """Stream arbitrarily many generated scenarios through the sinks.
+
+        Scenarios are *produced* chunk by chunk too: ``scenario_source``
+        is asked for at most ``chunk_size`` rows at a time, so sweeps
+        whose scenario set is generated (cross products, random sampling)
+        never materialise the full ``(num_scenarios, num_nodes)`` load
+        matrix either — the whole pipeline, inputs included, runs in
+        ``O(num_nodes * chunk_size)`` memory.
+
+        Args:
+            network: The grid (or its compiled form) all scenarios share.
+            scenario_source: Chunk generator; see :data:`ScenarioSource`.
+            num_scenarios: Total number of scenarios to stream.
+            chunk_size: RHS chunk width (and source request size).
+            sinks: Scenario sinks to stream every solved chunk into.
+
+        Returns:
+            A :class:`StreamedSweepResult` with the per-scenario
+            reductions and the consumed sinks.
+        """
+        start = time.perf_counter()
+        compiled = self._compiled(network)
+        if num_scenarios < 1:
+            raise ValueError("num_scenarios must be at least 1")
+        reductions, reused = self._stream_scenarios(
+            compiled, scenario_source, num_scenarios, chunk_size, sinks
+        )
+        return StreamedSweepResult(
+            compiled=compiled,
+            num_scenarios=num_scenarios,
+            chunk_size=chunk_size,
+            reductions=reductions,
+            sinks=tuple(sinks),
+            analysis_time=time.perf_counter() - start,
+            factorization_reused=reused,
+        )
+
+    def analyze_mega_sweep(
+        self,
+        network: PowerGridNetwork | CompiledGrid,
+        load_matrix: np.ndarray,
+        pad_voltage_matrix: np.ndarray,
+        *,
+        chunk_size: int = 1024,
+        sinks: Sequence[ScenarioSink] = (),
+    ) -> MegaSweepResult:
+        """Sweep the full load × pad-voltage cross product, streamed.
+
+        Every combination of a load row and a pad-voltage row becomes one
+        scenario (``num_load_scenarios * num_pad_scenarios`` in total,
+        loads outer, pads inner), solved against a single cached
+        factorization.  The combined scenario set is never materialised:
+        each chunk gathers its load / pad rows by index, so a
+        ``400 × 256 = 102 400``-scenario mega-sweep costs the memory of
+        one chunk plus the two input matrices.  This is the vectorless-
+        style workload entry point: pair it with quantile / histogram /
+        exceedance / top-k sinks to characterise the whole operating
+        envelope in one pass.
+
+        Args:
+            network: The grid (or its compiled form) all scenarios share.
+            load_matrix: ``(num_load_scenarios, num_nodes)`` per-node
+                currents in compiled node order (e.g. from
+                :func:`~repro.grid.perturbation.floorplan_perturbed_load_matrix`).
+            pad_voltage_matrix: ``(num_pad_scenarios, num_pads)`` per-pad
+                voltages aligned with the compiled ``pad_names`` (e.g.
+                from
+                :func:`~repro.grid.perturbation.perturbed_pad_voltage_matrix`).
+            chunk_size: RHS chunk width bounding the working memory.
+            sinks: Scenario sinks to stream every solved chunk into.
+
+        Returns:
+            A :class:`MegaSweepResult` over all combined scenarios.
+        """
+        start = time.perf_counter()
+        compiled = self._compiled(network)
+        load_matrix = np.asarray(load_matrix, dtype=float)
+        if load_matrix.ndim != 2 or load_matrix.shape[1] != compiled.num_nodes:
+            raise ValueError(
+                f"load_matrix must be 2-D (num_load_scenarios, {compiled.num_nodes}), "
+                f"got shape {load_matrix.shape}"
+            )
+        pad_voltage_matrix = np.asarray(pad_voltage_matrix, dtype=float)
+        num_pads = len(compiled.pad_node)
+        if pad_voltage_matrix.ndim != 2 or pad_voltage_matrix.shape[1] != num_pads:
+            raise ValueError(
+                f"pad_voltage_matrix must be 2-D (num_pad_scenarios, {num_pads}), "
+                f"got shape {pad_voltage_matrix.shape}"
+            )
+        num_loads, num_pad_rows = load_matrix.shape[0], pad_voltage_matrix.shape[0]
+        if num_loads == 0 or num_pad_rows == 0:
+            raise ValueError("both matrices must contain at least one scenario row")
+
+        def cross_source(begin: int, end: int) -> tuple[np.ndarray, np.ndarray]:
+            indices = np.arange(begin, end)
+            return (
+                load_matrix[indices // num_pad_rows],
+                pad_voltage_matrix[indices % num_pad_rows],
+            )
+
+        num_scenarios = num_loads * num_pad_rows
+        reductions, reused = self._stream_scenarios(
+            compiled, cross_source, num_scenarios, chunk_size, sinks
+        )
+        return MegaSweepResult(
+            compiled=compiled,
+            num_scenarios=num_scenarios,
+            chunk_size=chunk_size,
+            reductions=reductions,
+            sinks=tuple(sinks),
+            analysis_time=time.perf_counter() - start,
+            factorization_reused=reused,
+            num_load_scenarios=num_loads,
+            num_pad_scenarios=num_pad_rows,
         )

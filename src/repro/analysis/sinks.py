@@ -1,0 +1,615 @@
+"""Streamed per-chunk scenario sinks for mega-sweeps.
+
+Sharded sweeps (:meth:`~repro.analysis.engine.BatchedAnalysisEngine.analyze_batch`
+with ``chunk_size``) deliberately never materialise the dense
+``(num_nodes, num_scenarios)`` voltage matrix — which also means the only
+things a caller could learn about a huge sweep were the built-in worst /
+mean / worst-node reductions.  Vectorless-style statistical workloads need
+more: quantiles of the worst-drop distribution, per-node IR-drop
+histograms, per-node exceedance probabilities against a noise budget, the
+handful of worst scenarios worth re-examining in full.
+
+This module provides that as a pluggable subsystem.  A
+:class:`ScenarioSink` observes each solved voltage chunk exactly once, in
+scenario order, and folds it into whatever bounded-memory state it needs;
+``result()`` returns the finished statistic.  The engine streams chunks
+into any number of sinks alongside its own reductions, so one pass over a
+1e5-scenario sweep can produce quantiles, histograms, exceedance counts
+and a top-k shortlist simultaneously — all in ``O(num_nodes * chunk_size)``
+working memory.
+
+Exact sinks (:class:`NodeHistogramSink`, :class:`ExceedanceCountSink`,
+:class:`TopKScenarioSink`) are bitwise-independent of the chunk size: they
+produce the identical result whether the sweep arrives in one dense block
+or one scenario at a time.  Approximate sinks trade exactness for O(1)
+state (:class:`P2QuantileSink`) or a fixed-size sample
+(:class:`ReservoirQuantileSink`, which is exact while the stream still
+fits in its reservoir and deterministic for a given seed regardless of
+chunking).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..grid.compiled import CompiledGrid
+
+_SCENARIO_STATISTICS = ("worst", "mean")
+"""Per-scenario scalar statistics the scalar-stream sinks can track."""
+
+
+@runtime_checkable
+class ScenarioSink(Protocol):
+    """Protocol of a streamed per-chunk reduction sink.
+
+    The engine calls :meth:`bind` once before a sweep starts, then
+    :meth:`consume` once per solved chunk in ascending scenario order, and
+    the caller reads :meth:`result` when the sweep is done.  A sink
+    instance observes one sweep; create a fresh sink per sweep.
+    """
+
+    def bind(self, compiled: "CompiledGrid", num_scenarios: int) -> None:
+        """Prepare for a sweep of ``num_scenarios`` over ``compiled``."""
+        ...  # pragma: no cover - protocol
+
+    def consume(self, chunk_voltages: np.ndarray, scenario_offset: int) -> None:
+        """Fold one ``(num_nodes, c)`` voltage chunk into the sink state.
+
+        Column ``j`` holds the per-node voltages (compiled node order) of
+        scenario ``scenario_offset + j``.
+        """
+        ...  # pragma: no cover - protocol
+
+    def result(self):
+        """Return the finished statistic (sink-specific type)."""
+        ...  # pragma: no cover - protocol
+
+
+class IRDropSink:
+    """Base class handling binding, ordering checks and IR-drop conversion.
+
+    Concrete sinks implement :meth:`_consume_drops` over the per-scenario
+    *row* layout (``(c, num_nodes)``, contiguous rows) — the same layout
+    the engine's own reductions use, which is what keeps per-scenario
+    reductions bitwise-independent of the chunk size.
+    """
+
+    def __init__(self) -> None:
+        self._vdd = 0.0
+        self._num_nodes = 0
+        self._expected_scenarios = 0
+        self._consumed = 0
+        self._bound = False
+
+    @property
+    def num_consumed(self) -> int:
+        """Number of scenarios folded into the sink so far."""
+        return self._consumed
+
+    def bind(self, compiled: "CompiledGrid", num_scenarios: int) -> None:
+        if self._bound:
+            raise ValueError(
+                f"{type(self).__name__} already observed a sweep; create a fresh sink per sweep"
+            )
+        if num_scenarios < 1:
+            raise ValueError("num_scenarios must be at least 1")
+        self._vdd = float(compiled.vdd)
+        self._num_nodes = compiled.num_nodes
+        self._expected_scenarios = num_scenarios
+        self._bound = True
+        self._on_bind(compiled, num_scenarios)
+
+    def consume(self, chunk_voltages: np.ndarray, scenario_offset: int) -> None:
+        if not self._bound:
+            raise ValueError(f"{type(self).__name__} was not bound before consuming")
+        chunk_voltages = np.asarray(chunk_voltages, dtype=float)
+        if chunk_voltages.ndim != 2 or chunk_voltages.shape[0] != self._num_nodes:
+            raise ValueError(
+                f"expected a ({self._num_nodes}, c) voltage chunk, "
+                f"got shape {chunk_voltages.shape}"
+            )
+        self._ingest(self._vdd - np.ascontiguousarray(chunk_voltages.T), scenario_offset)
+
+    def consume_drop_rows(self, drop_rows: np.ndarray, scenario_offset: int) -> None:
+        """Fast path: fold precomputed contiguous ``(c, num_nodes)`` IR-drop rows.
+
+        The engine already derives the contiguous transposed drop block of
+        each chunk for its own reductions; handing the same block to every
+        :class:`IRDropSink` skips one transpose + subtraction per sink per
+        chunk.  Semantically identical to :meth:`consume` on the chunk's
+        voltages.
+        """
+        if not self._bound:
+            raise ValueError(f"{type(self).__name__} was not bound before consuming")
+        drop_rows = np.asarray(drop_rows, dtype=float)
+        if drop_rows.ndim != 2 or drop_rows.shape[1] != self._num_nodes:
+            raise ValueError(
+                f"expected a (c, {self._num_nodes}) IR-drop row block, "
+                f"got shape {drop_rows.shape}"
+            )
+        self._ingest(drop_rows, scenario_offset)
+
+    def _ingest(self, drops: np.ndarray, scenario_offset: int) -> None:
+        if scenario_offset != self._consumed:
+            raise ValueError(
+                f"chunks must arrive in scenario order: expected offset "
+                f"{self._consumed}, got {scenario_offset}"
+            )
+        count = drops.shape[0]
+        if self._consumed + count > self._expected_scenarios:
+            raise ValueError(
+                f"chunk overruns the sweep: {self._consumed} consumed + {count} new "
+                f"> {self._expected_scenarios} expected"
+            )
+        self._consume_drops(drops, scenario_offset)
+        self._consumed += count
+
+    def _on_bind(self, compiled: "CompiledGrid", num_scenarios: int) -> None:
+        """Hook for subclasses needing grid-dependent state."""
+
+    def _consume_drops(self, drops: np.ndarray, scenario_offset: int) -> None:
+        raise NotImplementedError
+
+
+def _scenario_scalars(drops: np.ndarray, statistic: str) -> np.ndarray:
+    """Per-scenario scalar over contiguous ``(c, num_nodes)`` drop rows."""
+    if statistic == "worst":
+        return drops.max(axis=1)
+    return drops.mean(axis=1)
+
+
+class _ScalarStreamSink(IRDropSink):
+    """Base of sinks that reduce each scenario to one scalar first."""
+
+    def __init__(self, statistic: str = "worst") -> None:
+        super().__init__()
+        if statistic not in _SCENARIO_STATISTICS:
+            raise ValueError(f"statistic must be one of {_SCENARIO_STATISTICS}, got {statistic!r}")
+        self.statistic = statistic
+
+    def _consume_drops(self, drops: np.ndarray, scenario_offset: int) -> None:
+        self._consume_scalars(_scenario_scalars(drops, self.statistic), scenario_offset)
+
+    def _consume_scalars(self, scalars: np.ndarray, scenario_offset: int) -> None:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class QuantileEstimate:
+    """Streamed quantile estimates of a per-scenario scalar distribution.
+
+    Attributes:
+        statistic: Which per-scenario scalar was tracked (worst / mean).
+        quantiles: The requested quantile levels, ascending.
+        values: Estimated value at each level, aligned with ``quantiles``.
+        num_scenarios: Number of scenarios observed.
+        exact: True when the estimates are exact empirical quantiles (the
+            whole stream was retained), False for streaming approximations.
+    """
+
+    statistic: str
+    quantiles: tuple[float, ...]
+    values: np.ndarray
+    num_scenarios: int
+    exact: bool
+
+    def value(self, quantile: float) -> float:
+        """Value estimated for one of the requested quantile levels."""
+        try:
+            return float(self.values[self.quantiles.index(quantile)])
+        except ValueError as exc:
+            raise KeyError(f"quantile {quantile} was not tracked: {self.quantiles}") from exc
+
+
+class _P2Estimator:
+    """Single-quantile P² estimator (Jain & Chlamtac, CACM 1985).
+
+    Five markers track the running quantile in O(1) memory; marker heights
+    are adjusted with the piecewise-parabolic (P²) formula, falling back to
+    linear interpolation when the parabolic prediction would leave the
+    bracketing interval.
+    """
+
+    def __init__(self, p: float) -> None:
+        self.p = p
+        self.heights: list[float] = []
+        self.positions = np.arange(1, 6, dtype=float)
+        self.desired = np.array([1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0])
+        self.increments = np.array([0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0])
+        self.count = 0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        if len(self.heights) < 5:
+            self.heights.append(value)
+            self.heights.sort()
+            return
+        q = self.heights
+        if value < q[0]:
+            q[0] = value
+            cell = 0
+        elif value >= q[4]:
+            q[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while value >= q[cell + 1]:
+                cell += 1
+        self.positions[cell + 1 :] += 1.0
+        self.desired += self.increments
+        for i in (1, 2, 3):
+            d = self.desired[i] - self.positions[i]
+            below = self.positions[i + 1] - self.positions[i]
+            above = self.positions[i] - self.positions[i - 1]
+            if (d >= 1.0 and below > 1.0) or (d <= -1.0 and above > 1.0):
+                step = 1.0 if d >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if not q[i - 1] < candidate < q[i + 1]:
+                    candidate = self._linear(i, step)
+                q[i] = candidate
+                self.positions[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        q, n = self.heights, self.positions
+        return q[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step) * (q[i] - q[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, step: float) -> float:
+        q, n = self.heights, self.positions
+        j = i + int(step)
+        return q[i] + step * (q[j] - q[i]) / (n[j] - n[i])
+
+    def estimate(self) -> float:
+        if self.count == 0:
+            return float("nan")
+        if self.count <= 5:
+            return float(np.quantile(np.array(self.heights), self.p))
+        return float(self.heights[2])
+
+
+def _validated_quantiles(quantiles: Sequence[float]) -> tuple[float, ...]:
+    levels = tuple(float(q) for q in quantiles)
+    if not levels:
+        raise ValueError("at least one quantile level is required")
+    if any(not 0.0 <= q <= 1.0 for q in levels):
+        raise ValueError(f"quantile levels must be in [0, 1], got {levels}")
+    if list(levels) != sorted(set(levels)):
+        raise ValueError(f"quantile levels must be strictly ascending, got {levels}")
+    return levels
+
+
+class P2QuantileSink(_ScalarStreamSink):
+    """O(1)-memory streaming quantiles of a per-scenario scalar (P²).
+
+    One five-marker P² estimator per requested level tracks the quantile of
+    the per-scenario worst (or mean) IR drop without retaining the stream.
+    The estimate is approximate; use :class:`ReservoirQuantileSink` when a
+    bounded sample (exact for small sweeps) is preferred.
+
+    Args:
+        quantiles: Quantile levels in [0, 1], strictly ascending.
+        statistic: Per-scenario scalar to track (``"worst"`` or ``"mean"``).
+    """
+
+    def __init__(self, quantiles: Sequence[float], statistic: str = "worst") -> None:
+        super().__init__(statistic)
+        self.quantiles = _validated_quantiles(quantiles)
+        self._estimators = [_P2Estimator(q) for q in self.quantiles]
+
+    def _consume_scalars(self, scalars: np.ndarray, scenario_offset: int) -> None:
+        for value in scalars:
+            for estimator in self._estimators:
+                estimator.add(float(value))
+
+    def result(self) -> QuantileEstimate:
+        """Current quantile estimates (exact while ≤ 5 scenarios seen)."""
+        return QuantileEstimate(
+            statistic=self.statistic,
+            quantiles=self.quantiles,
+            values=np.array([e.estimate() for e in self._estimators]),
+            num_scenarios=self._consumed,
+            exact=self._consumed <= 5,
+        )
+
+
+class ReservoirQuantileSink(_ScalarStreamSink):
+    """Bounded-memory quantiles from a uniform reservoir sample.
+
+    Maintains an Algorithm-R reservoir of per-scenario scalars: exact
+    empirical quantiles while the sweep fits in the reservoir, an unbiased
+    uniform sample beyond that.  The sample — and therefore the result —
+    depends only on the seed and the scenario order, not on the chunking.
+
+    Args:
+        capacity: Reservoir size (scenarios retained).
+        quantiles: Quantile levels in [0, 1], strictly ascending.
+        statistic: Per-scenario scalar to track (``"worst"`` or ``"mean"``).
+        seed: Seed of the replacement RNG.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        quantiles: Sequence[float],
+        statistic: str = "worst",
+        seed: int = 0,
+    ) -> None:
+        super().__init__(statistic)
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self.quantiles = _validated_quantiles(quantiles)
+        self._rng = np.random.default_rng(seed)
+        self._sample = np.empty(capacity, dtype=float)
+        self._filled = 0
+
+    def _consume_scalars(self, scalars: np.ndarray, scenario_offset: int) -> None:
+        for offset, value in enumerate(scalars):
+            if self._filled < self.capacity:
+                self._sample[self._filled] = value
+                self._filled += 1
+                continue
+            slot = int(self._rng.integers(0, scenario_offset + offset + 1))
+            if slot < self.capacity:
+                self._sample[slot] = value
+
+    def result(self) -> QuantileEstimate:
+        """Empirical quantiles of the reservoir sample."""
+        sample = self._sample[: self._filled]
+        values = (
+            np.quantile(sample, self.quantiles)
+            if sample.size
+            else np.full(len(self.quantiles), np.nan)
+        )
+        return QuantileEstimate(
+            statistic=self.statistic,
+            quantiles=self.quantiles,
+            values=np.asarray(values, dtype=float),
+            num_scenarios=self._consumed,
+            exact=self._consumed <= self.capacity,
+        )
+
+
+@dataclass(frozen=True)
+class NodeHistogram:
+    """Per-node IR-drop histogram accumulated over a sweep.
+
+    Attributes:
+        edges: ``(num_bins + 1,)`` ascending bin edges in volts.
+        counts: ``(num_nodes, num_bins)`` scenario counts per node and bin;
+            bin ``i`` covers ``[edges[i], edges[i+1])``, the last bin is
+            closed on the right (``numpy.histogram`` semantics).
+        underflow: Per-node count of scenarios below ``edges[0]``.
+        overflow: Per-node count of scenarios above ``edges[-1]``.
+        num_scenarios: Number of scenarios observed.
+    """
+
+    edges: np.ndarray
+    counts: np.ndarray
+    underflow: np.ndarray
+    overflow: np.ndarray
+    num_scenarios: int
+
+    @property
+    def total(self) -> np.ndarray:
+        """``(num_nodes,)`` per-node total count including under/overflow."""
+        return self.counts.sum(axis=1) + self.underflow + self.overflow
+
+    def node_distribution(self, node: int) -> np.ndarray:
+        """Normalised in-range IR-drop distribution of one node."""
+        counts = self.counts[node].astype(float)
+        total = counts.sum()
+        return counts / total if total > 0 else counts
+
+
+class NodeHistogramSink(IRDropSink):
+    """Exact per-node IR-drop histograms with fixed bin edges.
+
+    Counting is integral, so the accumulated histogram is bitwise-identical
+    for every chunking of the same sweep and equals a dense single-shot
+    ``numpy.histogram`` per node over the full voltage matrix.
+
+    Args:
+        edges: Ascending bin edges in volts (``num_bins + 1`` values).
+    """
+
+    def __init__(self, edges: Sequence[float] | np.ndarray) -> None:
+        super().__init__()
+        edges = np.asarray(edges, dtype=float)
+        if edges.ndim != 1 or edges.size < 2:
+            raise ValueError("edges must be a 1-D array of at least two bin edges")
+        if np.any(np.diff(edges) <= 0):
+            raise ValueError("edges must be strictly ascending")
+        self.edges = edges
+        self._counts: np.ndarray | None = None
+        self._underflow: np.ndarray | None = None
+        self._overflow: np.ndarray | None = None
+
+    @classmethod
+    def uniform(cls, lo: float, hi: float, num_bins: int) -> "NodeHistogramSink":
+        """Sink with ``num_bins`` equal-width bins spanning ``[lo, hi]``."""
+        if num_bins < 1:
+            raise ValueError("num_bins must be at least 1")
+        if not hi > lo:
+            raise ValueError("hi must be greater than lo")
+        return cls(np.linspace(lo, hi, num_bins + 1))
+
+    @property
+    def num_bins(self) -> int:
+        """Number of histogram bins."""
+        return self.edges.size - 1
+
+    def _on_bind(self, compiled: "CompiledGrid", num_scenarios: int) -> None:
+        self._counts = np.zeros((compiled.num_nodes, self.num_bins), dtype=np.int64)
+        self._underflow = np.zeros(compiled.num_nodes, dtype=np.int64)
+        self._overflow = np.zeros(compiled.num_nodes, dtype=np.int64)
+
+    def _consume_drops(self, drops: np.ndarray, scenario_offset: int) -> None:
+        edges = self.edges
+        bins = np.searchsorted(edges, drops, side="right") - 1
+        # numpy.histogram closes the last bin on the right.
+        bins[drops == edges[-1]] = self.num_bins - 1
+        in_range = (drops >= edges[0]) & (drops <= edges[-1])
+        node_of = np.broadcast_to(np.arange(self._num_nodes), drops.shape)
+        flat = node_of[in_range] * self.num_bins + bins[in_range]
+        self._counts += np.bincount(
+            flat, minlength=self._num_nodes * self.num_bins
+        ).reshape(self._num_nodes, self.num_bins)
+        self._underflow += (drops < edges[0]).sum(axis=0)
+        self._overflow += (drops > edges[-1]).sum(axis=0)
+
+    def result(self) -> NodeHistogram:
+        """The accumulated per-node histogram."""
+        if self._counts is None:
+            raise ValueError("sink was never bound to a sweep")
+        return NodeHistogram(
+            edges=self.edges,
+            counts=self._counts,
+            underflow=self._underflow,
+            overflow=self._overflow,
+            num_scenarios=self._consumed,
+        )
+
+
+@dataclass(frozen=True)
+class ExceedanceCounts:
+    """Per-node exceedance statistics against an IR-drop threshold.
+
+    Attributes:
+        threshold: IR-drop threshold in volts (strict ``>`` comparison).
+        counts: ``(num_nodes,)`` number of scenarios whose drop at the node
+            exceeds the threshold.
+        num_scenarios: Number of scenarios observed.
+    """
+
+    threshold: float
+    counts: np.ndarray
+    num_scenarios: int
+
+    @property
+    def rates(self) -> np.ndarray:
+        """Per-node exceedance probability over the observed scenarios."""
+        return self.counts / max(1, self.num_scenarios)
+
+    @property
+    def worst_node_index(self) -> int:
+        """Compiled index of the node exceeding the threshold most often."""
+        return int(self.counts.argmax())
+
+    @property
+    def any_exceedance_scenarios(self) -> int:
+        """Lower bound on scenarios with at least one exceeding node.
+
+        The per-node counters cannot distinguish which scenarios overlap,
+        so this is simply the maximum per-node count — a lower bound on
+        the true 'any node exceeds' scenario count, exact when one node
+        dominates.
+        """
+        return int(self.counts.max()) if self.counts.size else 0
+
+
+class ExceedanceCountSink(IRDropSink):
+    """Exact per-node counts of scenarios exceeding an IR-drop threshold.
+
+    Integral counting makes the result bitwise-identical for every
+    chunking, equal to ``(ir_drop > threshold).sum(axis=1)`` on the dense
+    matrix.
+
+    Args:
+        threshold: IR-drop threshold in volts (strictly-greater counts).
+    """
+
+    def __init__(self, threshold: float) -> None:
+        super().__init__()
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        self.threshold = float(threshold)
+        self._exceed: np.ndarray | None = None
+
+    def _on_bind(self, compiled: "CompiledGrid", num_scenarios: int) -> None:
+        self._exceed = np.zeros(compiled.num_nodes, dtype=np.int64)
+
+    def _consume_drops(self, drops: np.ndarray, scenario_offset: int) -> None:
+        self._exceed += (drops > self.threshold).sum(axis=0)
+
+    def result(self) -> ExceedanceCounts:
+        """The accumulated exceedance counters."""
+        if self._exceed is None:
+            raise ValueError("sink was never bound to a sweep")
+        return ExceedanceCounts(
+            threshold=self.threshold,
+            counts=self._exceed,
+            num_scenarios=self._consumed,
+        )
+
+
+@dataclass(frozen=True)
+class TopKScenarios:
+    """The ``k`` worst scenarios of a sweep, by per-scenario worst IR drop.
+
+    Attributes:
+        scenario_index: ``(k,)`` global scenario indices, worst first (ties
+            break toward the lower index).
+        worst_ir_drop: ``(k,)`` worst IR drop of each listed scenario.
+        worst_node_index: ``(k,)`` compiled node index where each listed
+            scenario's worst drop occurs.
+        num_scenarios: Number of scenarios observed.
+    """
+
+    scenario_index: np.ndarray
+    worst_ir_drop: np.ndarray
+    worst_node_index: np.ndarray
+    num_scenarios: int
+
+    @property
+    def k(self) -> int:
+        """Number of scenarios retained."""
+        return len(self.scenario_index)
+
+
+class TopKScenarioSink(IRDropSink):
+    """Exact top-k worst scenarios with their indices and worst nodes.
+
+    Selection by ``(worst drop descending, scenario index ascending)`` is
+    associative, so merging chunk-local candidates into the running top-k
+    yields the identical shortlist for every chunking — bitwise equal to
+    sorting the dense per-scenario worst vector.
+
+    Args:
+        k: Number of worst scenarios to retain.
+    """
+
+    def __init__(self, k: int) -> None:
+        super().__init__()
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.k = k
+        self._values = np.empty(0, dtype=float)
+        self._indices = np.empty(0, dtype=np.int64)
+        self._nodes = np.empty(0, dtype=np.int64)
+
+    def _consume_drops(self, drops: np.ndarray, scenario_offset: int) -> None:
+        values = np.concatenate((self._values, drops.max(axis=1)))
+        nodes = np.concatenate((self._nodes, drops.argmax(axis=1)))
+        indices = np.concatenate(
+            (self._indices, scenario_offset + np.arange(drops.shape[0], dtype=np.int64))
+        )
+        order = np.lexsort((indices, -values))[: self.k]
+        self._values = values[order]
+        self._indices = indices[order]
+        self._nodes = nodes[order]
+
+    def result(self) -> TopKScenarios:
+        """The accumulated shortlist, worst scenario first."""
+        return TopKScenarios(
+            scenario_index=self._indices,
+            worst_ir_drop=self._values,
+            worst_node_index=self._nodes,
+            num_scenarios=self._consumed,
+        )

@@ -8,18 +8,28 @@ over-approximation: every block draws its maximum budgeted current
 simultaneously, optionally with a global utilisation bound that caps the
 total drawn current (a simplified form of the linear-programming-based
 vectorless formulations in the literature).
+
+Beyond the single worst-case bound, :meth:`VectorlessAnalyzer.analyze_statistical`
+samples the budget polytope: every load draws a uniformly random fraction of
+its budget per scenario (capped by the global utilisation), and the sampled
+scenarios are streamed through the batched engine with scenario sinks — so
+quantiles, per-node exceedance probabilities and worst-offender shortlists
+of the budget-feasible operating space come out of one chunk-bounded sweep
+instead of a single pessimistic corner.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from ..grid.elements import CurrentSource
 from ..grid.network import PowerGridNetwork
-from .engine import BatchedAnalysisEngine
+from .engine import BatchedAnalysisEngine, StreamedSweepResult
 from .irdrop import IRDropAnalyzer, IRDropResult
+from .sinks import ScenarioSink
 
 
 @dataclass(frozen=True)
@@ -65,6 +75,42 @@ class VectorlessResult:
     def worst_case_bound(self) -> float:
         """Upper bound on the worst-case IR drop, in volts."""
         return self.bound_result.worst_ir_drop
+
+
+@dataclass
+class StatisticalVectorlessResult:
+    """Outcome of the sampled (statistical) vectorless analysis.
+
+    Attributes:
+        vectorless: The deterministic nominal / worst-case-bound analysis.
+        sweep: The streamed sweep over budget-feasible random scenarios
+            (per-scenario reductions plus any attached sinks).
+    """
+
+    vectorless: VectorlessResult
+    sweep: StreamedSweepResult
+
+    @property
+    def num_scenarios(self) -> int:
+        """Number of sampled budget-feasible scenarios."""
+        return self.sweep.num_scenarios
+
+    @property
+    def worst_case_bound(self) -> float:
+        """Deterministic upper bound on the worst-case IR drop, in volts."""
+        return self.vectorless.worst_case_bound
+
+    @property
+    def worst_observed(self) -> float:
+        """Largest worst-case IR drop among the sampled scenarios."""
+        return float(self.sweep.worst_ir_drop.max())
+
+    @property
+    def bound_tightness(self) -> float:
+        """Observed worst / deterministic bound — how pessimistic the
+        single-corner bound is for this grid (1.0 = bound achieved)."""
+        bound = self.worst_case_bound
+        return self.worst_observed / bound if bound > 0 else float("inf")
 
 
 class VectorlessAnalyzer:
@@ -125,12 +171,10 @@ class VectorlessAnalyzer:
             budgeted_loads = [load.scaled(scale) for load in budgeted_loads]
         return budgeted_loads
 
-    def _analyze_batched(
-        self, network: PowerGridNetwork, budget: VectorlessBudget
-    ) -> tuple[IRDropResult, IRDropResult]:
-        """Solve the nominal and budgeted scenarios in one multi-RHS batch."""
-        compiled = network.compile()
-        budgeted = np.fromiter(
+    @staticmethod
+    def _budgeted_maxima(compiled, budget: VectorlessBudget) -> np.ndarray:
+        """Per-source maximum currents (before the global utilisation cap)."""
+        return np.fromiter(
             (
                 budget.per_load_max.get(name, float(current))
                 for name, current in zip(compiled.load_names, compiled.load_current)
@@ -138,6 +182,13 @@ class VectorlessAnalyzer:
             dtype=float,
             count=len(compiled.load_names),
         )
+
+    def _analyze_batched(
+        self, network: PowerGridNetwork, budget: VectorlessBudget
+    ) -> tuple[IRDropResult, IRDropResult]:
+        """Solve the nominal and budgeted scenarios in one multi-RHS batch."""
+        compiled = network.compile()
+        budgeted = self._budgeted_maxima(compiled, budget)
         total_maximum = float(budgeted.sum())
         if total_maximum > 0 and budget.global_utilisation < 1.0:
             budgeted = budgeted * budget.global_utilisation
@@ -153,8 +204,82 @@ class VectorlessAnalyzer:
         )
         return batch.result(0), batch.result(1)
 
+    def analyze_statistical(
+        self,
+        network: PowerGridNetwork,
+        budget: VectorlessBudget,
+        num_scenarios: int,
+        *,
+        chunk_size: int = 1024,
+        sinks: Sequence[ScenarioSink] = (),
+        seed: int = 0,
+    ) -> StatisticalVectorlessResult:
+        """Sample the budget polytope and stream the scenarios into sinks.
 
-def uniform_budget(network: PowerGridNetwork, headroom: float = 1.5, utilisation: float = 1.0) -> VectorlessBudget:
+        Scenario ``i`` draws every load at an independent uniform fraction
+        of its budgeted maximum (RNG seeded ``seed + i``, so the sweep is
+        reproducible and independent of the chunking); scenarios whose
+        total current exceeds the global utilisation cap are scaled back
+        onto it.  All scenarios share one cached factorization and are
+        generated, solved and reduced chunk by chunk — the full
+        ``(num_scenarios, num_nodes)`` load matrix never exists.
+
+        Args:
+            network: The grid to analyse.
+            budget: Current budgets defining the sampled polytope.
+            num_scenarios: Number of random budget-feasible scenarios.
+            chunk_size: RHS chunk width bounding the working memory.
+            sinks: Scenario sinks observing the sweep (quantiles,
+                histograms, exceedance counts, top-k, ...).
+            seed: Base seed of the per-scenario load sampling.
+
+        Returns:
+            A :class:`StatisticalVectorlessResult` combining the
+            deterministic nominal / bound analysis with the streamed sweep.
+
+        Raises:
+            TypeError: If the analyzer backend is not a
+                :class:`BatchedAnalysisEngine`.
+        """
+        if not isinstance(self.analyzer, BatchedAnalysisEngine):
+            raise TypeError(
+                "analyze_statistical requires a BatchedAnalysisEngine backend; "
+                f"got {type(self.analyzer).__name__}"
+            )
+        if num_scenarios < 1:
+            raise ValueError("num_scenarios must be at least 1")
+        vectorless = self.analyze(network, budget)
+        compiled = network.compile()
+        maxima = self._budgeted_maxima(compiled, budget)
+        allowed_total = float(maxima.sum()) * budget.global_utilisation
+
+        def budget_source(begin: int, end: int) -> tuple[np.ndarray, None]:
+            factors = np.empty((end - begin, maxima.size), dtype=float)
+            for row, scenario in enumerate(range(begin, end)):
+                rng = np.random.default_rng(seed + scenario)
+                factors[row] = rng.random(maxima.size)
+            per_source = factors * maxima
+            if maxima.size and budget.global_utilisation < 1.0:
+                totals = per_source.sum(axis=1)
+                over = totals > allowed_total
+                if np.any(over):
+                    per_source[over] *= (allowed_total / totals[over])[:, None]
+            loads = np.asarray(compiled.load_incidence.T.dot(per_source.T)).T
+            return loads, None
+
+        sweep = self.analyzer.analyze_scenario_stream(
+            compiled,
+            budget_source,
+            num_scenarios,
+            chunk_size=chunk_size,
+            sinks=sinks,
+        )
+        return StatisticalVectorlessResult(vectorless=vectorless, sweep=sweep)
+
+
+def uniform_budget(
+    network: PowerGridNetwork, headroom: float = 1.5, utilisation: float = 1.0
+) -> VectorlessBudget:
     """Build a budget where every load may exceed its nominal value by ``headroom``.
 
     Args:

@@ -9,7 +9,10 @@ library's main flows to users who do not want to write Python:
 * ``train``     — train the PowerPlanningDL width model on a benchmark and
   save it to disk;
 * ``predict``   — load a trained model and predict the design (widths +
-  IR drop) for a benchmark specification, optionally perturbed by gamma.
+  IR drop) for a benchmark specification, optionally perturbed by gamma;
+* ``sweep``     — stream a pad-voltage × load-perturbation mega-sweep
+  through scenario sinks (quantiles, exceedance, top-k) in chunk-bounded
+  memory.
 
 All subcommands print human-readable tables and exit non-zero on error, so
 they compose with shell scripts and CI jobs.
@@ -18,12 +21,20 @@ they compose with shell scripts and CI jobs.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 import numpy as np
 
-from .analysis import BatchedAnalysisEngine, EMChecker
+from .analysis import (
+    BatchedAnalysisEngine,
+    EMChecker,
+    ExceedanceCountSink,
+    NodeHistogramSink,
+    P2QuantileSink,
+    TopKScenarioSink,
+)
 from .core import PowerPlanningDL, format_key_values, format_table
 from .design import ConventionalPowerPlanner
 from .grid import (
@@ -31,6 +42,7 @@ from .grid import (
     PerturbationSpec,
     SUITE_NAMES,
     SyntheticIBMSuite,
+    mega_sweep_matrices,
     read_netlist,
     write_netlist,
 )
@@ -41,7 +53,9 @@ def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
         prog="powerplanningdl",
-        description="Reliability-aware power-grid design with deep learning (DATE 2020 reproduction)",
+        description=(
+            "Reliability-aware power-grid design with deep learning (DATE 2020 reproduction)"
+        ),
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -75,6 +89,36 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument(
         "--verify", action="store_true",
         help="also run the conventional analysis on the predicted design",
+    )
+
+    sweep = subparsers.add_parser(
+        "sweep", help="streamed pad-voltage x load mega-sweep with scenario sinks"
+    )
+    sweep.add_argument("benchmark", choices=SUITE_NAMES, help="benchmark name")
+    sweep.add_argument("--width", type=float, default=5.0, help="uniform stripe width in um")
+    sweep.add_argument(
+        "--num-loads", type=int, default=64, help="workload (load-perturbation) scenario rows"
+    )
+    sweep.add_argument(
+        "--num-pads", type=int, default=16, help="supply (pad-voltage) scenario rows"
+    )
+    sweep.add_argument("--gamma", type=float, default=0.2, help="perturbation size (0-1)")
+    sweep.add_argument(
+        "--chunk-size", type=int, default=256, help="scenarios solved per RHS chunk"
+    )
+    sweep.add_argument(
+        "--quantiles", default="0.5,0.9,0.99",
+        help="comma-separated quantile levels of the worst-drop distribution",
+    )
+    sweep.add_argument(
+        "--threshold-mv", type=float, default=None,
+        help="exceedance threshold in mV (default: the nominal worst IR drop)",
+    )
+    sweep.add_argument("--top-k", type=int, default=5, help="worst scenarios to shortlist")
+    sweep.add_argument("--bins", type=int, default=32, help="per-node histogram bins")
+    sweep.add_argument("--seed", type=int, default=2020, help="scenario-generation seed")
+    sweep.add_argument(
+        "--json-out", type=Path, default=None, help="write the sweep record as JSON here"
     )
     return parser
 
@@ -166,7 +210,9 @@ def _cmd_train(args: argparse.Namespace) -> int:
     config = RegressorConfig(
         hidden_layers=args.hidden_layers,
         hidden_width=args.hidden_width,
-        training=TrainingConfig(epochs=args.epochs, batch_size=128, early_stopping_patience=0, seed=0),
+        training=TrainingConfig(
+            epochs=args.epochs, batch_size=128, early_stopping_patience=0, seed=0
+        ),
         seed=0,
     )
     framework = PowerPlanningDL(bench.technology, config)
@@ -231,12 +277,138 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if not 0 <= args.gamma < 1:
+        print("error: --gamma must be in [0, 1)", file=sys.stderr)
+        return 2
+    if args.num_loads < 1 or args.num_pads < 1:
+        print("error: --num-loads and --num-pads must be at least 1", file=sys.stderr)
+        return 2
+    if args.chunk_size < 1:
+        print("error: --chunk-size must be at least 1", file=sys.stderr)
+        return 2
+    if args.top_k < 1:
+        print("error: --top-k must be at least 1", file=sys.stderr)
+        return 2
+    if args.bins < 1:
+        print("error: --bins must be at least 1", file=sys.stderr)
+        return 2
+    if args.threshold_mv is not None and args.threshold_mv < 0:
+        print("error: --threshold-mv must be non-negative", file=sys.stderr)
+        return 2
+    try:
+        quantiles = [float(level) for level in args.quantiles.split(",") if level.strip()]
+        P2QuantileSink(quantiles)  # validates levels (range, ascending, non-empty)
+    except ValueError as exc:
+        print(f"error: invalid --quantiles {args.quantiles!r}: {exc}", file=sys.stderr)
+        return 2
+
+    bench = SyntheticIBMSuite().load(args.benchmark)
+    grid = bench.build_uniform_grid(args.width)
+    engine = BatchedAnalysisEngine()
+    nominal = engine.analyze(grid)
+    threshold = (
+        args.threshold_mv / 1000.0 if args.threshold_mv is not None else nominal.worst_ir_drop
+    )
+    load_matrix, pad_matrix = mega_sweep_matrices(
+        grid, bench.floorplan, args.gamma, args.num_loads, args.num_pads, seed=args.seed
+    )
+    quantile_sink = P2QuantileSink(quantiles)
+    histogram_sink = NodeHistogramSink.uniform(
+        0.0, max(2.0 * nominal.worst_ir_drop, 1e-6), args.bins
+    )
+    exceedance_sink = ExceedanceCountSink(threshold)
+    topk_sink = TopKScenarioSink(args.top_k)
+    result = engine.analyze_mega_sweep(
+        grid,
+        load_matrix,
+        pad_matrix,
+        chunk_size=args.chunk_size,
+        sinks=(quantile_sink, histogram_sink, exceedance_sink, topk_sink),
+    )
+
+    estimate = quantile_sink.result()
+    exceedance = exceedance_sink.result()
+    topk = topk_sink.result()
+    nodes_exceeding = int((exceedance.counts > 0).sum())
+    summary = {
+        "benchmark": bench.name,
+        "scenarios (loads x pads)": f"{args.num_loads} x {args.num_pads} = {result.num_scenarios}",
+        "chunk size": result.chunk_size,
+        "nominal worst IR drop (mV)": nominal.worst_ir_drop_mv,
+        "sweep worst IR drop (mV)": float(result.worst_ir_drop.max()) * 1000.0,
+    }
+    for level, value in zip(estimate.quantiles, estimate.values):
+        summary[f"P{level * 100:g} worst drop (mV)"] = float(value) * 1000.0
+    summary.update(
+        {
+            "exceedance threshold (mV)": threshold * 1000.0,
+            "nodes ever exceeding": nodes_exceeding,
+            "max node exceedance rate": float(exceedance.rates.max()),
+            "scenarios / second": result.scenarios_per_second,
+            "sweep time (s)": result.analysis_time,
+            "factorizations": engine.cache_info().factorizations,
+        }
+    )
+    print(format_key_values(summary, title="streamed mega-sweep"))
+
+    rows = [
+        {
+            "rank": rank + 1,
+            "scenario": int(topk.scenario_index[rank]),
+            "load_row": result.scenario_pair(int(topk.scenario_index[rank]))[0],
+            "pad_row": result.scenario_pair(int(topk.scenario_index[rank]))[1],
+            "worst_drop_mV": round(float(topk.worst_ir_drop[rank]) * 1000.0, 3),
+            "worst_node": result.compiled.node_names[int(topk.worst_node_index[rank])],
+        }
+        for rank in range(topk.k)
+    ]
+    if rows:
+        print()
+        print(format_table(rows, title=f"top-{topk.k} worst scenarios"))
+
+    if args.json_out is not None:
+        histogram = histogram_sink.result()
+        record = {
+            "benchmark": bench.name,
+            "gamma": args.gamma,
+            "seed": args.seed,
+            "num_load_scenarios": args.num_loads,
+            "num_pad_scenarios": args.num_pads,
+            "num_scenarios": result.num_scenarios,
+            "chunk_size": result.chunk_size,
+            "nominal_worst_ir_drop": nominal.worst_ir_drop,
+            "sweep_worst_ir_drop": float(result.worst_ir_drop.max()),
+            "quantiles": dict(zip(map(str, estimate.quantiles), estimate.values.tolist())),
+            "exceedance_threshold": threshold,
+            "nodes_ever_exceeding": nodes_exceeding,
+            "max_node_exceedance_rate": float(exceedance.rates.max()),
+            "histogram_edges": histogram.edges.tolist(),
+            "top_scenarios": [
+                {
+                    "scenario": int(topk.scenario_index[rank]),
+                    "worst_ir_drop": float(topk.worst_ir_drop[rank]),
+                    "worst_node": result.compiled.node_names[int(topk.worst_node_index[rank])],
+                }
+                for rank in range(topk.k)
+            ],
+            "analysis_time_seconds": result.analysis_time,
+            "scenarios_per_second": result.scenarios_per_second,
+        }
+        args.json_out.parent.mkdir(parents=True, exist_ok=True)
+        with open(args.json_out, "w") as handle:
+            json.dump(record, handle, indent=2)
+        print(f"sweep record written to {args.json_out}")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "analyze": _cmd_analyze,
     "plan": _cmd_plan,
     "train": _cmd_train,
     "predict": _cmd_predict,
+    "sweep": _cmd_sweep,
 }
 
 

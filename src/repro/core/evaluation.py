@@ -145,7 +145,9 @@ class WidthPredictionStudy:
     histogram: ErrorHistogram
 
 
-def width_prediction_study(golden: np.ndarray, predicted: np.ndarray, num_bins: int = 41) -> WidthPredictionStudy:
+def width_prediction_study(
+    golden: np.ndarray, predicted: np.ndarray, num_bins: int = 41
+) -> WidthPredictionStudy:
     """Build the Fig. 7 artefacts from golden and predicted sample widths."""
     golden = np.asarray(golden, dtype=float).ravel()
     predicted = np.asarray(predicted, dtype=float).ravel()

@@ -216,6 +216,11 @@ class PowerPlanningDL:
             correlation=pearson_correlation(dataset.widths, predictions),
         )
 
-    def default_perturbation(self, gamma: float = 0.10, kind: PerturbationKind = PerturbationKind.BOTH, seed: int = 1) -> PerturbationSpec:
+    def default_perturbation(
+        self,
+        gamma: float = 0.10,
+        kind: PerturbationKind = PerturbationKind.BOTH,
+        seed: int = 1,
+    ) -> PerturbationSpec:
         """The paper's default test-set perturbation: gamma = 10 %, both kinds."""
         return PerturbationSpec(gamma=gamma, kind=kind, seed=seed)

@@ -43,7 +43,9 @@ def format_table(
 
     rendered = [[render(row.get(column, "")) for column in columns] for row in rows]
     widths = [
-        max(len(str(column)), *(len(line[index]) for line in rendered)) if rendered else len(str(column))
+        max(len(str(column)), *(len(line[index]) for line in rendered))
+        if rendered
+        else len(str(column))
         for index, column in enumerate(columns)
     ]
 
@@ -58,7 +60,9 @@ def format_table(
     return "\n".join(lines)
 
 
-def format_key_values(values: Mapping[str, Any], title: str | None = None, float_format: str = "{:.4g}") -> str:
+def format_key_values(
+    values: Mapping[str, Any], title: str | None = None, float_format: str = "{:.4g}"
+) -> str:
     """Render a mapping as aligned ``key : value`` lines."""
     lines: list[str] = []
     if title:

@@ -143,7 +143,9 @@ class WidthPredictor:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _aggregate(self, sample_widths: np.ndarray, line_ids: np.ndarray, num_lines: int) -> np.ndarray:
+    def _aggregate(
+        self, sample_widths: np.ndarray, line_ids: np.ndarray, num_lines: int
+    ) -> np.ndarray:
         """Combine per-crossing predictions into one width per line.
 
         Column 0 of ``sample_widths`` holds vertical-line predictions keyed

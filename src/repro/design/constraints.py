@@ -47,7 +47,9 @@ class ReliabilityConstraints:
             raise ValueError("core dimensions must be positive")
 
     @classmethod
-    def from_technology(cls, technology: Technology, core_width: float, core_height: float) -> "ReliabilityConstraints":
+    def from_technology(
+        cls, technology: Technology, core_width: float, core_height: float
+    ) -> "ReliabilityConstraints":
         """Derive the constraints from a technology's budgets."""
         return cls(
             ir_drop_limit=technology.ir_drop_limit,
@@ -98,7 +100,9 @@ class ReliabilityConstraints:
             ir_drop_ok=self.ir_drop_satisfied(ir_result),
             em_ok=self.em_satisfied(em_report),
             vertical_budget_ok=self.core_budget_satisfied(vertical_widths, rules, vertical=True),
-            horizontal_budget_ok=self.core_budget_satisfied(horizontal_widths, rules, vertical=False),
+            horizontal_budget_ok=self.core_budget_satisfied(
+                horizontal_widths, rules, vertical=False
+            ),
             worst_ir_drop=ir_result.worst_ir_drop,
             ir_drop_limit=self.ir_drop_limit,
             worst_current_density=em_report.worst_density,

@@ -148,7 +148,9 @@ class DecapPlanner:
         decap = self.decap_technology
         blocks = list(floorplan.iter_blocks())
         if not blocks:
-            return DecapPlan(placements=[], total_capacitance=0.0, total_area=0.0, demand_coverage=1.0)
+            return DecapPlan(
+                placements=[], total_capacitance=0.0, total_area=0.0, demand_coverage=1.0
+            )
 
         priorities = []
         for block in blocks:

@@ -50,7 +50,9 @@ class DesignRules:
             raise ValueError("max_utilisation must be in (0, 1]")
 
     @classmethod
-    def from_layer(cls, layer: MetalLayerSpec, width_step: float = 0.05, max_utilisation: float = 0.35) -> "DesignRules":
+    def from_layer(
+        cls, layer: MetalLayerSpec, width_step: float = 0.05, max_utilisation: float = 0.35
+    ) -> "DesignRules":
         """Derive design rules from a metal-layer specification."""
         return cls(
             min_width=layer.min_width,
@@ -61,7 +63,9 @@ class DesignRules:
         )
 
     @classmethod
-    def from_technology(cls, technology: Technology, width_step: float = 0.05, max_utilisation: float = 0.35) -> "DesignRules":
+    def from_technology(
+        cls, technology: Technology, width_step: float = 0.05, max_utilisation: float = 0.35
+    ) -> "DesignRules":
         """Derive rules covering both power layers of a technology.
 
         The tightest minimum width and the loosest maximum width across the

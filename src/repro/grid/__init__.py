@@ -47,6 +47,7 @@ from .perturbation import (
     PerturbationKind,
     PerturbationSpec,
     floorplan_perturbed_load_matrix,
+    mega_sweep_matrices,
     perturbation_sweep,
     perturbed_load_matrix,
     perturbed_pad_voltage_matrix,
@@ -95,6 +96,7 @@ __all__ = [
     "generic_45nm",
     "generic_65nm",
     "load_benchmark",
+    "mega_sweep_matrices",
     "node_name",
     "parse_node_name",
     "parse_spice_value",

@@ -295,6 +295,8 @@ class SyntheticIBMSuite:
         return [self.load(name) for name in self.names()]
 
 
-def load_benchmark(name: str, technology: Technology | None = None, scale: float = 1.0) -> SyntheticBenchmark:
+def load_benchmark(
+    name: str, technology: Technology | None = None, scale: float = 1.0
+) -> SyntheticBenchmark:
     """Convenience wrapper: generate one synthetic IBM-style benchmark."""
     return SyntheticIBMSuite(technology=technology, scale=scale).load(name)

@@ -172,7 +172,9 @@ class CompiledGrid:
         self.res_b = np.fromiter(
             (index.get(r.node_b, _GROUND_INDEX) for r in resistors), dtype=np.int64, count=m
         )
-        self.conductance = np.fromiter((1.0 / r.resistance for r in resistors), dtype=float, count=m)
+        self.conductance = np.fromiter(
+            (1.0 / r.resistance for r in resistors), dtype=float, count=m
+        )
         self.res_width = np.fromiter((r.width for r in resistors), dtype=float, count=m)
         self.res_length = np.fromiter((r.length for r in resistors), dtype=float, count=m)
         self.res_line_id = np.fromiter((r.line_id for r in resistors), dtype=np.int64, count=m)
@@ -192,7 +194,9 @@ class CompiledGrid:
         self.load_node = np.fromiter(
             (index[s.node] for s in sources), dtype=np.int64, count=len(sources)
         )
-        self.load_current = np.fromiter((s.current for s in sources), dtype=float, count=len(sources))
+        self.load_current = np.fromiter(
+            (s.current for s in sources), dtype=float, count=len(sources)
+        )
 
         # Network-built grids keep the legacy scipy COO→CSR assembly for the
         # first matrix; array-built grids and conductance-update clones use

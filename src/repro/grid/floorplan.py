@@ -275,7 +275,9 @@ class Floorplan:
         """Return a copy with every block switching current scaled by ``factor``."""
         if factor < 0:
             raise ValueError("scale factor must be non-negative")
-        blocks = [block.with_current(block.switching_current * factor) for block in self.iter_blocks()]
+        blocks = [
+            block.with_current(block.switching_current * factor) for block in self.iter_blocks()
+        ]
         return Floorplan(
             name=name or self.name,
             core_width=self.core_width,
@@ -284,7 +286,9 @@ class Floorplan:
             pads=list(self.iter_pads()),
         )
 
-    def with_block_currents(self, currents: dict[str, float], name: str | None = None) -> "Floorplan":
+    def with_block_currents(
+        self, currents: dict[str, float], name: str | None = None
+    ) -> "Floorplan":
         """Return a copy with selected block currents replaced.
 
         Args:

@@ -310,7 +310,9 @@ class PowerGridNetwork:
         }
         return clone
 
-    def replace_loads(self, loads: Iterable[CurrentSource], name: str | None = None) -> "PowerGridNetwork":
+    def replace_loads(
+        self, loads: Iterable[CurrentSource], name: str | None = None
+    ) -> "PowerGridNetwork":
         """Return a copy of the grid with its loads replaced by ``loads``."""
         clone = self.copy(name=name)
         clone._current_sources = {}

@@ -292,6 +292,51 @@ def floorplan_perturbed_load_matrix(
     return compiled.block_factor_load_matrix(block_names, factors)
 
 
+def mega_sweep_matrices(
+    network: PowerGridNetwork | CompiledGrid,
+    floorplan: Floorplan,
+    gamma: float,
+    num_load_scenarios: int,
+    num_pad_scenarios: int,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Load and pad-voltage matrices for a combined cross-product mega-sweep.
+
+    Pairs :func:`floorplan_perturbed_load_matrix` (block-level workload
+    jitter) with :func:`perturbed_pad_voltage_matrix` (supply jitter) on
+    disjoint seed ranges, producing the two inputs of
+    :meth:`~repro.analysis.engine.BatchedAnalysisEngine.analyze_mega_sweep`
+    — ``num_load_scenarios * num_pad_scenarios`` combined scenarios from
+    ``num_load_scenarios + num_pad_scenarios`` stored rows.
+
+    Args:
+        network: The base grid (or its compiled form), built from
+            ``floorplan``.
+        floorplan: The floorplan whose blocks drive the workload jitter.
+        gamma: Perturbation size applied to both currents and voltages.
+        num_load_scenarios: Number of workload (load-matrix) rows.
+        num_pad_scenarios: Number of supply (pad-voltage) rows.
+        seed: Base seed; pad scenarios use ``seed + num_load_scenarios``
+            onward so no scenario shares a generator with a load row.
+
+    Returns:
+        ``(load_matrix, pad_voltage_matrix)`` of shapes
+        ``(num_load_scenarios, num_nodes)`` and
+        ``(num_pad_scenarios, num_pads)``.
+    """
+    current_spec = PerturbationSpec(
+        gamma=gamma, kind=PerturbationKind.CURRENT_WORKLOADS, seed=seed
+    )
+    voltage_spec = PerturbationSpec(
+        gamma=gamma, kind=PerturbationKind.NODE_VOLTAGES, seed=seed + num_load_scenarios
+    )
+    load_matrix = floorplan_perturbed_load_matrix(
+        network, floorplan, current_spec, num_load_scenarios
+    )
+    pad_matrix = perturbed_pad_voltage_matrix(network, voltage_spec, num_pad_scenarios)
+    return load_matrix, pad_matrix
+
+
 def perturbation_sweep(gammas: list[float] | None = None) -> list[PerturbationSpec]:
     """Return the Fig. 9 sweep: every gamma x every perturbation kind.
 

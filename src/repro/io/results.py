@@ -46,7 +46,9 @@ def read_json(path: str | Path) -> Any:
         return json.load(stream)
 
 
-def write_csv(rows: Iterable[Mapping[str, Any]], path: str | Path, fieldnames: Sequence[str] | None = None) -> Path:
+def write_csv(
+    rows: Iterable[Mapping[str, Any]], path: str | Path, fieldnames: Sequence[str] | None = None
+) -> Path:
     """Write a sequence of dict rows to a CSV file.
 
     Args:

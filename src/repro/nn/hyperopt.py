@@ -199,4 +199,6 @@ class HyperparameterSearch:
                 )
             )
         best = min(trials, key=lambda trial: trial.validation_mse)
-        return SearchResult(trials=trials, best=best, best_config=self._make_config(best.parameters))
+        return SearchResult(
+            trials=trials, best=best, best_config=self._make_config(best.parameters)
+        )

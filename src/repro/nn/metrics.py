@@ -104,7 +104,9 @@ class ErrorHistogram:
         return float((self.bin_edges[index] + self.bin_edges[index + 1]) / 2.0)
 
 
-def error_histogram(y_true: np.ndarray, y_pred: np.ndarray, num_bins: int = 41, limit: float | None = None) -> ErrorHistogram:
+def error_histogram(
+    y_true: np.ndarray, y_pred: np.ndarray, num_bins: int = 41, limit: float | None = None
+) -> ErrorHistogram:
     """Build the Fig. 7(b)-style histogram of ``golden - predicted`` errors.
 
     Args:

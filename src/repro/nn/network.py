@@ -52,7 +52,9 @@ class NetworkArchitecture:
         return len(self.hidden_sizes)
 
     @classmethod
-    def paper_default(cls, input_size: int = 3, output_size: int = 1, hidden_width: int = 32) -> "NetworkArchitecture":
+    def paper_default(
+        cls, input_size: int = 3, output_size: int = 1, hidden_width: int = 32
+    ) -> "NetworkArchitecture":
         """The paper's topology: 10 hidden layers (width chosen by hyperopt)."""
         return cls(
             input_size=input_size,

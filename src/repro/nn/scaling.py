@@ -97,7 +97,9 @@ class MinMaxScaler:
         span = self.data_max_ - self.data_min_
         low, high = self.feature_range
         with np.errstate(divide="ignore", invalid="ignore"):
-            unit = np.where(span == 0.0, 0.5, (data - self.data_min_) / np.where(span == 0.0, 1.0, span))
+            unit = np.where(
+                span == 0.0, 0.5, (data - self.data_min_) / np.where(span == 0.0, 1.0, span)
+            )
         return unit * (high - low) + low
 
     def fit_transform(self, data: np.ndarray) -> np.ndarray:

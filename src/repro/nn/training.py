@@ -206,7 +206,9 @@ class Trainer:
             targets[validation_idx],
         )
 
-    def _run_epoch(self, features: np.ndarray, targets: np.ndarray, rng: np.random.Generator) -> float:
+    def _run_epoch(
+        self, features: np.ndarray, targets: np.ndarray, rng: np.random.Generator
+    ) -> float:
         num_samples = features.shape[0]
         if self.config.shuffle:
             order = rng.permutation(num_samples)

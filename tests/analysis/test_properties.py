@@ -31,7 +31,9 @@ def _random_floorplan(data: st.DataObject) -> Floorplan:
     blocks = []
     for index in range(num_blocks):
         width = data.draw(st.floats(min_value=core * 0.1, max_value=core * 0.4), label=f"bw{index}")
-        height = data.draw(st.floats(min_value=core * 0.1, max_value=core * 0.4), label=f"bh{index}")
+        height = data.draw(
+            st.floats(min_value=core * 0.1, max_value=core * 0.4), label=f"bh{index}"
+        )
         x = data.draw(st.floats(min_value=0.0, max_value=core - width), label=f"bx{index}")
         y = data.draw(st.floats(min_value=0.0, max_value=core - height), label=f"by{index}")
         current = data.draw(st.floats(min_value=0.01, max_value=0.5), label=f"bi{index}")

@@ -1,0 +1,391 @@
+"""Tests for the streamed scenario-sink subsystem and mega-sweeps.
+
+Exact sinks (histogram, exceedance, top-k) must match a dense single-shot
+reference **bitwise** for every chunk size — including ``chunk_size=1`` and
+chunk sizes larger than the sweep.  Quantile sinks must be exact while the
+stream fits (reservoir) or within tolerance (P²).  Mega-sweeps must equal
+an explicitly materialised cross product, and the statistical vectorless
+sweep must stay below the deterministic worst-case bound.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    BatchedAnalysisEngine,
+    ExceedanceCountSink,
+    IRDropAnalyzer,
+    NodeHistogramSink,
+    P2QuantileSink,
+    ReservoirQuantileSink,
+    TopKScenarioSink,
+    VectorlessAnalyzer,
+    uniform_budget,
+)
+from repro.grid import (
+    PerturbationKind,
+    PerturbationSpec,
+    SyntheticIBMSuite,
+    mega_sweep_matrices,
+    perturbed_load_matrix,
+    perturbed_pad_voltage_matrix,
+)
+
+CHUNK_SIZES = [1, 7, 37, 100]
+"""Sharding widths exercised everywhere: single-scenario, non-divisor,
+exactly the sweep size, and larger than the sweep."""
+
+
+@pytest.fixture(scope="module")
+def ibmpg1_bench():
+    return SyntheticIBMSuite().load("ibmpg1")
+
+
+@pytest.fixture(scope="module")
+def ibmpg1_grid(ibmpg1_bench):
+    return ibmpg1_bench.build_uniform_grid(5.0)
+
+
+@pytest.fixture(scope="module")
+def load_sweep(ibmpg1_grid):
+    spec = PerturbationSpec(gamma=0.25, kind=PerturbationKind.CURRENT_WORKLOADS, seed=5)
+    return perturbed_load_matrix(ibmpg1_grid, spec, 37)
+
+
+@pytest.fixture(scope="module")
+def dense_drops(ibmpg1_grid, load_sweep):
+    """Dense single-shot ``(num_nodes, k)`` IR-drop reference matrix."""
+    batch = BatchedAnalysisEngine().analyze_batch(ibmpg1_grid, load_sweep)
+    return batch.ir_drop
+
+
+@pytest.fixture(scope="module")
+def histogram_edges(dense_drops):
+    """Edges chosen so the sweep produces under- and overflow counts."""
+    lo = dense_drops.min() + 0.2 * np.ptp(dense_drops)
+    hi = dense_drops.max() - 0.1 * np.ptp(dense_drops)
+    return np.linspace(lo, hi, 14)
+
+
+def run_sinks(grid, load_sweep, chunk_size, sinks):
+    engine = BatchedAnalysisEngine()
+    engine.analyze_batch(grid, load_sweep, chunk_size=chunk_size, sinks=sinks)
+    return sinks
+
+
+class TestExactSinksBitwise:
+    @pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+    def test_histogram_matches_dense_reference(
+        self, ibmpg1_grid, load_sweep, dense_drops, histogram_edges, chunk_size
+    ):
+        (sink,) = run_sinks(
+            ibmpg1_grid, load_sweep, chunk_size, [NodeHistogramSink(histogram_edges)]
+        )
+        histogram = sink.result()
+        expected = np.empty_like(histogram.counts)
+        for node in range(dense_drops.shape[0]):
+            expected[node] = np.histogram(dense_drops[node], bins=histogram_edges)[0]
+        assert np.array_equal(histogram.counts, expected)
+        assert np.array_equal(histogram.underflow, (dense_drops < histogram_edges[0]).sum(axis=1))
+        assert np.array_equal(histogram.overflow, (dense_drops > histogram_edges[-1]).sum(axis=1))
+        assert histogram.underflow.sum() > 0 and histogram.overflow.sum() > 0
+        assert np.array_equal(histogram.total, np.full(dense_drops.shape[0], load_sweep.shape[0]))
+
+    @pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+    def test_exceedance_matches_dense_reference(
+        self, ibmpg1_grid, load_sweep, dense_drops, chunk_size
+    ):
+        threshold = float(np.quantile(dense_drops, 0.9))
+        (sink,) = run_sinks(ibmpg1_grid, load_sweep, chunk_size, [ExceedanceCountSink(threshold)])
+        exceedance = sink.result()
+        expected = (dense_drops > threshold).sum(axis=1)
+        assert np.array_equal(exceedance.counts, expected)
+        assert exceedance.num_scenarios == load_sweep.shape[0]
+        assert exceedance.worst_node_index == int(expected.argmax())
+        assert np.array_equal(exceedance.rates, expected / load_sweep.shape[0])
+
+    @pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+    def test_topk_matches_dense_reference(
+        self, ibmpg1_grid, load_sweep, dense_drops, chunk_size
+    ):
+        rows = np.ascontiguousarray(dense_drops.T)
+        worst = rows.max(axis=1)
+        order = np.lexsort((np.arange(worst.size), -worst))[:5]
+        (sink,) = run_sinks(ibmpg1_grid, load_sweep, chunk_size, [TopKScenarioSink(5)])
+        topk = sink.result()
+        assert np.array_equal(topk.scenario_index, order)
+        assert np.array_equal(topk.worst_ir_drop, worst[order])
+        assert np.array_equal(topk.worst_node_index, rows.argmax(axis=1)[order])
+        assert topk.k == 5
+
+    def test_topk_larger_than_sweep_keeps_everything(self, ibmpg1_grid, load_sweep, dense_drops):
+        k = load_sweep.shape[0]
+        (sink,) = run_sinks(ibmpg1_grid, load_sweep, 8, [TopKScenarioSink(k + 50)])
+        topk = sink.result()
+        assert topk.k == k
+        worst = np.ascontiguousarray(dense_drops.T).max(axis=1)
+        assert np.array_equal(np.sort(topk.scenario_index), np.arange(k))
+        assert topk.worst_ir_drop[0] == worst.max()
+
+    def test_unsharded_batch_feeds_sinks_once(self, ibmpg1_grid, load_sweep, dense_drops):
+        threshold = float(np.quantile(dense_drops, 0.5))
+        sink = ExceedanceCountSink(threshold)
+        batch = BatchedAnalysisEngine().analyze_batch(ibmpg1_grid, load_sweep, sinks=[sink])
+        assert batch.sinks == (sink,)
+        assert sink.num_consumed == load_sweep.shape[0]
+        assert np.array_equal(
+            batch.sink_results()[0].counts, (dense_drops > threshold).sum(axis=1)
+        )
+
+
+class TestQuantileSinks:
+    @pytest.fixture(scope="class")
+    def big_sweep(self, ibmpg1_grid):
+        spec = PerturbationSpec(gamma=0.25, kind=PerturbationKind.CURRENT_WORKLOADS, seed=13)
+        return perturbed_load_matrix(ibmpg1_grid, spec, 400)
+
+    @pytest.fixture(scope="class")
+    def worst_distribution(self, ibmpg1_grid, big_sweep):
+        batch = BatchedAnalysisEngine().analyze_batch(ibmpg1_grid, big_sweep, chunk_size=64)
+        return batch.worst_ir_drop
+
+    def test_reservoir_exact_when_stream_fits(self, ibmpg1_grid, big_sweep, worst_distribution):
+        levels = (0.1, 0.5, 0.9, 0.99)
+        sink = ReservoirQuantileSink(big_sweep.shape[0], levels)
+        run_sinks(ibmpg1_grid, big_sweep, 33, [sink])
+        estimate = sink.result()
+        assert estimate.exact
+        assert np.array_equal(estimate.values, np.quantile(worst_distribution, levels))
+        assert estimate.value(0.5) == float(np.quantile(worst_distribution, 0.5))
+
+    def test_reservoir_chunking_invariant(self, ibmpg1_grid, big_sweep):
+        results = []
+        for chunk_size in (11, 160, None):
+            sink = ReservoirQuantileSink(64, (0.5, 0.9), seed=3)
+            BatchedAnalysisEngine().analyze_batch(
+                ibmpg1_grid, big_sweep, chunk_size=chunk_size, sinks=[sink]
+            )
+            results.append(sink.result().values)
+        assert np.array_equal(results[0], results[1])
+        assert np.array_equal(results[0], results[2])
+
+    def test_p2_quantiles_within_tolerance(self, ibmpg1_grid, big_sweep, worst_distribution):
+        levels = (0.5, 0.9)
+        sink = P2QuantileSink(levels)
+        run_sinks(ibmpg1_grid, big_sweep, 50, [sink])
+        estimate = sink.result()
+        assert not estimate.exact
+        spread = worst_distribution.max() - worst_distribution.min()
+        for level, value in zip(levels, estimate.values):
+            assert abs(value - np.quantile(worst_distribution, level)) <= 0.1 * spread
+
+    def test_p2_exact_for_tiny_streams(self, ibmpg1_grid, load_sweep):
+        sink = P2QuantileSink([0.5], statistic="mean")
+        BatchedAnalysisEngine().analyze_batch(ibmpg1_grid, load_sweep[:4], sinks=[sink])
+        estimate = sink.result()
+        batch = BatchedAnalysisEngine().analyze_batch(ibmpg1_grid, load_sweep[:4])
+        assert estimate.exact
+        assert estimate.values[0] == np.quantile(batch.average_ir_drop, 0.5)
+
+    def test_mean_statistic_tracks_average(self, ibmpg1_grid, big_sweep):
+        sink = ReservoirQuantileSink(big_sweep.shape[0], (0.5,), statistic="mean")
+        batch = BatchedAnalysisEngine().analyze_batch(
+            ibmpg1_grid, big_sweep, chunk_size=128, sinks=[sink]
+        )
+        assert sink.result().values[0] == np.quantile(batch.average_ir_drop, 0.5)
+
+    def test_invalid_quantile_specs_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            P2QuantileSink([])
+        with pytest.raises(ValueError, match="ascending"):
+            P2QuantileSink([0.9, 0.5])
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            ReservoirQuantileSink(10, [1.5])
+        with pytest.raises(ValueError, match="capacity"):
+            ReservoirQuantileSink(0, [0.5])
+        with pytest.raises(ValueError, match="statistic"):
+            P2QuantileSink([0.5], statistic="median")
+
+
+class TestSinkProtocol:
+    def test_sinks_cannot_be_reused_across_sweeps(self, ibmpg1_grid, load_sweep):
+        sink = ExceedanceCountSink(0.1)
+        engine = BatchedAnalysisEngine()
+        engine.analyze_batch(ibmpg1_grid, load_sweep, sinks=[sink])
+        with pytest.raises(ValueError, match="fresh sink"):
+            engine.analyze_batch(ibmpg1_grid, load_sweep, sinks=[sink])
+
+    def test_out_of_order_chunks_rejected(self, ibmpg1_grid, load_sweep):
+        sink = ExceedanceCountSink(0.1)
+        sink.bind(ibmpg1_grid.compile(), 10)
+        chunk = np.zeros((ibmpg1_grid.compile().num_nodes, 2))
+        sink.consume(chunk, 0)
+        with pytest.raises(ValueError, match="scenario order"):
+            sink.consume(chunk, 5)
+        with pytest.raises(ValueError, match="overruns"):
+            sink.consume(np.zeros((chunk.shape[0], 100)), 2)
+
+    def test_unbound_and_misshapen_consumption_rejected(self, ibmpg1_grid):
+        sink = TopKScenarioSink(3)
+        with pytest.raises(ValueError, match="not bound"):
+            sink.consume(np.zeros((4, 1)), 0)
+        sink.bind(ibmpg1_grid.compile(), 5)
+        with pytest.raises(ValueError, match="voltage chunk"):
+            sink.consume(np.zeros((3, 2)), 0)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="ascending"):
+            NodeHistogramSink([0.0, 0.1, 0.1])
+        with pytest.raises(ValueError, match="num_bins"):
+            NodeHistogramSink.uniform(0.0, 1.0, 0)
+        with pytest.raises(ValueError, match="threshold"):
+            ExceedanceCountSink(-0.1)
+        with pytest.raises(ValueError, match="k must be"):
+            TopKScenarioSink(0)
+        with pytest.raises(ValueError, match="never bound"):
+            NodeHistogramSink([0.0, 1.0]).result()
+
+
+class TestMegaSweep:
+    @pytest.fixture(scope="class")
+    def sweep_matrices(self, ibmpg1_grid, ibmpg1_bench):
+        return mega_sweep_matrices(ibmpg1_grid, ibmpg1_bench.floorplan, 0.2, 6, 4, seed=3)
+
+    @pytest.fixture(scope="class")
+    def dense_cross(self, ibmpg1_grid, sweep_matrices):
+        """The cross product materialised explicitly (loads outer)."""
+        load_matrix, pad_matrix = sweep_matrices
+        return BatchedAnalysisEngine().analyze_pad_batch(
+            ibmpg1_grid,
+            np.tile(pad_matrix, (load_matrix.shape[0], 1)),
+            load_matrix=np.repeat(load_matrix, pad_matrix.shape[0], axis=0),
+        )
+
+    @pytest.mark.parametrize("chunk_size", [1, 5, 24, 100])
+    def test_mega_sweep_matches_materialised_cross_product(
+        self, ibmpg1_grid, sweep_matrices, dense_cross, chunk_size
+    ):
+        load_matrix, pad_matrix = sweep_matrices
+        result = BatchedAnalysisEngine().analyze_mega_sweep(
+            ibmpg1_grid, load_matrix, pad_matrix, chunk_size=chunk_size
+        )
+        assert result.num_scenarios == 24
+        assert np.array_equal(result.worst_ir_drop, dense_cross.worst_ir_drop)
+        assert np.array_equal(result.average_ir_drop, dense_cross.average_ir_drop)
+        assert np.array_equal(result.worst_node_index, dense_cross.worst_node_index)
+
+    def test_mega_sweep_shares_one_factorization(self, ibmpg1_grid, sweep_matrices):
+        load_matrix, pad_matrix = sweep_matrices
+        engine = BatchedAnalysisEngine()
+        result = engine.analyze_mega_sweep(ibmpg1_grid, load_matrix, pad_matrix, chunk_size=5)
+        assert engine.cache_info().factorizations == 1
+        assert result.scenarios_per_second > 0
+        assert result.worst_node(0) in ibmpg1_grid.compile().node_names
+
+    def test_scenario_pair_round_trip(self, ibmpg1_grid, sweep_matrices):
+        load_matrix, pad_matrix = sweep_matrices
+        result = BatchedAnalysisEngine().analyze_mega_sweep(
+            ibmpg1_grid, load_matrix, pad_matrix, chunk_size=10
+        )
+        pairs = [result.scenario_pair(s) for s in range(result.num_scenarios)]
+        assert pairs[0] == (0, 0)
+        assert pairs[-1] == (load_matrix.shape[0] - 1, pad_matrix.shape[0] - 1)
+        assert len(set(pairs)) == result.num_scenarios
+        with pytest.raises(IndexError):
+            result.scenario_pair(result.num_scenarios)
+
+    def test_mega_sweep_with_sinks_matches_dense(
+        self, ibmpg1_grid, sweep_matrices, dense_cross
+    ):
+        load_matrix, pad_matrix = sweep_matrices
+        drops = dense_cross.ir_drop
+        threshold = float(np.quantile(drops, 0.8))
+        sink = ExceedanceCountSink(threshold)
+        BatchedAnalysisEngine().analyze_mega_sweep(
+            ibmpg1_grid, load_matrix, pad_matrix, chunk_size=7, sinks=[sink]
+        )
+        assert np.array_equal(sink.result().counts, (drops > threshold).sum(axis=1))
+
+    def test_input_validation(self, ibmpg1_grid, sweep_matrices):
+        load_matrix, pad_matrix = sweep_matrices
+        engine = BatchedAnalysisEngine()
+        with pytest.raises(ValueError, match="load_matrix"):
+            engine.analyze_mega_sweep(ibmpg1_grid, load_matrix[:, :-1], pad_matrix)
+        with pytest.raises(ValueError, match="pad_voltage_matrix"):
+            engine.analyze_mega_sweep(ibmpg1_grid, load_matrix, pad_matrix[:, :-1])
+        with pytest.raises(ValueError, match="at least one scenario row"):
+            engine.analyze_mega_sweep(ibmpg1_grid, load_matrix[:0], pad_matrix)
+        with pytest.raises(ValueError, match="chunk_size"):
+            engine.analyze_mega_sweep(ibmpg1_grid, load_matrix, pad_matrix, chunk_size=0)
+
+
+class TestScenarioStream:
+    def test_stream_matches_batch(self, ibmpg1_grid, load_sweep):
+        engine = BatchedAnalysisEngine()
+        reference = engine.analyze_batch(ibmpg1_grid, load_sweep, chunk_size=8)
+        stream = engine.analyze_scenario_stream(
+            ibmpg1_grid,
+            lambda begin, end: (load_sweep[begin:end], None),
+            load_sweep.shape[0],
+            chunk_size=8,
+        )
+        assert np.array_equal(stream.worst_ir_drop, reference.worst_ir_drop)
+        assert np.array_equal(stream.average_ir_drop, reference.average_ir_drop)
+        assert stream.factorization_reused  # second sweep on the same engine
+
+    def test_stream_validates_source(self, ibmpg1_grid):
+        engine = BatchedAnalysisEngine()
+        with pytest.raises(ValueError, match="neither loads nor pad voltages"):
+            engine.analyze_scenario_stream(
+                ibmpg1_grid, lambda begin, end: (None, None), 4, chunk_size=2
+            )
+        compiled = ibmpg1_grid.compile()
+        with pytest.raises(ValueError, match="rows for"):
+            engine.analyze_scenario_stream(
+                ibmpg1_grid,
+                lambda begin, end: (np.zeros((1, compiled.num_nodes)), None),
+                4,
+                chunk_size=2,
+            )
+        with pytest.raises(ValueError, match="num_scenarios"):
+            engine.analyze_scenario_stream(
+                ibmpg1_grid, lambda begin, end: (None, None), 0, chunk_size=2
+            )
+
+
+class TestStatisticalVectorless:
+    @pytest.fixture(scope="class")
+    def budget(self, ibmpg1_grid):
+        return uniform_budget(ibmpg1_grid, headroom=1.4, utilisation=0.9)
+
+    def test_observed_below_deterministic_bound(self, ibmpg1_grid, budget):
+        analyzer = VectorlessAnalyzer(BatchedAnalysisEngine())
+        result = analyzer.analyze_statistical(
+            ibmpg1_grid, budget, 60, chunk_size=16, sinks=[P2QuantileSink([0.9])]
+        )
+        assert result.num_scenarios == 60
+        assert result.worst_observed <= result.worst_case_bound + 1e-12
+        assert 0 < result.bound_tightness <= 1.0
+        assert result.sweep.sinks[0].result().num_scenarios == 60
+
+    def test_sampling_is_chunking_invariant(self, ibmpg1_grid, budget):
+        analyzer = VectorlessAnalyzer(BatchedAnalysisEngine())
+        small = analyzer.analyze_statistical(ibmpg1_grid, budget, 30, chunk_size=7)
+        large = analyzer.analyze_statistical(ibmpg1_grid, budget, 30, chunk_size=1000)
+        assert np.array_equal(small.sweep.worst_ir_drop, large.sweep.worst_ir_drop)
+        assert np.array_equal(small.sweep.average_ir_drop, large.sweep.average_ir_drop)
+
+    def test_requires_engine_backend(self, ibmpg1_grid, budget):
+        analyzer = VectorlessAnalyzer(IRDropAnalyzer())
+        with pytest.raises(TypeError, match="BatchedAnalysisEngine"):
+            analyzer.analyze_statistical(ibmpg1_grid, budget, 4)
+
+    def test_pad_batch_with_sinks(self, ibmpg1_grid):
+        spec = PerturbationSpec(gamma=0.1, kind=PerturbationKind.NODE_VOLTAGES, seed=9)
+        pad_matrix = perturbed_pad_voltage_matrix(ibmpg1_grid, spec, 6)
+        engine = BatchedAnalysisEngine()
+        dense = engine.analyze_pad_batch(ibmpg1_grid, pad_matrix)
+        threshold = float(np.quantile(dense.ir_drop, 0.7))
+        sink = ExceedanceCountSink(threshold)
+        engine.analyze_pad_batch(ibmpg1_grid, pad_matrix, chunk_size=2, sinks=[sink])
+        assert np.array_equal(sink.result().counts, (dense.ir_drop > threshold).sum(axis=1))

@@ -35,10 +35,18 @@ def technology():
 def tiny_floorplan(technology):
     """A 4-block, 4-pad floorplan small enough for exhaustive checks."""
     blocks = [
-        FunctionalBlock(name="b0", x=50.0, y=50.0, width=350.0, height=350.0, switching_current=0.08),
-        FunctionalBlock(name="b1", x=550.0, y=50.0, width=350.0, height=350.0, switching_current=0.20),
-        FunctionalBlock(name="b2", x=50.0, y=550.0, width=350.0, height=350.0, switching_current=0.05),
-        FunctionalBlock(name="b3", x=550.0, y=550.0, width=350.0, height=350.0, switching_current=0.12),
+        FunctionalBlock(
+            name="b0", x=50.0, y=50.0, width=350.0, height=350.0, switching_current=0.08
+        ),
+        FunctionalBlock(
+            name="b1", x=550.0, y=50.0, width=350.0, height=350.0, switching_current=0.20
+        ),
+        FunctionalBlock(
+            name="b2", x=50.0, y=550.0, width=350.0, height=350.0, switching_current=0.05
+        ),
+        FunctionalBlock(
+            name="b3", x=550.0, y=550.0, width=350.0, height=350.0, switching_current=0.12
+        ),
     ]
     pads = [
         PowerPad(name="p0", x=250.0, y=250.0, voltage=technology.vdd),

@@ -47,11 +47,17 @@ class TestPrediction:
             assert np.all(drops >= -1e-12)
 
     def test_wider_lines_reduce_predicted_drop(self, estimator, tiny_floorplan, tiny_topology):
-        narrow = estimator.predict(tiny_floorplan, tiny_topology, np.full(tiny_topology.num_lines, 2.0))
-        wide = estimator.predict(tiny_floorplan, tiny_topology, np.full(tiny_topology.num_lines, 10.0))
+        narrow = estimator.predict(
+            tiny_floorplan, tiny_topology, np.full(tiny_topology.num_lines, 2.0)
+        )
+        wide = estimator.predict(
+            tiny_floorplan, tiny_topology, np.full(tiny_topology.num_lines, 10.0)
+        )
         assert wide.worst_ir_drop < narrow.worst_ir_drop
 
-    def test_more_current_increases_predicted_drop(self, estimator, tiny_floorplan, tiny_topology, uniform_widths):
+    def test_more_current_increases_predicted_drop(
+        self, estimator, tiny_floorplan, tiny_topology, uniform_widths
+    ):
         nominal = estimator.predict(tiny_floorplan, tiny_topology, uniform_widths)
         heavy = estimator.predict(
             tiny_floorplan.with_scaled_currents(2.0), tiny_topology, uniform_widths
@@ -86,14 +92,18 @@ class TestPrediction:
 
 
 class TestMap:
-    def test_map_shape_and_worst_value(self, estimator, tiny_floorplan, tiny_topology, uniform_widths):
+    def test_map_shape_and_worst_value(
+        self, estimator, tiny_floorplan, tiny_topology, uniform_widths
+    ):
         prediction = estimator.predict(tiny_floorplan, tiny_topology, uniform_widths)
         ir_map = estimator.ir_drop_map(tiny_floorplan, tiny_topology, prediction, resolution=40)
         assert ir_map.shape == (40, 40)
         assert ir_map.max() == pytest.approx(prediction.worst_ir_drop)
         assert np.all(np.isfinite(ir_map))
 
-    def test_map_resolution_validation(self, estimator, tiny_floorplan, tiny_topology, uniform_widths):
+    def test_map_resolution_validation(
+        self, estimator, tiny_floorplan, tiny_topology, uniform_widths
+    ):
         prediction = estimator.predict(tiny_floorplan, tiny_topology, uniform_widths)
         with pytest.raises(ValueError):
             estimator.ir_drop_map(tiny_floorplan, tiny_topology, prediction, resolution=0)

@@ -14,7 +14,9 @@ def allocate(mib: float):
 
 class TestProfiler:
     def test_profile_returns_result_and_peak(self):
-        profile = PeakMemoryProfiler(sample_interval=0.01).profile(lambda: allocate(8.0), label="alloc")
+        profile = PeakMemoryProfiler(sample_interval=0.01).profile(
+            lambda: allocate(8.0), label="alloc"
+        )
         assert profile.label == "alloc"
         assert profile.result == pytest.approx(8.0 * 1024 * 1024 / 8)
         assert profile.peak_mib >= 7.0

@@ -51,13 +51,17 @@ class TestTraining:
 
 
 class TestPrediction:
-    def test_sample_predictions_are_positive_and_legal(self, fitted_predictor, small_dataset, small_benchmark):
+    def test_sample_predictions_are_positive_and_legal(
+        self, fitted_predictor, small_dataset, small_benchmark
+    ):
         predictions = fitted_predictor.predict_samples(small_dataset.training.features)
         rules = DesignRules.from_technology(small_benchmark.technology)
         assert predictions.shape == small_dataset.training.widths.shape
         assert np.all(predictions >= rules.min_width - 1e-9)
 
-    def test_predict_dataset_aggregates_per_line(self, fitted_predictor, small_dataset, small_benchmark):
+    def test_predict_dataset_aggregates_per_line(
+        self, fitted_predictor, small_dataset, small_benchmark
+    ):
         result = fitted_predictor.predict_dataset(small_dataset.training)
         assert result.line_widths.shape == (small_benchmark.topology.num_lines,)
         assert result.prediction_time > 0

@@ -28,7 +28,9 @@ class TestConstruction:
 
     def test_validation(self):
         with pytest.raises(ValueError):
-            ReliabilityConstraints(ir_drop_limit=0.0, jmax=0.01, core_width=100.0, core_height=100.0)
+            ReliabilityConstraints(
+                ir_drop_limit=0.0, jmax=0.01, core_width=100.0, core_height=100.0
+            )
         with pytest.raises(ValueError):
             ReliabilityConstraints(ir_drop_limit=0.1, jmax=0.0, core_width=100.0, core_height=100.0)
         with pytest.raises(ValueError):
@@ -48,25 +50,37 @@ class TestChecks:
         assert constraints.core_budget_satisfied(few_thin, rules)
         assert not constraints.core_budget_satisfied(many_wide, rules)
 
-    def test_evaluate_all_satisfied(self, constraints, rules, technology, tiny_floorplan, tiny_topology):
+    def test_evaluate_all_satisfied(
+        self, constraints, rules, technology, tiny_floorplan, tiny_topology
+    ):
         network = GridBuilder(technology).build(tiny_floorplan, tiny_topology, 10.0)
         ir = IRDropAnalyzer().analyze(network)
         em = EMChecker(technology).check(network, ir)
         widths = np.full(tiny_topology.num_lines, 10.0)
         evaluation = constraints.evaluate(
-            ir, em, widths[: tiny_topology.num_vertical], widths[tiny_topology.num_vertical :], rules
+            ir,
+            em,
+            widths[: tiny_topology.num_vertical],
+            widths[tiny_topology.num_vertical :],
+            rules,
         )
         assert evaluation.all_satisfied
         assert evaluation.ir_drop_slack > 0
         assert evaluation.em_slack > 0
 
-    def test_evaluate_detects_violations(self, constraints, rules, technology, tiny_floorplan, tiny_topology):
+    def test_evaluate_detects_violations(
+        self, constraints, rules, technology, tiny_floorplan, tiny_topology
+    ):
         network = GridBuilder(technology).build(tiny_floorplan, tiny_topology, 0.8)
         ir = IRDropAnalyzer().analyze(network)
         em = EMChecker(technology).check(network, ir)
         widths = np.full(tiny_topology.num_lines, 0.8)
         evaluation = constraints.evaluate(
-            ir, em, widths[: tiny_topology.num_vertical], widths[tiny_topology.num_vertical :], rules
+            ir,
+            em,
+            widths[: tiny_topology.num_vertical],
+            widths[tiny_topology.num_vertical :],
+            rules,
         )
         assert not evaluation.em_ok or not evaluation.ir_drop_ok
         assert not evaluation.all_satisfied

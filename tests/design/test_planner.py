@@ -69,7 +69,9 @@ class TestResizing:
             core_width=small_benchmark.floorplan.core_width,
             core_height=small_benchmark.floorplan.core_height,
         )
-        plan = planner.plan(small_benchmark.floorplan, small_benchmark.topology, constraints=relaxed)
+        plan = planner.plan(
+            small_benchmark.floorplan, small_benchmark.topology, constraints=relaxed
+        )
         assert plan.converged
         assert plan.num_iterations == 1
 

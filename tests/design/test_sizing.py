@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.design import AnalyticalSizer, DesignRules, SizingParameters, estimate_line_currents, width_from_ir_budget
+from repro.design import (
+    AnalyticalSizer,
+    DesignRules,
+    SizingParameters,
+    estimate_line_currents,
+    width_from_ir_budget,
+)
 
 
 class TestEquationOne:

@@ -90,7 +90,10 @@ class TestSuite:
     def test_load_benchmark_builds_grid(self, small_benchmark):
         grid = small_benchmark.build_uniform_grid(5.0)
         stats = grid.statistics()
-        assert stats.num_nodes == 2 * small_benchmark.config.num_vertical * small_benchmark.config.num_horizontal
+        assert (
+            stats.num_nodes
+            == 2 * small_benchmark.config.num_vertical * small_benchmark.config.num_horizontal
+        )
         assert grid.is_connected_to_pads()
 
     def test_build_grid_with_per_line_widths(self, small_benchmark):

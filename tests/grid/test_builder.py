@@ -67,7 +67,9 @@ class TestGridBuilder:
     def test_grid_is_connected_to_pads(self, tiny_grid):
         assert tiny_grid.is_connected_to_pads()
 
-    def test_per_line_widths_set_segment_resistance(self, technology, tiny_floorplan, tiny_topology):
+    def test_per_line_widths_set_segment_resistance(
+        self, technology, tiny_floorplan, tiny_topology
+    ):
         widths = np.linspace(2.0, 10.0, tiny_topology.num_lines)
         network = GridBuilder(technology).build(tiny_floorplan, tiny_topology, widths)
         for resistor in network.iter_resistors():

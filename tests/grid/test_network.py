@@ -97,7 +97,9 @@ class TestDerivedQuantities:
             network.add_node(GridNode(name=name, x=0.0, y=0.0))
         network.add_resistor(Resistor(name="R1", node_a="a", node_b="b", resistance=1.0, line_id=0))
         network.add_resistor(Resistor(name="R2", node_a="b", node_b="c", resistance=1.0, line_id=0))
-        network.add_resistor(Resistor(name="R3", node_a="a", node_b="c", resistance=1.0, line_id=-1))
+        network.add_resistor(
+            Resistor(name="R3", node_a="a", node_b="c", resistance=1.0, line_id=-1)
+        )
         lines = network.lines()
         assert set(lines) == {0}
         assert len(lines[0]) == 2

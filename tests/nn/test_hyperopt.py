@@ -30,11 +30,15 @@ def quick_base_config():
 
 class TestSearchSpace:
     def test_grid_enumerates_all_combinations(self):
-        space = SearchSpace(hidden_layers=(1, 2), hidden_width=(8, 16), learning_rate=(1e-3,), batch_size=(32,))
+        space = SearchSpace(
+            hidden_layers=(1, 2), hidden_width=(8, 16), learning_rate=(1e-3,), batch_size=(32,)
+        )
         assert len(space.grid()) == 4
 
     def test_sample_draws_from_space(self, rng):
-        space = SearchSpace(hidden_layers=(1, 2), hidden_width=(8,), learning_rate=(1e-3,), batch_size=(32,))
+        space = SearchSpace(
+            hidden_layers=(1, 2), hidden_width=(8,), learning_rate=(1e-3,), batch_size=(32,)
+        )
         sample = space.sample(rng)
         assert sample["hidden_layers"] in (1, 2)
         assert sample["hidden_width"] == 8
@@ -47,7 +51,9 @@ class TestSearchSpace:
 class TestSearch:
     def test_grid_search_returns_best_trial(self, small_data, quick_base_config):
         features, targets = small_data
-        space = SearchSpace(hidden_layers=(1, 2), hidden_width=(8,), learning_rate=(1e-3,), batch_size=(32,))
+        space = SearchSpace(
+            hidden_layers=(1, 2), hidden_width=(8,), learning_rate=(1e-3,), batch_size=(32,)
+        )
         search = HyperparameterSearch(quick_base_config, space, seed=0)
         result = search.grid_search(features, targets)
         assert len(result.trials) == 2
@@ -56,7 +62,9 @@ class TestSearch:
 
     def test_random_search_respects_trial_count(self, small_data, quick_base_config):
         features, targets = small_data
-        space = SearchSpace(hidden_layers=(1, 2, 3), hidden_width=(8, 16), learning_rate=(1e-3,), batch_size=(32,))
+        space = SearchSpace(
+            hidden_layers=(1, 2, 3), hidden_width=(8, 16), learning_rate=(1e-3,), batch_size=(32,)
+        )
         search = HyperparameterSearch(quick_base_config, space, seed=1)
         result = search.random_search(features, targets, num_trials=3)
         assert 1 <= len(result.trials) <= 3
@@ -75,7 +83,9 @@ class TestSearch:
 
     def test_trials_record_timing_and_scores(self, small_data, quick_base_config):
         features, targets = small_data
-        space = SearchSpace(hidden_layers=(1,), hidden_width=(8,), learning_rate=(1e-3,), batch_size=(32,))
+        space = SearchSpace(
+            hidden_layers=(1,), hidden_width=(8,), learning_rate=(1e-3,), batch_size=(32,)
+        )
         result = HyperparameterSearch(quick_base_config, space).grid_search(features, targets)
         trial = result.trials[0]
         assert trial.train_time > 0

@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.nn import ConstraintPenalizedLoss, HuberLoss, MeanAbsoluteError, MeanSquaredError, get_loss
+from repro.nn import (
+    ConstraintPenalizedLoss,
+    HuberLoss,
+    MeanAbsoluteError,
+    MeanSquaredError,
+    get_loss,
+)
 
 
 def finite_difference(loss, predictions, targets, epsilon=1e-6):
@@ -28,7 +34,9 @@ class TestMSE:
 
     def test_known_value(self):
         loss = MeanSquaredError()
-        assert loss.forward(np.asarray([[1.0], [3.0]]), np.asarray([[0.0], [0.0]])) == pytest.approx(5.0)
+        assert loss.forward(
+            np.asarray([[1.0], [3.0]]), np.asarray([[0.0], [0.0]])
+        ) == pytest.approx(5.0)
 
     def test_gradient_matches_finite_difference(self, rng):
         loss = MeanSquaredError()
@@ -98,7 +106,9 @@ class TestConstraintPenalizedLoss:
         loss = ConstraintPenalizedLoss(base, lambda p: np.abs(p), lam=0.0)
         predictions = rng.normal(size=(4, 2))
         targets = rng.normal(size=(4, 2))
-        assert loss.forward(predictions, targets) == pytest.approx(base.forward(predictions, targets))
+        assert loss.forward(predictions, targets) == pytest.approx(
+            base.forward(predictions, targets)
+        )
 
     def test_gradient_matches_finite_difference(self, rng):
         penalty = lambda predictions: np.maximum(1.0 - predictions, 0.0) ** 2

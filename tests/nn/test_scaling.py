@@ -19,7 +19,9 @@ class TestStandardScaler:
     def test_inverse_transform_roundtrip(self, rng):
         data = rng.normal(size=(100, 3)) * [1.0, 100.0, 1e-4]
         scaler = StandardScaler().fit(data)
-        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(data)), data, rtol=1e-9)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(data)), data, rtol=1e-9
+        )
 
     def test_constant_column_passthrough(self):
         data = np.column_stack([np.ones(10), np.arange(10.0)])

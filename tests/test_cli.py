@@ -12,7 +12,7 @@ class TestParser:
             action for action in parser._actions if hasattr(action, "choices") and action.choices
         ]
         commands = set(subactions[0].choices)
-        assert commands == {"generate", "analyze", "plan", "train", "predict"}
+        assert commands == {"generate", "analyze", "plan", "train", "predict", "sweep"}
 
     def test_unknown_benchmark_rejected(self, capsys):
         with pytest.raises(SystemExit):
@@ -81,3 +81,52 @@ class TestTrainPredict:
         model = tmp_path / "model.npz"
         model.write_bytes(b"placeholder")
         assert main(["predict", "ibmpg1", str(model), "--gamma", "0.9"]) == 2
+
+
+class TestSweep:
+    def test_sweep_prints_summary_and_writes_record(self, tmp_path, capsys):
+        record_path = tmp_path / "sweep.json"
+        assert (
+            main(
+                [
+                    "sweep", "ibmpg1",
+                    "--num-loads", "6", "--num-pads", "4",
+                    "--chunk-size", "7", "--top-k", "3",
+                    "--json-out", str(record_path),
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "streamed mega-sweep" in output
+        assert "6 x 4 = 24" in output
+        assert "P99 worst drop (mV)" in output
+        assert "top-3 worst scenarios" in output
+        assert record_path.exists()
+
+        import json
+
+        record = json.loads(record_path.read_text())
+        assert record["num_scenarios"] == 24
+        assert record["chunk_size"] == 7
+        assert len(record["top_scenarios"]) == 3
+
+    def test_sweep_bad_arguments_error(self, capsys):
+        assert main(["sweep", "ibmpg1", "--gamma", "1.5"]) == 2
+        assert "--gamma" in capsys.readouterr().err
+        assert main(["sweep", "ibmpg1", "--num-loads", "0"]) == 2
+        assert "--num-loads" in capsys.readouterr().err
+        assert main(["sweep", "ibmpg1", "--chunk-size", "0"]) == 2
+        assert "--chunk-size" in capsys.readouterr().err
+        assert main(["sweep", "ibmpg1", "--quantiles", "abc"]) == 2
+        assert "--quantiles" in capsys.readouterr().err
+        assert main(["sweep", "ibmpg1", "--quantiles", "1.5"]) == 2
+        assert "--quantiles" in capsys.readouterr().err
+        assert main(["sweep", "ibmpg1", "--quantiles", "0.9,0.5"]) == 2
+        assert "--quantiles" in capsys.readouterr().err
+        assert main(["sweep", "ibmpg1", "--top-k", "0"]) == 2
+        assert "--top-k" in capsys.readouterr().err
+        assert main(["sweep", "ibmpg1", "--bins", "0"]) == 2
+        assert "--bins" in capsys.readouterr().err
+        assert main(["sweep", "ibmpg1", "--threshold-mv", "-5"]) == 2
+        assert "--threshold-mv" in capsys.readouterr().err
