@@ -15,6 +15,13 @@ against a dense single-shot reference on a cross-product subset small
 enough to materialise, and the reservoir quantile sink (sized to hold the
 whole subset) is verified bitwise against ``numpy.quantile``.
 
+After the timed sequential sweep, the same mega-sweep is re-run with
+``workers >= 2`` solver threads: the parallel chunk pipeline must produce
+**bitwise-identical** reductions and sink results (asserted), and the
+sequential-vs-parallel speedup is recorded.  The ``>= 1.5x`` throughput bar
+is enforced by ``check_results.py`` only on multi-core full-scale runners
+(the record carries ``cpu_count``).
+
 A JSON throughput record is written to ``benchmarks/results/`` for the CI
 artifact upload and the regression checker (``check_results.py``).
 
@@ -27,6 +34,7 @@ Environment variables:
 from __future__ import annotations
 
 import json
+import os
 
 import numpy as np
 from conftest import bench_scale, full_scale
@@ -53,6 +61,7 @@ TOP_K = 10
 NUM_BINS = 32
 REFERENCE_SCENARIO_BUDGET = 2048
 MIN_FULL_SCALE_SCENARIOS = 100_000
+PARALLEL_WORKERS = max(2, min(4, os.cpu_count() or 1))
 
 
 def scenario_counts(scale: float) -> tuple[int, int]:
@@ -155,12 +164,15 @@ def test_mega_sweep_sinks(benchmark, results_dir):
     sweep_engine = BatchedAnalysisEngine()
     sinks = build_sinks(nominal.worst_ir_drop, reservoir_capacity=4096)
     result = benchmark.pedantic(
+        # workers=1 pinned: the baseline must stay sequential even when
+        # REPRO_TEST_WORKERS is exported, or the speedup record lies.
         lambda: sweep_engine.analyze_mega_sweep(
             grid,
             load_matrix,
             pad_matrix,
             chunk_size=CHUNK_SIZE,
             sinks=tuple(sinks.values()),
+            workers=1,
         ),
         rounds=1,
         iterations=1,
@@ -177,6 +189,46 @@ def test_mega_sweep_sinks(benchmark, results_dir):
     dense_voltage_bytes = 8 * result.compiled.num_nodes * result.num_scenarios
     chunk_bytes = 8 * result.compiled.num_nodes * CHUNK_SIZE
 
+    # --- Parallel chunk pipeline: same sweep on a thread pool.  Ordered
+    # sink folding makes every reduction and sink result bitwise-identical;
+    # the speedup is recorded and gated (multi-core runners only) by
+    # check_results.py.
+    parallel_engine = BatchedAnalysisEngine()
+    parallel_sinks = build_sinks(nominal.worst_ir_drop, reservoir_capacity=4096)
+    parallel = parallel_engine.analyze_mega_sweep(
+        grid,
+        load_matrix,
+        pad_matrix,
+        chunk_size=CHUNK_SIZE,
+        sinks=tuple(parallel_sinks.values()),
+        workers=PARALLEL_WORKERS,
+    )
+    parallel_histogram = parallel_sinks["histogram"].result()
+    sequential_histogram = sinks["histogram"].result()
+    parallel_topk = parallel_sinks["topk"].result()
+    parallel_matches = all(
+        (
+            np.array_equal(parallel.worst_ir_drop, result.worst_ir_drop),
+            np.array_equal(parallel.average_ir_drop, result.average_ir_drop),
+            np.array_equal(parallel.worst_node_index, result.worst_node_index),
+            np.array_equal(parallel_histogram.counts, sequential_histogram.counts),
+            np.array_equal(
+                parallel_sinks["exceedance"].result().counts, exceedance.counts
+            ),
+            np.array_equal(parallel_topk.scenario_index, topk.scenario_index),
+            np.array_equal(parallel_topk.worst_ir_drop, topk.worst_ir_drop),
+            np.array_equal(parallel_sinks["p2"].result().values, p2_estimate.values),
+            np.array_equal(
+                parallel_sinks["reservoir"].result().values, reservoir_estimate.values
+            ),
+        )
+    )
+    assert parallel_matches
+    assert parallel_engine.cache_info().factorizations == 1
+    parallel_speedup = (
+        result.analysis_time / parallel.analysis_time if parallel.analysis_time > 0 else 0.0
+    )
+
     record = {
         "benchmark": BENCHMARK,
         "scale": scale,
@@ -188,6 +240,13 @@ def test_mega_sweep_sinks(benchmark, results_dir):
         "factorizations": sweep_engine.cache_info().factorizations,
         "elapsed_seconds": result.analysis_time,
         "scenarios_per_second": result.scenarios_per_second,
+        "cpu_count": os.cpu_count() or 1,
+        "parallel_workers": PARALLEL_WORKERS,
+        "parallel_elapsed_seconds": parallel.analysis_time,
+        "parallel_scenarios_per_second": parallel.scenarios_per_second,
+        "parallel_speedup": parallel_speedup,
+        "parallel_factorizations": parallel_engine.cache_info().factorizations,
+        "parallel_matches": parallel_matches,
         "exact_sinks_match": exact_sinks_match,
         "reference_scenarios": ref_scenarios,
         "dense_voltage_bytes_avoided": dense_voltage_bytes,
@@ -212,6 +271,9 @@ def test_mega_sweep_sinks(benchmark, results_dir):
                 "chunk size": CHUNK_SIZE,
                 "elapsed (s)": round(result.analysis_time, 3),
                 "scenarios / s": round(result.scenarios_per_second),
+                f"parallel x{PARALLEL_WORKERS} (s)": round(parallel.analysis_time, 3),
+                "parallel speedup": round(parallel_speedup, 2),
+                "parallel matches": parallel_matches,
                 "dense GB avoided": round(dense_voltage_bytes / 1e9, 3),
                 "chunk MB working set": round(chunk_bytes / 1e6, 3),
                 "P99 worst drop (mV)": round(p2_estimate.values[-1] * 1000.0, 3),

@@ -69,6 +69,32 @@ def check_mega_sweep_sinks(record: dict) -> list[str]:
             f"full-scale mega-sweep ran {record.get('num_scenarios')} scenarios, "
             "expected >= 100000"
         )
+    if "parallel_matches" not in record or "parallel_factorizations" not in record:
+        problems.append(
+            "record lacks the parallel-sweep fields (parallel_matches / "
+            "parallel_factorizations) — produced by an older bench? re-run it"
+        )
+    else:
+        if not record["parallel_matches"]:
+            problems.append(
+                "parallel mega-sweep did not match the sequential sweep bitwise"
+            )
+        if record["parallel_factorizations"] != 1:
+            problems.append(
+                f"parallel mega-sweep used {record['parallel_factorizations']} "
+                "factorizations, expected 1"
+            )
+    # The throughput bar only holds where parallel chunk solving can
+    # actually run concurrently: full-scale grids on a multi-core runner.
+    if (
+        _full_scale(record)
+        and int(record.get("cpu_count", 1)) >= 2
+        and record.get("parallel_speedup", 0.0) < 1.5
+    ):
+        problems.append(
+            f"parallel mega-sweep speedup {record.get('parallel_speedup')} below "
+            f"the 1.5x bar on a {record.get('cpu_count')}-core runner"
+        )
     return problems
 
 

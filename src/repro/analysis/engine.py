@@ -14,12 +14,24 @@ arbitrarily many right-hand sides against one factorization — either one at
 a time (:meth:`analyze`, a drop-in replacement for
 :class:`~repro.analysis.irdrop.IRDropAnalyzer`) or as a single multi-RHS
 triangular solve (:meth:`analyze_batch`).
+
+Chunked and streamed sweeps additionally accept ``workers=``: RHS chunks are
+then solved concurrently on a thread pool (SuperLU's triangular solve and
+the large NumPy reductions release the GIL) while the calling thread folds
+finished chunks into the reductions and sinks strictly in ascending scenario
+order — so every result, including every exact sink, stays bitwise-identical
+to the sequential path.  At most ``workers`` chunks are in flight at any
+time, keeping the memory high-water mark at
+``O(num_nodes * chunk_size * workers)``.
 """
 
 from __future__ import annotations
 
+import os
+import threading
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from functools import cached_property
 from typing import Callable, Sequence
@@ -36,6 +48,29 @@ from .solver import LinearSolverError, PowerGridSolver, SolverMethod
 
 ENGINE_METHOD = "cached_lu"
 """Solver-method tag recorded in results produced by the engine."""
+
+WORKERS_ENV = "REPRO_TEST_WORKERS"
+"""Environment variable supplying the engine's default ``workers`` count.
+
+Lets CI (and local runs) exercise the parallel chunk pipeline across the
+whole test suite without touching any call site: every chunked / streamed
+sweep that does not pass ``workers=`` explicitly uses this value.  Unset or
+empty means ``1`` (sequential), which is also the hard default.
+"""
+
+
+def _default_workers() -> int:
+    """Resolve the engine's default worker count from :data:`WORKERS_ENV`."""
+    raw = os.environ.get(WORKERS_ENV, "").strip()
+    if not raw:
+        return 1
+    try:
+        workers = int(raw)
+    except ValueError as exc:
+        raise ValueError(f"{WORKERS_ENV} must be an integer, got {raw!r}") from exc
+    if workers < 1:
+        raise ValueError(f"{WORKERS_ENV} must be at least 1, got {workers}")
+    return workers
 
 ScenarioSource = Callable[[int, int], tuple[np.ndarray | None, np.ndarray | None]]
 """Chunk generator for streamed sweeps.
@@ -148,6 +183,13 @@ class BatchAnalysisResult:
         reductions: Streamed per-scenario reductions (sharded solves only).
         sinks: The scenario sinks that observed this solve, in the order
             they were passed (empty when none were attached).
+        solver_method: The solver that actually produced the voltages —
+            ``"cached_lu"`` for the factorization path, ``"cg"`` when the
+            system exceeded the engine's ``direct_size_limit`` and every
+            column fell back to preconditioned CG.
+        solver_iterations: ``(num_scenarios,)`` per-scenario iteration
+            counts (all zero on the direct path), or ``None`` for results
+            predating the solve (never for engine-produced batches).
     """
 
     compiled: CompiledGrid
@@ -157,6 +199,8 @@ class BatchAnalysisResult:
     factorization_reused: bool
     reductions: BatchReductions | None = None
     sinks: tuple[ScenarioSink, ...] = ()
+    solver_method: str = ENGINE_METHOD
+    solver_iterations: np.ndarray | None = None
 
     def sink_results(self) -> tuple:
         """Finished results of every attached sink, in sink order."""
@@ -228,8 +272,12 @@ class BatchAnalysisResult:
             worst_node=self.worst_node(scenario),
             average_ir_drop=float(self.average_ir_drop[scenario]),
             analysis_time=self.analysis_time / max(1, self.num_scenarios),
-            solver_method=ENGINE_METHOD,
-            solver_iterations=0,
+            solver_method=self.solver_method,
+            solver_iterations=(
+                int(self.solver_iterations[scenario])
+                if self.solver_iterations is not None
+                else 0
+            ),
         )
 
     def results(self) -> list[IRDropResult]:
@@ -258,6 +306,13 @@ class StreamedSweepResult:
         analysis_time: Wall-clock time of the whole sweep in seconds.
         factorization_reused: True if at least one chunk was served from
             the engine's factorization cache.
+        workers: Number of solver threads the sweep ran with (1 =
+            sequential).  Does not affect any result value — parallel
+            sweeps are bitwise-identical to sequential ones.
+        solver_method: The solver that produced every chunk
+            (``"cached_lu"`` or ``"cg"``).
+        solver_iterations: ``(num_scenarios,)`` per-scenario CG iteration
+            counts (all zero on the direct path).
     """
 
     compiled: CompiledGrid
@@ -267,6 +322,9 @@ class StreamedSweepResult:
     sinks: tuple[ScenarioSink, ...]
     analysis_time: float
     factorization_reused: bool
+    workers: int = 1
+    solver_method: str = ENGINE_METHOD
+    solver_iterations: np.ndarray | None = None
 
     @property
     def worst_ir_drop(self) -> np.ndarray:
@@ -335,17 +393,32 @@ class BatchedAnalysisEngine:
             factorization — the same threshold the legacy ``AUTO`` solver
             policy used, preserved because SuperLU fill-in can exhaust
             memory on the largest grids.
+        default_workers: Worker-thread count used by chunked / streamed
+            sweeps whose callers do not pass ``workers=`` explicitly.
+            ``None`` (the default) reads :data:`WORKERS_ENV` and falls back
+            to 1 (sequential).
     """
 
-    def __init__(self, cache_size: int = 8, direct_size_limit: int = 60000) -> None:
+    def __init__(
+        self,
+        cache_size: int = 8,
+        direct_size_limit: int = 60000,
+        default_workers: int | None = None,
+    ) -> None:
         if cache_size < 1:
             raise ValueError("cache_size must be at least 1")
         if direct_size_limit < 1:
             raise ValueError("direct_size_limit must be at least 1")
+        if default_workers is None:
+            default_workers = _default_workers()
+        if default_workers < 1:
+            raise ValueError("default_workers must be at least 1")
         self.cache_size = cache_size
         self.direct_size_limit = direct_size_limit
+        self.default_workers = default_workers
         self._cg_solver = PowerGridSolver(method=SolverMethod.CG)
         self._cache: OrderedDict[str, spla.SuperLU] = OrderedDict()
+        self._cache_lock = threading.Lock()
         self._factorizations = 0
         self._hits = 0
 
@@ -365,22 +438,29 @@ class BatchedAnalysisEngine:
         self._cache.clear()
 
     def _factor(self, compiled: CompiledGrid) -> tuple[spla.SuperLU, bool]:
-        """Return the (cached) LU factorization of the reduced matrix."""
+        """Return the (cached) LU factorization of the reduced matrix.
+
+        Serialised by a lock so that parallel chunk workers racing on a
+        cold cache perform exactly one factorization (and keep the LRU
+        bookkeeping consistent); cache hits only pay an uncontended
+        acquire.
+        """
         key = compiled.fingerprint
-        factor = self._cache.get(key)
-        if factor is not None:
-            self._hits += 1
-            self._cache.move_to_end(key)
-            return factor, True
-        try:
-            factor = spla.splu(compiled.reduced_matrix.tocsc())
-        except RuntimeError as exc:
-            raise LinearSolverError(f"factorization failed: {exc}") from exc
-        self._factorizations += 1
-        self._cache[key] = factor
-        while len(self._cache) > self.cache_size:
-            self._cache.popitem(last=False)
-        return factor, False
+        with self._cache_lock:
+            factor = self._cache.get(key)
+            if factor is not None:
+                self._hits += 1
+                self._cache.move_to_end(key)
+                return factor, True
+            try:
+                factor = spla.splu(compiled.reduced_matrix.tocsc())
+            except RuntimeError as exc:
+                raise LinearSolverError(f"factorization failed: {exc}") from exc
+            self._factorizations += 1
+            self._cache[key] = factor
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+            return factor, False
 
     # ------------------------------------------------------------------
     # Solving
@@ -394,6 +474,16 @@ class BatchedAnalysisEngine:
 
     def _use_cg(self, compiled: CompiledGrid) -> bool:
         return compiled.num_unknowns > self.direct_size_limit
+
+    def _solver_method(self, compiled: CompiledGrid) -> str:
+        """The method every solve on this grid actually uses."""
+        return SolverMethod.CG.value if self._use_cg(compiled) else ENGINE_METHOD
+
+    def _resolve_workers(self, workers: int | None) -> int:
+        workers = self.default_workers if workers is None else workers
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        return workers
 
     def _solve_cg(self, compiled: CompiledGrid, rhs: np.ndarray) -> tuple[np.ndarray, int]:
         system = system_from_compiled(compiled, matrix_copy=False)
@@ -453,27 +543,77 @@ class BatchedAnalysisEngine:
             worst_node=compiled.node_names[worst] if drops.size else "",
             average_ir_drop=float(drops.mean()) if drops.size else 0.0,
             analysis_time=elapsed,
-            solver_method=SolverMethod.CG.value if self._use_cg(compiled) else ENGINE_METHOD,
+            solver_method=self._solver_method(compiled),
             solver_iterations=iterations,
         )
 
     def _solve_rhs_block(
         self, compiled: CompiledGrid, rhs: np.ndarray
-    ) -> tuple[np.ndarray, bool]:
-        """Solve one ``(num_unknowns, c)`` RHS block; returns (unknowns, reused)."""
+    ) -> tuple[np.ndarray, bool, np.ndarray]:
+        """Solve one ``(num_unknowns, c)`` RHS block.
+
+        Returns the unknown voltages, whether a cached factorization was
+        reused, and the ``(c,)`` per-column solver iteration counts (all
+        zero on the direct path, the actual CG iterations on the fallback).
+        """
+        iterations = np.zeros(rhs.shape[1], dtype=np.int64)
         if rhs.shape[0] == 0:
-            return np.empty((0, rhs.shape[1])), False
+            return np.empty((0, rhs.shape[1])), False, iterations
         if self._use_cg(compiled):
-            unknown = np.column_stack(
-                [self._solve_cg(compiled, rhs[:, k])[0] for k in range(rhs.shape[1])]
-            )
+            columns = []
+            for k in range(rhs.shape[1]):
+                voltages, iterations[k] = self._solve_cg(compiled, rhs[:, k])
+                columns.append(voltages)
+            unknown = np.column_stack(columns)
             reused = False
         else:
             factor, reused = self._factor(compiled)
             unknown = factor.solve(rhs)
         if not np.all(np.isfinite(unknown)):
             raise LinearSolverError("batched solve produced non-finite voltages")
-        return unknown, reused
+        return unknown, reused, iterations
+
+    def _validate_source_chunk(
+        self,
+        compiled: CompiledGrid,
+        load_chunk: np.ndarray | None,
+        pad_chunk: np.ndarray | None,
+        begin: int,
+        end: int,
+    ) -> None:
+        """Reject malformed source chunks before any sink observes them.
+
+        Errors name the offending half-open scenario range, so a bad
+        generator in a 1e5-scenario sweep points at the scenarios that
+        produced it instead of a shape mismatch deep inside the RHS
+        assembly.
+        """
+        if load_chunk is None and pad_chunk is None:
+            raise ValueError(
+                f"scenario source returned neither loads nor pad voltages "
+                f"for scenarios [{begin}, {end})"
+            )
+        for label, chunk, width in (
+            ("a load chunk", load_chunk, compiled.num_nodes),
+            ("a pad-voltage chunk", pad_chunk, len(compiled.pad_node)),
+        ):
+            if chunk is None:
+                continue
+            if chunk.ndim != 2:
+                raise ValueError(
+                    f"scenario source returned {label} of shape {chunk.shape} for "
+                    f"scenarios [{begin}, {end}); expected ({end - begin}, {width})"
+                )
+            if chunk.shape[0] != end - begin:
+                raise ValueError(
+                    f"scenario source returned {chunk.shape[0]} rows for "
+                    f"scenarios [{begin}, {end})"
+                )
+            if chunk.shape[1] != width:
+                raise ValueError(
+                    f"scenario source returned {label} of width {chunk.shape[1]} for "
+                    f"scenarios [{begin}, {end}); expected {width}"
+                )
 
     def _stream_scenarios(
         self,
@@ -482,13 +622,25 @@ class BatchedAnalysisEngine:
         num_scenarios: int,
         chunk_size: int,
         sinks: Sequence[ScenarioSink],
-    ) -> tuple[BatchReductions, bool]:
+        workers: int = 1,
+    ) -> tuple[BatchReductions, bool, np.ndarray]:
         """Solve a sweep chunk by chunk, feeding reductions and sinks.
 
         The dense ``(num_nodes, num_scenarios)`` voltage matrix never
         exists: each ``(num_nodes, ≤chunk_size)`` chunk is folded into the
         per-scenario reduction vectors and every attached sink, then
         dropped.
+
+        With ``workers > 1`` the chunk solves run on a thread pool while
+        this thread keeps three sequential roles: it *produces* chunks (the
+        scenario source is always called from the calling thread, in
+        ascending order, so sources need not be thread-safe), it *bounds*
+        the in-flight window at ``workers`` chunks (memory stays
+        ``O(num_nodes * chunk_size * workers)``), and it *folds* finished
+        chunks strictly in ascending scenario order (futures are awaited
+        FIFO).  Each chunk's solve is deterministic and chunk-local, so the
+        reductions, every sink state, and all solver metadata are
+        bitwise-identical to the sequential path.
         """
         if chunk_size < 1:
             raise ValueError("chunk_size must be at least 1")
@@ -497,36 +649,73 @@ class BatchedAnalysisEngine:
         worst = np.empty(num_scenarios, dtype=float)
         average = np.empty(num_scenarios, dtype=float)
         worst_index = np.empty(num_scenarios, dtype=np.int64)
+        iterations = np.zeros(num_scenarios, dtype=np.int64)
         reused = False
-        for begin in range(0, num_scenarios, chunk_size):
-            end = min(begin + chunk_size, num_scenarios)
+
+        def produce(begin: int, end: int) -> tuple[np.ndarray | None, np.ndarray | None]:
             load_chunk, pad_chunk = scenario_source(begin, end)
-            if load_chunk is None and pad_chunk is None:
-                raise ValueError(
-                    f"scenario source returned neither loads nor pad voltages "
-                    f"for scenarios [{begin}, {end})"
-                )
-            for chunk in (load_chunk, pad_chunk):
-                if chunk is not None and chunk.shape[0] != end - begin:
-                    raise ValueError(
-                        f"scenario source returned {chunk.shape[0]} rows for "
-                        f"scenarios [{begin}, {end})"
-                    )
+            self._validate_source_chunk(compiled, load_chunk, pad_chunk, begin, end)
+            return load_chunk, pad_chunk
+
+        def solve_chunk(
+            load_chunk: np.ndarray | None, pad_chunk: np.ndarray | None
+        ) -> tuple[np.ndarray, np.ndarray, BatchReductions, np.ndarray, bool]:
             pad_vectors = None if pad_chunk is None else compiled.pad_voltage_vectors(pad_chunk)
             rhs = compiled.rhs_matrix(load_chunk, pad_chunk)
-            unknown, chunk_reused = self._solve_rhs_block(compiled, rhs)
-            reused = reused or chunk_reused
+            unknown, chunk_reused, chunk_iterations = self._solve_rhs_block(compiled, rhs)
             voltages = compiled.full_voltages(unknown, pad_voltage_vectors=pad_vectors)
             drop_rows = np.ascontiguousarray((compiled.vdd - voltages).T)
-            chunk_reductions = _row_reductions(drop_rows)
+            # The chunk-local reductions are deterministic, so computing
+            # them here keeps them on the worker pool instead of adding to
+            # the fold thread's serial work.
+            return voltages, drop_rows, _row_reductions(drop_rows), chunk_iterations, chunk_reused
+
+        def fold(
+            begin: int,
+            end: int,
+            solved: tuple[np.ndarray, np.ndarray, BatchReductions, np.ndarray, bool],
+        ) -> None:
+            nonlocal reused
+            voltages, drop_rows, chunk_reductions, chunk_iterations, chunk_reused = solved
+            reused = reused or chunk_reused
             worst[begin:end] = chunk_reductions.worst_ir_drop
             average[begin:end] = chunk_reductions.average_ir_drop
             worst_index[begin:end] = chunk_reductions.worst_node_index
+            iterations[begin:end] = chunk_iterations
             _feed_sinks(sinks, voltages, drop_rows, begin)
+
+        ranges = [
+            (begin, min(begin + chunk_size, num_scenarios))
+            for begin in range(0, num_scenarios, chunk_size)
+        ]
+        if workers <= 1 or len(ranges) <= 1:
+            for begin, end in ranges:
+                fold(begin, end, solve_chunk(*produce(begin, end)))
+        else:
+            # Warm the lazily-built shared state (reduced matrix, pad RHS /
+            # incidence) from this thread so workers only ever read it.
+            compiled.reduced_matrix
+            compiled.pad_rhs
+            compiled.pad_incidence
+            in_flight: deque = deque()
+            with ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-chunk"
+            ) as pool:
+                for begin, end in ranges:
+                    while len(in_flight) >= workers:
+                        oldest_begin, oldest_end, future = in_flight.popleft()
+                        fold(oldest_begin, oldest_end, future.result())
+                    load_chunk, pad_chunk = produce(begin, end)
+                    in_flight.append(
+                        (begin, end, pool.submit(solve_chunk, load_chunk, pad_chunk))
+                    )
+                while in_flight:
+                    oldest_begin, oldest_end, future = in_flight.popleft()
+                    fold(oldest_begin, oldest_end, future.result())
         reductions = BatchReductions(
             worst_ir_drop=worst, average_ir_drop=average, worst_node_index=worst_index
         )
-        return reductions, reused
+        return reductions, reused, iterations
 
     def _batch_scenarios(
         self,
@@ -535,7 +724,8 @@ class BatchedAnalysisEngine:
         pad_voltage_matrix: np.ndarray | None,
         chunk_size: int | None,
         sinks: Sequence[ScenarioSink] = (),
-    ) -> tuple[np.ndarray | None, BatchReductions | None, bool]:
+        workers: int = 1,
+    ) -> tuple[np.ndarray | None, BatchReductions | None, bool, np.ndarray]:
         """Shared core of the batched solvers.
 
         Without ``chunk_size`` the full ``(num_nodes, k)`` voltage matrix is
@@ -543,7 +733,8 @@ class BatchedAnalysisEngine:
         are solved in RHS blocks of at most ``chunk_size`` columns and only
         the per-scenario worst / mean / worst-node reductions plus the sink
         states are accumulated, so the dense voltage matrix (and the dense
-        RHS matrix) never exist for huge sweeps.
+        RHS matrix) never exist for huge sweeps.  ``workers`` only applies
+        to the chunked path (an unsharded batch is a single RHS block).
         """
         k = (load_matrix if pad_voltage_matrix is None else pad_voltage_matrix).shape[0]
         if chunk_size is None:
@@ -555,12 +746,12 @@ class BatchedAnalysisEngine:
                 else compiled.pad_voltage_vectors(pad_voltage_matrix)
             )
             rhs = compiled.rhs_matrix(load_matrix, pad_voltage_matrix)
-            unknown, reused = self._solve_rhs_block(compiled, rhs)
+            unknown, reused, iterations = self._solve_rhs_block(compiled, rhs)
             voltages = compiled.full_voltages(unknown, pad_voltage_vectors=pad_vectors)
             if sinks:
                 drop_rows = np.ascontiguousarray((compiled.vdd - voltages).T)
                 _feed_sinks(sinks, voltages, drop_rows, 0)
-            return voltages, None, reused
+            return voltages, None, reused, iterations
 
         def slice_source(begin: int, end: int) -> tuple[np.ndarray | None, np.ndarray | None]:
             return (
@@ -568,8 +759,10 @@ class BatchedAnalysisEngine:
                 None if pad_voltage_matrix is None else pad_voltage_matrix[begin:end],
             )
 
-        reductions, reused = self._stream_scenarios(compiled, slice_source, k, chunk_size, sinks)
-        return None, reductions, reused
+        reductions, reused, iterations = self._stream_scenarios(
+            compiled, slice_source, k, chunk_size, sinks, workers
+        )
+        return None, reductions, reused, iterations
 
     @staticmethod
     def _scenario_names(
@@ -588,6 +781,7 @@ class BatchedAnalysisEngine:
         names: list[str] | tuple[str, ...] | None = None,
         chunk_size: int | None = None,
         sinks: Sequence[ScenarioSink] = (),
+        workers: int | None = None,
     ) -> BatchAnalysisResult:
         """Solve many load scenarios against one factorization.
 
@@ -606,6 +800,11 @@ class BatchedAnalysisEngine:
                 into (see :mod:`repro.analysis.sinks`); composes with
                 ``chunk_size``.  Each sink observes every scenario exactly
                 once, in order.
+            workers: Solver threads for the chunked path; results are
+                bitwise-identical to the sequential solve.  ``None`` uses
+                the engine default.  Without ``chunk_size`` the batch is a
+                single RHS block, so there is nothing to parallelise and
+                the value has no effect.
 
         Returns:
             A :class:`BatchAnalysisResult` — with the full voltage matrix,
@@ -613,13 +812,17 @@ class BatchedAnalysisEngine:
         """
         start = time.perf_counter()
         compiled = self._compiled(network)
+        workers = self._resolve_workers(workers)
         load_matrix = np.asarray(load_matrix, dtype=float)
-        if load_matrix.ndim != 2:
-            raise ValueError("load_matrix must be 2-D (num_scenarios, num_nodes)")
+        if load_matrix.ndim != 2 or load_matrix.shape[1] != compiled.num_nodes:
+            raise ValueError(
+                f"load_matrix must be 2-D (num_scenarios, {compiled.num_nodes}), "
+                f"got shape {load_matrix.shape}"
+            )
         if load_matrix.shape[0] == 0:
             raise ValueError("load_matrix must contain at least one scenario")
-        voltages, reductions, reused = self._batch_scenarios(
-            compiled, load_matrix, None, chunk_size, sinks
+        voltages, reductions, reused, iterations = self._batch_scenarios(
+            compiled, load_matrix, None, chunk_size, sinks, workers
         )
         elapsed = time.perf_counter() - start
         return BatchAnalysisResult(
@@ -630,6 +833,8 @@ class BatchedAnalysisEngine:
             factorization_reused=reused,
             reductions=reductions,
             sinks=tuple(sinks),
+            solver_method=self._solver_method(compiled),
+            solver_iterations=iterations,
         )
 
     def analyze_pad_batch(
@@ -640,6 +845,7 @@ class BatchedAnalysisEngine:
         names: list[str] | tuple[str, ...] | None = None,
         chunk_size: int | None = None,
         sinks: Sequence[ScenarioSink] = (),
+        workers: int | None = None,
     ) -> BatchAnalysisResult:
         """Solve many pad-voltage scenarios against one factorization.
 
@@ -660,6 +866,8 @@ class BatchedAnalysisEngine:
             chunk_size: Optional RHS shard size (see :meth:`analyze_batch`).
             sinks: Scenario sinks to stream every solved voltage chunk
                 into (see :meth:`analyze_batch`).
+            workers: Solver threads for the chunked path (see
+                :meth:`analyze_batch`).
 
         Returns:
             A :class:`BatchAnalysisResult`; scenario voltages report each
@@ -667,6 +875,7 @@ class BatchedAnalysisEngine:
         """
         start = time.perf_counter()
         compiled = self._compiled(network)
+        workers = self._resolve_workers(workers)
         pad_voltage_matrix = np.asarray(pad_voltage_matrix, dtype=float)
         if pad_voltage_matrix.ndim != 2 or pad_voltage_matrix.shape[1] != len(compiled.pad_node):
             raise ValueError(
@@ -677,13 +886,15 @@ class BatchedAnalysisEngine:
             raise ValueError("pad_voltage_matrix must contain at least one scenario")
         if load_matrix is not None:
             load_matrix = np.asarray(load_matrix, dtype=float)
-            if load_matrix.shape != (pad_voltage_matrix.shape[0], compiled.num_nodes):
+            expected = (pad_voltage_matrix.shape[0], compiled.num_nodes)
+            if load_matrix.shape != expected:
                 raise ValueError(
-                    "load_matrix must have shape (num_scenarios, num_nodes) "
-                    "matching pad_voltage_matrix"
+                    f"load_matrix must have shape {expected} (num_scenarios, "
+                    f"num_nodes) matching pad_voltage_matrix, got shape "
+                    f"{load_matrix.shape}"
                 )
-        voltages, reductions, reused = self._batch_scenarios(
-            compiled, load_matrix, pad_voltage_matrix, chunk_size, sinks
+        voltages, reductions, reused, iterations = self._batch_scenarios(
+            compiled, load_matrix, pad_voltage_matrix, chunk_size, sinks, workers
         )
         elapsed = time.perf_counter() - start
         return BatchAnalysisResult(
@@ -694,6 +905,8 @@ class BatchedAnalysisEngine:
             factorization_reused=reused,
             reductions=reductions,
             sinks=tuple(sinks),
+            solver_method=self._solver_method(compiled),
+            solver_iterations=iterations,
         )
 
     def analyze_scenario_stream(
@@ -704,6 +917,7 @@ class BatchedAnalysisEngine:
         *,
         chunk_size: int = 1024,
         sinks: Sequence[ScenarioSink] = (),
+        workers: int | None = None,
     ) -> StreamedSweepResult:
         """Stream arbitrarily many generated scenarios through the sinks.
 
@@ -712,14 +926,21 @@ class BatchedAnalysisEngine:
         whose scenario set is generated (cross products, random sampling)
         never materialise the full ``(num_scenarios, num_nodes)`` load
         matrix either — the whole pipeline, inputs included, runs in
-        ``O(num_nodes * chunk_size)`` memory.
+        ``O(num_nodes * chunk_size)`` memory (times ``workers`` when
+        solving in parallel).
 
         Args:
             network: The grid (or its compiled form) all scenarios share.
             scenario_source: Chunk generator; see :data:`ScenarioSource`.
+                Always called from the calling thread, in ascending
+                scenario order, even when ``workers > 1``.
             num_scenarios: Total number of scenarios to stream.
             chunk_size: RHS chunk width (and source request size).
             sinks: Scenario sinks to stream every solved chunk into.
+            workers: Solver threads for the chunk solves; sinks still fold
+                in ascending scenario order, so every result is
+                bitwise-identical to the sequential sweep.  ``None`` uses
+                the engine default.
 
         Returns:
             A :class:`StreamedSweepResult` with the per-scenario
@@ -727,10 +948,11 @@ class BatchedAnalysisEngine:
         """
         start = time.perf_counter()
         compiled = self._compiled(network)
+        workers = self._resolve_workers(workers)
         if num_scenarios < 1:
             raise ValueError("num_scenarios must be at least 1")
-        reductions, reused = self._stream_scenarios(
-            compiled, scenario_source, num_scenarios, chunk_size, sinks
+        reductions, reused, iterations = self._stream_scenarios(
+            compiled, scenario_source, num_scenarios, chunk_size, sinks, workers
         )
         return StreamedSweepResult(
             compiled=compiled,
@@ -740,6 +962,9 @@ class BatchedAnalysisEngine:
             sinks=tuple(sinks),
             analysis_time=time.perf_counter() - start,
             factorization_reused=reused,
+            workers=workers,
+            solver_method=self._solver_method(compiled),
+            solver_iterations=iterations,
         )
 
     def analyze_mega_sweep(
@@ -750,6 +975,7 @@ class BatchedAnalysisEngine:
         *,
         chunk_size: int = 1024,
         sinks: Sequence[ScenarioSink] = (),
+        workers: int | None = None,
     ) -> MegaSweepResult:
         """Sweep the full load × pad-voltage cross product, streamed.
 
@@ -775,12 +1001,16 @@ class BatchedAnalysisEngine:
                 :func:`~repro.grid.perturbation.perturbed_pad_voltage_matrix`).
             chunk_size: RHS chunk width bounding the working memory.
             sinks: Scenario sinks to stream every solved chunk into.
+            workers: Solver threads for the chunk solves (see
+                :meth:`analyze_scenario_stream`); bitwise-identical
+                results, ~``workers``× throughput on a multi-core host.
 
         Returns:
             A :class:`MegaSweepResult` over all combined scenarios.
         """
         start = time.perf_counter()
         compiled = self._compiled(network)
+        workers = self._resolve_workers(workers)
         load_matrix = np.asarray(load_matrix, dtype=float)
         if load_matrix.ndim != 2 or load_matrix.shape[1] != compiled.num_nodes:
             raise ValueError(
@@ -806,8 +1036,8 @@ class BatchedAnalysisEngine:
             )
 
         num_scenarios = num_loads * num_pad_rows
-        reductions, reused = self._stream_scenarios(
-            compiled, cross_source, num_scenarios, chunk_size, sinks
+        reductions, reused, iterations = self._stream_scenarios(
+            compiled, cross_source, num_scenarios, chunk_size, sinks, workers
         )
         return MegaSweepResult(
             compiled=compiled,
@@ -817,6 +1047,9 @@ class BatchedAnalysisEngine:
             sinks=tuple(sinks),
             analysis_time=time.perf_counter() - start,
             factorization_reused=reused,
+            workers=workers,
+            solver_method=self._solver_method(compiled),
+            solver_iterations=iterations,
             num_load_scenarios=num_loads,
             num_pad_scenarios=num_pad_rows,
         )

@@ -90,6 +90,16 @@ class IRDropSink:
         """Number of scenarios folded into the sink so far."""
         return self._consumed
 
+    def _require_bound(self) -> None:
+        """Raise when ``result()`` is read off a sink that saw no sweep.
+
+        Every sink calls this first, so an accidentally detached sink (one
+        that was never passed to the engine) fails loudly instead of
+        returning an empty-looking statistic.
+        """
+        if not self._bound:
+            raise ValueError(f"{type(self).__name__} was never bound to a sweep")
+
     def bind(self, compiled: "CompiledGrid", num_scenarios: int) -> None:
         if self._bound:
             raise ValueError(
@@ -309,6 +319,7 @@ class P2QuantileSink(_ScalarStreamSink):
 
     def result(self) -> QuantileEstimate:
         """Current quantile estimates (exact while ≤ 5 scenarios seen)."""
+        self._require_bound()
         return QuantileEstimate(
             statistic=self.statistic,
             quantiles=self.quantiles,
@@ -361,6 +372,7 @@ class ReservoirQuantileSink(_ScalarStreamSink):
 
     def result(self) -> QuantileEstimate:
         """Empirical quantiles of the reservoir sample."""
+        self._require_bound()
         sample = self._sample[: self._filled]
         values = (
             np.quantile(sample, self.quantiles)
@@ -466,8 +478,7 @@ class NodeHistogramSink(IRDropSink):
 
     def result(self) -> NodeHistogram:
         """The accumulated per-node histogram."""
-        if self._counts is None:
-            raise ValueError("sink was never bound to a sweep")
+        self._require_bound()
         return NodeHistogram(
             edges=self.edges,
             counts=self._counts,
@@ -494,8 +505,14 @@ class ExceedanceCounts:
 
     @property
     def rates(self) -> np.ndarray:
-        """Per-node exceedance probability over the observed scenarios."""
-        return self.counts / max(1, self.num_scenarios)
+        """Per-node exceedance probability over the observed scenarios.
+
+        NaN for every node when no scenario was observed — an undefined
+        probability must not masquerade as "never exceeds".
+        """
+        if self.num_scenarios == 0:
+            return np.full(self.counts.shape, np.nan)
+        return self.counts / self.num_scenarios
 
     @property
     def worst_node_index(self) -> int:
@@ -540,8 +557,7 @@ class ExceedanceCountSink(IRDropSink):
 
     def result(self) -> ExceedanceCounts:
         """The accumulated exceedance counters."""
-        if self._exceed is None:
-            raise ValueError("sink was never bound to a sweep")
+        self._require_bound()
         return ExceedanceCounts(
             threshold=self.threshold,
             counts=self._exceed,
@@ -607,6 +623,7 @@ class TopKScenarioSink(IRDropSink):
 
     def result(self) -> TopKScenarios:
         """The accumulated shortlist, worst scenario first."""
+        self._require_bound()
         return TopKScenarios(
             scenario_index=self._indices,
             worst_ir_drop=self._values,

@@ -213,6 +213,7 @@ class VectorlessAnalyzer:
         chunk_size: int = 1024,
         sinks: Sequence[ScenarioSink] = (),
         seed: int = 0,
+        workers: int | None = None,
     ) -> StatisticalVectorlessResult:
         """Sample the budget polytope and stream the scenarios into sinks.
 
@@ -232,6 +233,10 @@ class VectorlessAnalyzer:
             sinks: Scenario sinks observing the sweep (quantiles,
                 histograms, exceedance counts, top-k, ...).
             seed: Base seed of the per-scenario load sampling.
+            workers: Solver threads for the chunk solves (the sampled
+                scenarios are still generated and folded in ascending
+                order, so the sweep stays bitwise-reproducible).  ``None``
+                uses the engine default.
 
         Returns:
             A :class:`StatisticalVectorlessResult` combining the
@@ -273,6 +278,7 @@ class VectorlessAnalyzer:
             num_scenarios,
             chunk_size=chunk_size,
             sinks=sinks,
+            workers=workers,
         )
         return StatisticalVectorlessResult(vectorless=vectorless, sweep=sweep)
 

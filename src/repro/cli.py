@@ -107,6 +107,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--chunk-size", type=int, default=256, help="scenarios solved per RHS chunk"
     )
     sweep.add_argument(
+        "--workers", type=int, default=None,
+        help=(
+            "solver threads for the chunk solves (default: 1, or "
+            "REPRO_TEST_WORKERS); results are identical for any value"
+        ),
+    )
+    sweep.add_argument(
         "--quantiles", default="0.5,0.9,0.99",
         help="comma-separated quantile levels of the worst-drop distribution",
     )
@@ -287,6 +294,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.chunk_size < 1:
         print("error: --chunk-size must be at least 1", file=sys.stderr)
         return 2
+    if args.workers is not None and args.workers < 1:
+        print("error: --workers must be at least 1", file=sys.stderr)
+        return 2
     if args.top_k < 1:
         print("error: --top-k must be at least 1", file=sys.stderr)
         return 2
@@ -325,6 +335,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         pad_matrix,
         chunk_size=args.chunk_size,
         sinks=(quantile_sink, histogram_sink, exceedance_sink, topk_sink),
+        workers=args.workers,
     )
 
     estimate = quantile_sink.result()
@@ -335,6 +346,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         "benchmark": bench.name,
         "scenarios (loads x pads)": f"{args.num_loads} x {args.num_pads} = {result.num_scenarios}",
         "chunk size": result.chunk_size,
+        "solver workers": result.workers,
         "nominal worst IR drop (mV)": nominal.worst_ir_drop_mv,
         "sweep worst IR drop (mV)": float(result.worst_ir_drop.max()) * 1000.0,
     }
@@ -377,6 +389,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "num_pad_scenarios": args.num_pads,
             "num_scenarios": result.num_scenarios,
             "chunk_size": result.chunk_size,
+            "workers": result.workers,
             "nominal_worst_ir_drop": nominal.worst_ir_drop,
             "sweep_worst_ir_drop": float(result.worst_ir_drop.max()),
             "quantiles": dict(zip(map(str, estimate.quantiles), estimate.values.tolist())),

@@ -9,12 +9,13 @@ per-scenario ``NetworkPerturbator`` + ``analyze`` path to 1e-9 per node.
 import numpy as np
 import pytest
 
-from repro.analysis import BatchedAnalysisEngine
+from repro.analysis import BatchedAnalysisEngine, ExceedanceCountSink, TopKScenarioSink
 from repro.grid import (
     NetworkPerturbator,
     PerturbationKind,
     PerturbationSpec,
     SyntheticIBMSuite,
+    mega_sweep_matrices,
     perturbed_load_matrix,
     perturbed_pad_voltage_matrix,
 )
@@ -23,8 +24,13 @@ VOLTAGE_TOLERANCE = 1e-9
 
 
 @pytest.fixture(scope="module")
-def ibmpg1_grid():
-    return SyntheticIBMSuite().load("ibmpg1").build_uniform_grid(5.0)
+def ibmpg1_bench():
+    return SyntheticIBMSuite().load("ibmpg1")
+
+
+@pytest.fixture(scope="module")
+def ibmpg1_grid(ibmpg1_bench):
+    return ibmpg1_bench.build_uniform_grid(5.0)
 
 
 @pytest.fixture(scope="module")
@@ -172,3 +178,169 @@ class TestPadVoltageBatch:
         )
         with pytest.raises(ValueError):
             perturbed_pad_voltage_matrix(ibmpg1_grid, voltage_spec, 0)
+
+
+class TestUpfrontValidation:
+    """Bad inputs fail fast with full-matrix shapes, before sinks bind."""
+
+    def test_chunked_batch_names_full_matrix_shape(self, ibmpg1_grid, load_sweep):
+        engine = BatchedAnalysisEngine()
+        compiled = ibmpg1_grid.compile()
+        wrong = load_sweep[:3, :-1]
+        sink = TopKScenarioSink(2)
+        with pytest.raises(ValueError, match=rf"got shape \(3, {compiled.num_nodes - 1}\)"):
+            engine.analyze_batch(ibmpg1_grid, wrong, chunk_size=2, sinks=(sink,))
+        # The error fired before the sink was bound or observed anything.
+        assert sink.num_consumed == 0
+        with pytest.raises(ValueError, match="never bound"):
+            sink.result()
+
+    def test_one_dimensional_load_matrix_rejected(self, ibmpg1_grid, load_sweep):
+        with pytest.raises(ValueError, match="must be 2-D"):
+            BatchedAnalysisEngine().analyze_batch(ibmpg1_grid, load_sweep[0])
+
+    def test_pad_batch_names_full_load_shape(self, ibmpg1_grid):
+        spec = PerturbationSpec(gamma=0.1, kind=PerturbationKind.NODE_VOLTAGES, seed=3)
+        pad_matrix = perturbed_pad_voltage_matrix(ibmpg1_grid, spec, 4)
+        with pytest.raises(ValueError, match=r"got shape \(2, 3\)"):
+            BatchedAnalysisEngine().analyze_pad_batch(
+                ibmpg1_grid, pad_matrix, load_matrix=np.zeros((2, 3)), chunk_size=2
+            )
+
+    def test_stream_source_width_error_names_scenario_range(self, ibmpg1_grid):
+        compiled = ibmpg1_grid.compile()
+        sink = TopKScenarioSink(2)
+
+        def narrow_source(begin, end):
+            return np.zeros((end - begin, compiled.num_nodes - 1)), None
+
+        with pytest.raises(ValueError, match=r"scenarios \[0, 2\)"):
+            BatchedAnalysisEngine().analyze_scenario_stream(
+                ibmpg1_grid, narrow_source, 6, chunk_size=2, sinks=(sink,)
+            )
+        # The bad chunk was rejected before the sink observed any scenario.
+        assert sink.num_consumed == 0
+
+    def test_stream_source_bad_pad_width_rejected(self, ibmpg1_grid):
+        compiled = ibmpg1_grid.compile()
+        num_pads = len(compiled.pad_node)
+
+        def bad_pad_source(begin, end):
+            if begin == 0:
+                return None, np.full((end - begin, num_pads), 1.8)
+            return None, np.full((end - begin, num_pads + 1), 1.8)
+
+        sink = TopKScenarioSink(2)
+        with pytest.raises(ValueError, match=r"scenarios \[2, 4\)"):
+            BatchedAnalysisEngine().analyze_scenario_stream(
+                ibmpg1_grid, bad_pad_source, 4, chunk_size=2, sinks=(sink,), workers=1
+            )
+        # Only the valid first chunk reached the sink.
+        assert sink.num_consumed == 2
+        # Parallel pipelines may abort before folding earlier chunks, but
+        # a sink never observes scenarios from (or past) the bad chunk.
+        parallel_sink = TopKScenarioSink(2)
+        with pytest.raises(ValueError, match=r"scenarios \[2, 4\)"):
+            BatchedAnalysisEngine().analyze_scenario_stream(
+                ibmpg1_grid,
+                bad_pad_source,
+                4,
+                chunk_size=2,
+                sinks=(parallel_sink,),
+                workers=3,
+            )
+        assert parallel_sink.num_consumed <= 2
+
+
+class TestCGFallbackBatches:
+    """Batch paths on grids exceeding ``direct_size_limit`` (CG fallback).
+
+    Voltages must match the LU path, solver metadata must report ``"cg"``
+    with real iteration counts (not the mislabeled ``"cached_lu"`` /
+    ``0``), and sinks must accumulate the same statistics either way.
+    """
+
+    @pytest.fixture(scope="class")
+    def cg_engine(self):
+        return BatchedAnalysisEngine(direct_size_limit=1)
+
+    def test_unsharded_batch_metadata_and_voltages(
+        self, ibmpg1_grid, load_sweep, cg_engine
+    ):
+        reference = BatchedAnalysisEngine().analyze_batch(ibmpg1_grid, load_sweep)
+        batch = cg_engine.analyze_batch(ibmpg1_grid, load_sweep)
+        assert batch.solver_method == "cg"
+        assert batch.solver_iterations.shape == (load_sweep.shape[0],)
+        assert batch.solver_iterations.min() > 0
+        assert cg_engine.cache_info().factorizations == 0
+        assert np.allclose(batch.voltages, reference.voltages, atol=1e-7)
+        materialised = batch.result(0)
+        assert materialised.solver_method == "cg"
+        assert materialised.solver_iterations == batch.solver_iterations[0]
+        lu_result = reference.result(0)
+        assert lu_result.solver_method == "cached_lu"
+        assert lu_result.solver_iterations == 0
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_sharded_batch_matches_lu_reductions(
+        self, ibmpg1_grid, load_sweep, cg_engine, workers
+    ):
+        reference = BatchedAnalysisEngine().analyze_batch(
+            ibmpg1_grid, load_sweep, chunk_size=8
+        )
+        sharded = cg_engine.analyze_batch(
+            ibmpg1_grid, load_sweep, chunk_size=8, workers=workers
+        )
+        assert sharded.solver_method == "cg"
+        assert sharded.solver_iterations.min() > 0
+        assert np.allclose(sharded.worst_ir_drop, reference.worst_ir_drop, atol=1e-7)
+        assert np.allclose(
+            sharded.average_ir_drop, reference.average_ir_drop, atol=1e-7
+        )
+
+    def test_parallel_cg_bitwise_matches_sequential_cg(
+        self, ibmpg1_grid, load_sweep, cg_engine
+    ):
+        sequential = cg_engine.analyze_batch(
+            ibmpg1_grid, load_sweep, chunk_size=5, workers=1
+        )
+        parallel = cg_engine.analyze_batch(
+            ibmpg1_grid, load_sweep, chunk_size=5, workers=3
+        )
+        assert np.array_equal(sequential.worst_ir_drop, parallel.worst_ir_drop)
+        assert np.array_equal(sequential.average_ir_drop, parallel.average_ir_drop)
+        assert np.array_equal(
+            sequential.solver_iterations, parallel.solver_iterations
+        )
+
+    def test_pad_batch_cg_metadata(self, ibmpg1_grid, cg_engine):
+        spec = PerturbationSpec(gamma=0.15, kind=PerturbationKind.NODE_VOLTAGES, seed=17)
+        pad_matrix = perturbed_pad_voltage_matrix(ibmpg1_grid, spec, 4)
+        reference = BatchedAnalysisEngine().analyze_pad_batch(ibmpg1_grid, pad_matrix)
+        batch = cg_engine.analyze_pad_batch(ibmpg1_grid, pad_matrix)
+        assert batch.solver_method == "cg"
+        assert batch.solver_iterations.min() > 0
+        assert np.allclose(batch.voltages, reference.voltages, atol=1e-7)
+
+    def test_mega_sweep_cg_sinks_match_lu(self, ibmpg1_grid, ibmpg1_bench, cg_engine):
+        load_matrix, pad_matrix = mega_sweep_matrices(
+            ibmpg1_grid, ibmpg1_bench.floorplan, 0.2, 6, 4, seed=9
+        )
+        nominal_worst = BatchedAnalysisEngine().analyze(ibmpg1_grid).worst_ir_drop
+        lu_sinks = (ExceedanceCountSink(nominal_worst), TopKScenarioSink(3))
+        lu = BatchedAnalysisEngine().analyze_mega_sweep(
+            ibmpg1_grid, load_matrix, pad_matrix, chunk_size=7, sinks=lu_sinks
+        )
+        cg_sinks = (ExceedanceCountSink(nominal_worst), TopKScenarioSink(3))
+        cg = cg_engine.analyze_mega_sweep(
+            ibmpg1_grid, load_matrix, pad_matrix, chunk_size=7, sinks=cg_sinks
+        )
+        assert cg.solver_method == "cg"
+        assert cg.solver_iterations.shape == (lu.num_scenarios,)
+        assert cg.solver_iterations.min() > 0
+        assert np.allclose(cg.worst_ir_drop, lu.worst_ir_drop, atol=1e-7)
+        assert np.array_equal(cg_sinks[0].result().counts, lu_sinks[0].result().counts)
+        assert np.array_equal(
+            cg_sinks[1].result().scenario_index, lu_sinks[1].result().scenario_index
+        )
+        assert cg_engine.cache_info().factorizations == 0

@@ -13,6 +13,7 @@ import pytest
 
 from repro.analysis import (
     BatchedAnalysisEngine,
+    ExceedanceCounts,
     ExceedanceCountSink,
     IRDropAnalyzer,
     NodeHistogramSink,
@@ -242,8 +243,31 @@ class TestSinkProtocol:
             ExceedanceCountSink(-0.1)
         with pytest.raises(ValueError, match="k must be"):
             TopKScenarioSink(0)
+
+    @pytest.mark.parametrize(
+        "sink_factory",
+        [
+            lambda: NodeHistogramSink([0.0, 1.0]),
+            lambda: ExceedanceCountSink(0.1),
+            lambda: TopKScenarioSink(3),
+            lambda: P2QuantileSink([0.5]),
+            lambda: ReservoirQuantileSink(8, [0.5]),
+        ],
+        ids=["histogram", "exceedance", "topk", "p2", "reservoir"],
+    )
+    def test_every_sink_rejects_unbound_result(self, sink_factory):
+        """A sink never handed to the engine must not fake an empty result."""
         with pytest.raises(ValueError, match="never bound"):
-            NodeHistogramSink([0.0, 1.0]).result()
+            sink_factory().result()
+
+    def test_zero_scenario_exceedance_rates_are_nan(self):
+        """An undefined probability must not read as 'never exceeds'."""
+        empty = ExceedanceCounts(threshold=0.1, counts=np.zeros(4, dtype=np.int64), num_scenarios=0)
+        assert np.all(np.isnan(empty.rates))
+        observed = ExceedanceCounts(
+            threshold=0.1, counts=np.array([1, 0], dtype=np.int64), num_scenarios=4
+        )
+        assert np.array_equal(observed.rates, np.array([0.25, 0.0]))
 
 
 class TestMegaSweep:

@@ -130,3 +130,30 @@ class TestSweep:
         assert "--bins" in capsys.readouterr().err
         assert main(["sweep", "ibmpg1", "--threshold-mv", "-5"]) == 2
         assert "--threshold-mv" in capsys.readouterr().err
+        assert main(["sweep", "ibmpg1", "--workers", "0"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_sweep_with_workers_matches_sequential_record(self, tmp_path, capsys):
+        """--workers changes throughput only: the JSON record's statistics
+        are identical to the sequential run's."""
+        args = [
+            "sweep", "ibmpg1",
+            "--num-loads", "6", "--num-pads", "4",
+            "--chunk-size", "5", "--top-k", "3",
+        ]
+        sequential_path = tmp_path / "sequential.json"
+        parallel_path = tmp_path / "parallel.json"
+        assert main(args + ["--workers", "1", "--json-out", str(sequential_path)]) == 0
+        assert main(args + ["--workers", "2", "--json-out", str(parallel_path)]) == 0
+        assert "solver workers" in capsys.readouterr().out
+
+        import json
+
+        sequential = json.loads(sequential_path.read_text())
+        parallel = json.loads(parallel_path.read_text())
+        assert sequential["workers"] == 1
+        assert parallel["workers"] == 2
+        for volatile in ("workers", "analysis_time_seconds", "scenarios_per_second"):
+            sequential.pop(volatile)
+            parallel.pop(volatile)
+        assert sequential == parallel
