@@ -15,12 +15,26 @@ against a dense single-shot reference on a cross-product subset small
 enough to materialise, and the reservoir quantile sink (sized to hold the
 whole subset) is verified bitwise against ``numpy.quantile``.
 
-After the timed sequential sweep, the same mega-sweep is re-run with
-``workers >= 2`` solver threads: the parallel chunk pipeline must produce
-**bitwise-identical** reductions and sink results (asserted), and the
-sequential-vs-parallel speedup is recorded.  The ``>= 1.5x`` throughput bar
-is enforced by ``check_results.py`` only on multi-core full-scale runners
-(the record carries ``cpu_count``).
+After the timed sequential sweep, the same mega-sweep is re-run twice more:
+
+* ``workers >= 2`` solver threads — the parallel chunk pipeline must
+  produce **bitwise-identical** reductions and sink results (asserted),
+  and the sequential-vs-threaded speedup is recorded (``>= 1.5x`` bar,
+  multi-core full-scale runners only);
+* the **process-sharded executor** at every tested shard count — the
+  scenario range splits across worker processes, each with its own
+  factorization, and the merged reductions plus every *exact* mergeable
+  sink (histogram, exceedance, joint exceedance, top-k) must again be
+  bitwise-identical (asserted; the reservoir merge is statistically
+  resampled and recorded, not asserted).  The sequential-vs-process
+  speedup is recorded and gated ``>= 2x`` by ``check_results.py`` on
+  multi-core (``cpu_count >= 4``) full-scale runners.
+
+The vectorised P² fold is micro-benchmarked by replaying the sweep's
+per-scenario worst-drop stream through a fresh sink: the replayed estimate
+must match the in-sweep sink bitwise (the fold depends only on scenario
+order) and, at full scale, the fold must cost well under the solve — the
+fold is no longer the pipeline's bottleneck.
 
 A JSON throughput record is written to ``benchmarks/results/`` for the CI
 artifact upload and the regression checker (``check_results.py``).
@@ -35,6 +49,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 
 import numpy as np
 from conftest import bench_scale, full_scale
@@ -42,8 +57,10 @@ from conftest import bench_scale, full_scale
 from repro.analysis import (
     BatchedAnalysisEngine,
     ExceedanceCountSink,
+    JointExceedanceSink,
     NodeHistogramSink,
     P2QuantileSink,
+    ProcessShardedExecutor,
     ReservoirQuantileSink,
     TopKScenarioSink,
 )
@@ -62,6 +79,9 @@ NUM_BINS = 32
 REFERENCE_SCENARIO_BUDGET = 2048
 MIN_FULL_SCALE_SCENARIOS = 100_000
 PARALLEL_WORKERS = max(2, min(4, os.cpu_count() or 1))
+PROCESS_SHARD_COUNTS = tuple(sorted({2, PARALLEL_WORKERS}))
+P2_FOLD_BUDGET_FRACTION = 0.25
+"""Full-scale bar: the P² fold must stay below this fraction of the solve."""
 
 
 def scenario_counts(scale: float) -> tuple[int, int]:
@@ -73,9 +93,17 @@ def build_sinks(nominal_worst: float, reservoir_capacity: int) -> dict:
     """One fresh instance of every sink the bench exercises."""
     return {
         "p2": P2QuantileSink(QUANTILES),
+        **mergeable_sinks(nominal_worst, reservoir_capacity),
+    }
+
+
+def mergeable_sinks(nominal_worst: float, reservoir_capacity: int) -> dict:
+    """The sink stack minus P² — everything the process shards can merge."""
+    return {
         "reservoir": ReservoirQuantileSink(reservoir_capacity, QUANTILES, seed=SEED),
         "histogram": NodeHistogramSink.uniform(0.0, max(2.0 * nominal_worst, 1e-6), NUM_BINS),
         "exceedance": ExceedanceCountSink(nominal_worst),
+        "joint": JointExceedanceSink(nominal_worst),
         "topk": TopKScenarioSink(TOP_K),
     }
 
@@ -104,6 +132,7 @@ def dense_reference(engine, grid, load_rows, pad_matrix, edges, threshold):
         "underflow": (drops < edges[0]).sum(axis=1),
         "overflow": (drops > edges[-1]).sum(axis=1),
         "exceedance": (drops > threshold).sum(axis=1),
+        "joint_counts": np.bincount((drops > threshold).sum(axis=0)),
         "topk_index": order,
         "topk_value": worst[order],
         "topk_node": rows.argmax(axis=1)[order],
@@ -150,6 +179,8 @@ def test_mega_sweep_sinks(benchmark, results_dir):
     assert np.array_equal(histogram.overflow, reference["overflow"])
     exceedance = ref_sinks["exceedance"].result()
     assert np.array_equal(exceedance.counts, reference["exceedance"])
+    joint = ref_sinks["joint"].result()
+    assert np.array_equal(joint.violating_node_counts, reference["joint_counts"])
     topk = ref_sinks["topk"].result()
     assert np.array_equal(topk.scenario_index, reference["topk_index"])
     assert np.array_equal(topk.worst_ir_drop, reference["topk_value"])
@@ -185,9 +216,31 @@ def test_mega_sweep_sinks(benchmark, results_dir):
     p2_estimate = sinks["p2"].result()
     reservoir_estimate = sinks["reservoir"].result()
     exceedance = sinks["exceedance"].result()
+    joint = sinks["joint"].result()
     topk = sinks["topk"].result()
     dense_voltage_bytes = 8 * result.compiled.num_nodes * result.num_scenarios
     chunk_bytes = 8 * result.compiled.num_nodes * CHUNK_SIZE
+
+    # --- P² fold micro-benchmark: replay the sweep's worst-drop stream
+    # through a fresh sink.  The vectorised multi-estimator batch step
+    # must (a) reproduce the in-sweep estimate bitwise — the fold depends
+    # only on scenario order, not on chunking — and (b) cost a small
+    # fraction of the solve, i.e. the fold is no longer the bottleneck
+    # that serialised parallel sweeps.
+    p2_replay = P2QuantileSink(QUANTILES)
+    p2_replay.bind(result.compiled, result.num_scenarios)
+    worst_stream = result.worst_ir_drop
+    fold_start = time.perf_counter()
+    for begin in range(0, worst_stream.size, CHUNK_SIZE):
+        p2_replay._consume_scalars(worst_stream[begin : begin + CHUNK_SIZE], begin)
+    p2_fold_seconds = time.perf_counter() - fold_start
+    p2_fold_fraction = p2_fold_seconds / result.analysis_time if result.analysis_time else 0.0
+    assert np.array_equal(p2_replay.result().values, p2_estimate.values)
+    if full_scale():
+        assert p2_fold_fraction < P2_FOLD_BUDGET_FRACTION, (
+            f"P² fold took {p2_fold_fraction:.1%} of the sweep — it is the "
+            "bottleneck again"
+        )
 
     # --- Parallel chunk pipeline: same sweep on a thread pool.  Ordered
     # sink folding makes every reduction and sink result bitwise-identical;
@@ -215,6 +268,10 @@ def test_mega_sweep_sinks(benchmark, results_dir):
             np.array_equal(
                 parallel_sinks["exceedance"].result().counts, exceedance.counts
             ),
+            np.array_equal(
+                parallel_sinks["joint"].result().violating_node_counts,
+                joint.violating_node_counts,
+            ),
             np.array_equal(parallel_topk.scenario_index, topk.scenario_index),
             np.array_equal(parallel_topk.worst_ir_drop, topk.worst_ir_drop),
             np.array_equal(parallel_sinks["p2"].result().values, p2_estimate.values),
@@ -228,6 +285,53 @@ def test_mega_sweep_sinks(benchmark, results_dir):
     parallel_speedup = (
         result.analysis_time / parallel.analysis_time if parallel.analysis_time > 0 else 0.0
     )
+
+    # --- Process-sharded executor: the scenario range splits across
+    # worker processes (one factorization and one fold each); the merged
+    # reductions and every exact mergeable sink must be bitwise-identical
+    # to the sequential sweep at every tested shard count.  The largest
+    # shard count is timed for the recorded speedup (gated >= 2x by
+    # check_results.py on multi-core full-scale runners).
+    process_matches = True
+    process_elapsed = 0.0
+    process_factorizations = 0
+    for shards in PROCESS_SHARD_COUNTS:
+        process_engine = BatchedAnalysisEngine()
+        process_sinks = mergeable_sinks(nominal.worst_ir_drop, reservoir_capacity=4096)
+        process = process_engine.analyze_mega_sweep(
+            grid,
+            load_matrix,
+            pad_matrix,
+            chunk_size=CHUNK_SIZE,
+            sinks=tuple(process_sinks.values()),
+            executor=ProcessShardedExecutor(shards=shards),
+        )
+        process_topk = process_sinks["topk"].result()
+        process_matches = process_matches and all(
+            (
+                np.array_equal(process.worst_ir_drop, result.worst_ir_drop),
+                np.array_equal(process.average_ir_drop, result.average_ir_drop),
+                np.array_equal(process.worst_node_index, result.worst_node_index),
+                np.array_equal(
+                    process_sinks["histogram"].result().counts, sequential_histogram.counts
+                ),
+                np.array_equal(
+                    process_sinks["exceedance"].result().counts, exceedance.counts
+                ),
+                np.array_equal(
+                    process_sinks["joint"].result().violating_node_counts,
+                    joint.violating_node_counts,
+                ),
+                np.array_equal(process_topk.scenario_index, topk.scenario_index),
+                np.array_equal(process_topk.worst_ir_drop, topk.worst_ir_drop),
+            )
+        )
+        assert process_matches, f"process-sharded sweep diverged at {shards} shards"
+        process_elapsed = process.analysis_time
+        process_factorizations = process_engine.cache_info().factorizations
+        process_reservoir = process_sinks["reservoir"].result()
+    process_shards = PROCESS_SHARD_COUNTS[-1]
+    process_speedup = result.analysis_time / process_elapsed if process_elapsed > 0 else 0.0
 
     record = {
         "benchmark": BENCHMARK,
@@ -247,6 +351,23 @@ def test_mega_sweep_sinks(benchmark, results_dir):
         "parallel_speedup": parallel_speedup,
         "parallel_factorizations": parallel_engine.cache_info().factorizations,
         "parallel_matches": parallel_matches,
+        "process_shard_counts": list(PROCESS_SHARD_COUNTS),
+        "process_shards": process_shards,
+        "process_elapsed_seconds": process_elapsed,
+        "process_scenarios_per_second": (
+            result.num_scenarios / process_elapsed if process_elapsed > 0 else 0.0
+        ),
+        "process_speedup": process_speedup,
+        "process_matches": process_matches,
+        "process_factorizations": process_factorizations,
+        "process_reservoir_quantiles": dict(
+            zip(map(str, QUANTILES), process_reservoir.values.tolist())
+        ),
+        "p2_fold_seconds": p2_fold_seconds,
+        "p2_fold_fraction": p2_fold_fraction,
+        "p2_fold_scenarios_per_second": (
+            result.num_scenarios / p2_fold_seconds if p2_fold_seconds > 0 else 0.0
+        ),
         "exact_sinks_match": exact_sinks_match,
         "reference_scenarios": ref_scenarios,
         "dense_voltage_bytes_avoided": dense_voltage_bytes,
@@ -258,6 +379,8 @@ def test_mega_sweep_sinks(benchmark, results_dir):
             zip(map(str, QUANTILES), reservoir_estimate.values.tolist())
         ),
         "max_node_exceedance_rate": float(exceedance.rates.max()),
+        "scenarios_with_violation": joint.scenarios_with_violation,
+        "any_exceedance_rate": joint.any_exceedance_rate,
         "top_scenario": int(topk.scenario_index[0]),
         "top_worst_ir_drop": float(topk.worst_ir_drop[0]),
     }
@@ -274,6 +397,11 @@ def test_mega_sweep_sinks(benchmark, results_dir):
                 f"parallel x{PARALLEL_WORKERS} (s)": round(parallel.analysis_time, 3),
                 "parallel speedup": round(parallel_speedup, 2),
                 "parallel matches": parallel_matches,
+                f"process x{process_shards} (s)": round(process_elapsed, 3),
+                "process speedup": round(process_speedup, 2),
+                "process matches": process_matches,
+                "p2 fold (s)": round(p2_fold_seconds, 3),
+                "p2 fold fraction": round(p2_fold_fraction, 4),
                 "dense GB avoided": round(dense_voltage_bytes / 1e9, 3),
                 "chunk MB working set": round(chunk_bytes / 1e6, 3),
                 "P99 worst drop (mV)": round(p2_estimate.values[-1] * 1000.0, 3),

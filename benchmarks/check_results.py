@@ -95,6 +95,40 @@ def check_mega_sweep_sinks(record: dict) -> list[str]:
             f"parallel mega-sweep speedup {record.get('parallel_speedup')} below "
             f"the 1.5x bar on a {record.get('cpu_count')}-core runner"
         )
+    if "process_matches" not in record or "process_factorizations" not in record:
+        problems.append(
+            "record lacks the process-sharded fields (process_matches / "
+            "process_factorizations) — produced by an older bench? re-run it"
+        )
+    else:
+        if not record["process_matches"]:
+            problems.append(
+                "process-sharded mega-sweep did not match the sequential sweep "
+                "bitwise for the exact sinks / reductions"
+            )
+        if record["process_factorizations"] != 1:
+            problems.append(
+                f"process-sharded mega-sweep left {record['process_factorizations']} "
+                "factorizations in the parent engine, expected 1 (cache warm)"
+            )
+    # Process sharding pays a pool + per-worker-factorization overhead, so
+    # its >= 2x bar only holds with enough real cores to amortise it.
+    if (
+        _full_scale(record)
+        and int(record.get("cpu_count", 1)) >= 4
+        and record.get("process_speedup", 0.0) < 2.0
+    ):
+        problems.append(
+            f"process-sharded mega-sweep speedup {record.get('process_speedup')} "
+            f"below the 2.0x bar on a {record.get('cpu_count')}-core runner"
+        )
+    # The vectorised P² fold must stay a small fraction of the solve, or
+    # the fold serialises parallel sweeps again.
+    if _full_scale(record) and record.get("p2_fold_fraction", 0.0) >= 0.25:
+        problems.append(
+            f"P2 fold consumed {record.get('p2_fold_fraction')} of the sweep; "
+            "the fold is the bottleneck again (bar: < 0.25)"
+        )
     return problems
 
 

@@ -15,14 +15,19 @@ a time (:meth:`analyze`, a drop-in replacement for
 :class:`~repro.analysis.irdrop.IRDropAnalyzer`) or as a single multi-RHS
 triangular solve (:meth:`analyze_batch`).
 
-Chunked and streamed sweeps additionally accept ``workers=``: RHS chunks are
-then solved concurrently on a thread pool (SuperLU's triangular solve and
-the large NumPy reductions release the GIL) while the calling thread folds
-finished chunks into the reductions and sinks strictly in ascending scenario
-order — so every result, including every exact sink, stays bitwise-identical
-to the sequential path.  At most ``workers`` chunks are in flight at any
-time, keeping the memory high-water mark at
-``O(num_nodes * chunk_size * workers)``.
+Chunked and streamed sweeps run on a pluggable execution layer
+(:mod:`repro.analysis.executors`).  ``workers=`` keeps its original
+semantics — RHS chunks solve concurrently on a thread pool (SuperLU's
+triangular solve and the large NumPy reductions release the GIL) while the
+calling thread folds finished chunks into the reductions and sinks strictly
+in ascending scenario order, bitwise-identical to the sequential path with
+memory bounded at ``O(num_nodes * chunk_size * workers)``.  ``executor=``
+selects the strategy explicitly: ``SerialExecutor`` / ``ThreadedExecutor``
+(the above), or ``ProcessShardedExecutor``, which splits the *scenario
+range* across worker processes — each with its own factorization and its
+own fold — and merges the shard results through the
+:class:`~repro.analysis.sinks.MergeableSink` protocol, scaling sweeps past
+the GIL-bound fold.
 """
 
 from __future__ import annotations
@@ -41,6 +46,14 @@ import scipy.sparse.linalg as spla
 
 from ..grid.compiled import CompiledGrid
 from ..grid.network import PowerGridNetwork
+from .executors import (
+    EXECUTOR_ENV,
+    ExecutorIncompatibility,
+    SweepExecutor,
+    SweepPlan,
+    ThreadedExecutor,
+    make_executor,
+)
 from .irdrop import IRDropResult
 from .mna import system_from_compiled
 from .sinks import IRDropSink, ScenarioSink
@@ -79,8 +92,116 @@ Called with a half-open scenario range ``(begin, end)``; returns the
 ``(end - begin, num_nodes)`` load chunk and the ``(end - begin, num_pads)``
 pad-voltage chunk for those scenarios (either may be ``None`` to use the
 grid's own loads / pad voltages).  Sources must be pure functions of the
-range so that resuming or re-chunking a sweep reproduces it exactly.
+range so that resuming, re-chunking or *sharding* a sweep reproduces it
+exactly — the process-sharded executor calls pickled copies of the source
+from its worker processes, each over a sub-range.
 """
+
+
+MIN_CHUNK_SIZE = 32
+"""Smallest RHS chunk width :func:`resolve_chunk_size` will pick."""
+
+MAX_CHUNK_SIZE = 4096
+"""Largest RHS chunk width :func:`resolve_chunk_size` will pick."""
+
+CHUNK_MEMORY_BUDGET_BYTES = 256 * 1024 * 1024
+"""Default RHS working-set target shared by all in-flight chunks."""
+
+
+def resolve_chunk_size(
+    num_unknowns: int,
+    workers: int | None = None,
+    memory_budget_bytes: int = CHUNK_MEMORY_BUDGET_BYTES,
+) -> int:
+    """Adaptive RHS chunk width for streamed sweeps.
+
+    Wide chunks amortise the per-chunk Python and triangular-solve setup
+    cost; narrow chunks bound memory — and with ``workers`` chunks in
+    flight the working set scales with the worker count too.  This
+    heuristic spends a fixed byte budget across all in-flight chunks:
+    roughly four dense double arrays of ``num_unknowns × chunk`` live per
+    chunk (the RHS block, the unknown solution, the full voltages and the
+    transposed drop rows), so
+
+    ``chunk = budget // (workers * 4 * 8 * num_unknowns)``
+
+    clamped to ``[MIN_CHUNK_SIZE, MAX_CHUNK_SIZE]``.  Streamed entry
+    points use it whenever ``chunk_size`` is omitted.
+
+    Args:
+        num_unknowns: Unknown count of the reduced system
+            (:attr:`~repro.grid.compiled.CompiledGrid.num_unknowns`).
+        workers: In-flight chunk count (the executor's parallelism);
+            ``None`` uses ``os.cpu_count()``.
+        memory_budget_bytes: Total bytes the in-flight chunk state may
+            occupy.
+
+    Returns:
+        A chunk width in ``[MIN_CHUNK_SIZE, MAX_CHUNK_SIZE]``,
+        non-increasing in both ``num_unknowns`` and ``workers``.
+    """
+    if num_unknowns < 0:
+        raise ValueError("num_unknowns must be non-negative")
+    if workers is None:
+        workers = os.cpu_count() or 1
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
+    if memory_budget_bytes < 1:
+        raise ValueError("memory_budget_bytes must be positive")
+    per_scenario_bytes = 4 * 8 * max(1, num_unknowns)
+    chunk = memory_budget_bytes // (workers * per_scenario_bytes)
+    return int(min(MAX_CHUNK_SIZE, max(MIN_CHUNK_SIZE, chunk)))
+
+
+@dataclass(frozen=True)
+class MatrixScenarioSource:
+    """Picklable :data:`ScenarioSource` slicing preassembled matrices.
+
+    The batched entry points wrap their scenario matrices in this source
+    so that sharded solves — including process-sharded ones, which pickle
+    the source into worker processes — read rows straight out of the
+    shared arrays.
+
+    Attributes:
+        load_matrix: Optional ``(num_scenarios, num_nodes)`` loads.
+        pad_voltage_matrix: Optional ``(num_scenarios, num_pads)`` pad
+            voltages; at least one of the two must be given.
+    """
+
+    load_matrix: np.ndarray | None = None
+    pad_voltage_matrix: np.ndarray | None = None
+
+    def __call__(self, begin: int, end: int) -> tuple[np.ndarray | None, np.ndarray | None]:
+        return (
+            None if self.load_matrix is None else self.load_matrix[begin:end],
+            None if self.pad_voltage_matrix is None else self.pad_voltage_matrix[begin:end],
+        )
+
+
+@dataclass(frozen=True)
+class CrossProductScenarioSource:
+    """Picklable :data:`ScenarioSource` over a load × pad cross product.
+
+    Scenario ``s`` combines load row ``s // num_pad_scenarios`` with pad
+    row ``s % num_pad_scenarios`` (loads outer, pads inner) — the
+    mega-sweep ordering.  Chunks gather their rows by index, so the
+    combined scenario set is never materialised.
+
+    Attributes:
+        load_matrix: ``(num_load_scenarios, num_nodes)`` load rows.
+        pad_voltage_matrix: ``(num_pad_scenarios, num_pads)`` pad rows.
+    """
+
+    load_matrix: np.ndarray
+    pad_voltage_matrix: np.ndarray
+
+    def __call__(self, begin: int, end: int) -> tuple[np.ndarray, np.ndarray]:
+        indices = np.arange(begin, end)
+        num_pad_rows = self.pad_voltage_matrix.shape[0]
+        return (
+            self.load_matrix[indices // num_pad_rows],
+            self.pad_voltage_matrix[indices % num_pad_rows],
+        )
 
 
 @dataclass(frozen=True)
@@ -305,10 +426,13 @@ class StreamedSweepResult:
         sinks: The scenario sinks that observed the sweep, in order.
         analysis_time: Wall-clock time of the whole sweep in seconds.
         factorization_reused: True if at least one chunk was served from
-            the engine's factorization cache.
-        workers: Number of solver threads the sweep ran with (1 =
-            sequential).  Does not affect any result value — parallel
-            sweeps are bitwise-identical to sequential ones.
+            a factorization cache (the engine's, or a process shard
+            worker's).
+        workers: Parallelism the sweep ran with — solver threads for the
+            serial / threaded executors, shard processes for the
+            process-sharded one.  Does not affect any exact result value.
+        executor: Name of the executor that drove the sweep (``"serial"``,
+            ``"threads"`` or ``"processes"``).
         solver_method: The solver that produced every chunk
             (``"cached_lu"`` or ``"cg"``).
         solver_iterations: ``(num_scenarios,)`` per-scenario CG iteration
@@ -323,6 +447,7 @@ class StreamedSweepResult:
     analysis_time: float
     factorization_reused: bool
     workers: int = 1
+    executor: str = "threads"
     solver_method: str = ENGINE_METHOD
     solver_iterations: np.ndarray | None = None
 
@@ -397,6 +522,15 @@ class BatchedAnalysisEngine:
             sweeps whose callers do not pass ``workers=`` explicitly.
             ``None`` (the default) reads :data:`WORKERS_ENV` and falls back
             to 1 (sequential).
+        default_executor: Sweep executor used when a caller passes neither
+            ``executor=`` nor ``workers=``.  ``None`` (the default) reads
+            :data:`~repro.analysis.executors.EXECUTOR_ENV` — in that case
+            sweeps the strategy cannot run (non-mergeable sinks or an
+            unpicklable source under ``processes``) fall back to the
+            threaded pipeline instead of failing — and otherwise uses the
+            threaded pipeline at ``default_workers``.  A name from
+            :data:`~repro.analysis.executors.EXECUTOR_NAMES` or an
+            executor instance pins the strategy strictly.
     """
 
     def __init__(
@@ -404,6 +538,7 @@ class BatchedAnalysisEngine:
         cache_size: int = 8,
         direct_size_limit: int = 60000,
         default_workers: int | None = None,
+        default_executor: SweepExecutor | str | None = None,
     ) -> None:
         if cache_size < 1:
             raise ValueError("cache_size must be at least 1")
@@ -416,11 +551,33 @@ class BatchedAnalysisEngine:
         self.cache_size = cache_size
         self.direct_size_limit = direct_size_limit
         self.default_workers = default_workers
+        self._default_executor_lenient = False
+        if default_executor is None:
+            env_name = os.environ.get(EXECUTOR_ENV, "").strip()
+            if env_name:
+                try:
+                    default_executor = self._executor_from_name(env_name)
+                except ValueError as exc:
+                    raise ValueError(f"{EXECUTOR_ENV}: {exc}") from exc
+                # Environment-selected strategies downgrade gracefully so a
+                # whole test suite can run under them without every P²/
+                # closure-source sweep failing.
+                self._default_executor_lenient = True
+        elif isinstance(default_executor, str):
+            default_executor = self._executor_from_name(default_executor)
+        self._default_executor = default_executor
         self._cg_solver = PowerGridSolver(method=SolverMethod.CG)
         self._cache: OrderedDict[str, spla.SuperLU] = OrderedDict()
         self._cache_lock = threading.Lock()
         self._factorizations = 0
         self._hits = 0
+
+    def _executor_from_name(self, name: str) -> SweepExecutor:
+        """Default-executor construction honouring ``default_workers``."""
+        if name == "serial":
+            return make_executor(name)
+        workers = self.default_workers if self.default_workers > 1 else None
+        return make_executor(name, workers)
 
     # ------------------------------------------------------------------
     # Cache management
@@ -484,6 +641,31 @@ class BatchedAnalysisEngine:
         if workers < 1:
             raise ValueError("workers must be at least 1")
         return workers
+
+    def _sweep_executor(
+        self, workers: int | None, executor: SweepExecutor | str | None
+    ) -> tuple[SweepExecutor, bool]:
+        """Resolve the ``(executor, lenient)`` pair for one sweep.
+
+        Precedence: an explicit ``executor`` argument (by instance or
+        name) wins; an explicit ``workers`` keeps its original semantics
+        — the threaded pipeline at that thread count; otherwise the
+        engine default applies (``lenient`` marks the environment-derived
+        default, whose incompatible sweeps downgrade to threads).
+        """
+        if executor is None:
+            if workers is not None:
+                return ThreadedExecutor(self._resolve_workers(workers)), False
+            if self._default_executor is not None:
+                return self._default_executor, self._default_executor_lenient
+            return ThreadedExecutor(self.default_workers), False
+        if isinstance(executor, str):
+            return make_executor(executor, workers), False
+        if workers is not None:
+            raise ValueError(
+                "pass parallelism either inside the executor or as workers=, not both"
+            )
+        return executor, False
 
     def _solve_cg(self, compiled: CompiledGrid, rhs: np.ndarray) -> tuple[np.ndarray, int]:
         system = system_from_compiled(compiled, matrix_copy=False)
@@ -622,14 +804,54 @@ class BatchedAnalysisEngine:
         num_scenarios: int,
         chunk_size: int,
         sinks: Sequence[ScenarioSink],
+        executor: SweepExecutor,
+        lenient: bool = False,
+    ) -> tuple[BatchReductions, bool, np.ndarray, SweepExecutor]:
+        """Run one chunked sweep on an executor, with lenient fallback.
+
+        ``lenient`` marks an environment-default executor: if it declares
+        the sweep incompatible (:class:`ExecutorIncompatibility`, raised
+        before any sink binds), the sweep downgrades to the threaded
+        pipeline at the engine's default worker count instead of failing.
+        Returns the reductions, reuse flag, iteration counts and the
+        executor that actually ran the sweep.
+        """
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
+        plan = SweepPlan(
+            engine=self,
+            compiled=compiled,
+            scenario_source=scenario_source,
+            num_scenarios=num_scenarios,
+            chunk_size=chunk_size,
+            sinks=tuple(sinks),
+        )
+        try:
+            reductions, reused, iterations = executor.execute(plan)
+        except ExecutorIncompatibility:
+            if not lenient:
+                raise
+            executor = ThreadedExecutor(self.default_workers)
+            reductions, reused, iterations = executor.execute(plan)
+        return reductions, reused, iterations, executor
+
+    def _run_chunk_pipeline(
+        self,
+        compiled: CompiledGrid,
+        scenario_source: ScenarioSource,
+        num_scenarios: int,
+        chunk_size: int,
+        sinks: Sequence[ScenarioSink],
         workers: int = 1,
     ) -> tuple[BatchReductions, bool, np.ndarray]:
         """Solve a sweep chunk by chunk, feeding reductions and sinks.
 
-        The dense ``(num_nodes, num_scenarios)`` voltage matrix never
-        exists: each ``(num_nodes, ≤chunk_size)`` chunk is folded into the
-        per-scenario reduction vectors and every attached sink, then
-        dropped.
+        This is the engine-side pipeline the serial and threaded executors
+        drive (process shard workers run it too, one serial pipeline per
+        shard).  The dense ``(num_nodes, num_scenarios)`` voltage matrix
+        never exists: each ``(num_nodes, ≤chunk_size)`` chunk is folded
+        into the per-scenario reduction vectors and every attached sink,
+        then dropped.
 
         With ``workers > 1`` the chunk solves run on a thread pool while
         this thread keeps three sequential roles: it *produces* chunks (the
@@ -723,8 +945,9 @@ class BatchedAnalysisEngine:
         load_matrix: np.ndarray | None,
         pad_voltage_matrix: np.ndarray | None,
         chunk_size: int | None,
-        sinks: Sequence[ScenarioSink] = (),
-        workers: int = 1,
+        sinks: Sequence[ScenarioSink],
+        executor: SweepExecutor,
+        lenient: bool,
     ) -> tuple[np.ndarray | None, BatchReductions | None, bool, np.ndarray]:
         """Shared core of the batched solvers.
 
@@ -733,7 +956,7 @@ class BatchedAnalysisEngine:
         are solved in RHS blocks of at most ``chunk_size`` columns and only
         the per-scenario worst / mean / worst-node reductions plus the sink
         states are accumulated, so the dense voltage matrix (and the dense
-        RHS matrix) never exist for huge sweeps.  ``workers`` only applies
+        RHS matrix) never exist for huge sweeps.  The executor only applies
         to the chunked path (an unsharded batch is a single RHS block).
         """
         k = (load_matrix if pad_voltage_matrix is None else pad_voltage_matrix).shape[0]
@@ -753,14 +976,9 @@ class BatchedAnalysisEngine:
                 _feed_sinks(sinks, voltages, drop_rows, 0)
             return voltages, None, reused, iterations
 
-        def slice_source(begin: int, end: int) -> tuple[np.ndarray | None, np.ndarray | None]:
-            return (
-                None if load_matrix is None else load_matrix[begin:end],
-                None if pad_voltage_matrix is None else pad_voltage_matrix[begin:end],
-            )
-
-        reductions, reused, iterations = self._stream_scenarios(
-            compiled, slice_source, k, chunk_size, sinks, workers
+        source = MatrixScenarioSource(load_matrix, pad_voltage_matrix)
+        reductions, reused, iterations, _ = self._stream_scenarios(
+            compiled, source, k, chunk_size, sinks, executor, lenient
         )
         return None, reductions, reused, iterations
 
@@ -782,6 +1000,7 @@ class BatchedAnalysisEngine:
         chunk_size: int | None = None,
         sinks: Sequence[ScenarioSink] = (),
         workers: int | None = None,
+        executor: SweepExecutor | str | None = None,
     ) -> BatchAnalysisResult:
         """Solve many load scenarios against one factorization.
 
@@ -800,11 +1019,15 @@ class BatchedAnalysisEngine:
                 into (see :mod:`repro.analysis.sinks`); composes with
                 ``chunk_size``.  Each sink observes every scenario exactly
                 once, in order.
-            workers: Solver threads for the chunked path; results are
-                bitwise-identical to the sequential solve.  ``None`` uses
-                the engine default.  Without ``chunk_size`` the batch is a
-                single RHS block, so there is nothing to parallelise and
-                the value has no effect.
+            workers: Solver threads for the chunked path (the threaded
+                executor); results are bitwise-identical to the sequential
+                solve.  ``None`` uses the engine default.
+            executor: Sweep-execution strategy for the chunked path — an
+                executor instance or a name from
+                :data:`~repro.analysis.executors.EXECUTOR_NAMES`
+                (``"processes"`` requires every sink to be mergeable).
+                Without ``chunk_size`` the batch is a single RHS block, so
+                neither ``workers`` nor ``executor`` has any effect.
 
         Returns:
             A :class:`BatchAnalysisResult` — with the full voltage matrix,
@@ -812,7 +1035,7 @@ class BatchedAnalysisEngine:
         """
         start = time.perf_counter()
         compiled = self._compiled(network)
-        workers = self._resolve_workers(workers)
+        executor_used, lenient = self._sweep_executor(workers, executor)
         load_matrix = np.asarray(load_matrix, dtype=float)
         if load_matrix.ndim != 2 or load_matrix.shape[1] != compiled.num_nodes:
             raise ValueError(
@@ -822,7 +1045,7 @@ class BatchedAnalysisEngine:
         if load_matrix.shape[0] == 0:
             raise ValueError("load_matrix must contain at least one scenario")
         voltages, reductions, reused, iterations = self._batch_scenarios(
-            compiled, load_matrix, None, chunk_size, sinks, workers
+            compiled, load_matrix, None, chunk_size, sinks, executor_used, lenient
         )
         elapsed = time.perf_counter() - start
         return BatchAnalysisResult(
@@ -846,6 +1069,7 @@ class BatchedAnalysisEngine:
         chunk_size: int | None = None,
         sinks: Sequence[ScenarioSink] = (),
         workers: int | None = None,
+        executor: SweepExecutor | str | None = None,
     ) -> BatchAnalysisResult:
         """Solve many pad-voltage scenarios against one factorization.
 
@@ -868,6 +1092,8 @@ class BatchedAnalysisEngine:
                 into (see :meth:`analyze_batch`).
             workers: Solver threads for the chunked path (see
                 :meth:`analyze_batch`).
+            executor: Sweep-execution strategy for the chunked path (see
+                :meth:`analyze_batch`).
 
         Returns:
             A :class:`BatchAnalysisResult`; scenario voltages report each
@@ -875,7 +1101,7 @@ class BatchedAnalysisEngine:
         """
         start = time.perf_counter()
         compiled = self._compiled(network)
-        workers = self._resolve_workers(workers)
+        executor_used, lenient = self._sweep_executor(workers, executor)
         pad_voltage_matrix = np.asarray(pad_voltage_matrix, dtype=float)
         if pad_voltage_matrix.ndim != 2 or pad_voltage_matrix.shape[1] != len(compiled.pad_node):
             raise ValueError(
@@ -894,7 +1120,7 @@ class BatchedAnalysisEngine:
                     f"{load_matrix.shape}"
                 )
         voltages, reductions, reused, iterations = self._batch_scenarios(
-            compiled, load_matrix, pad_voltage_matrix, chunk_size, sinks, workers
+            compiled, load_matrix, pad_voltage_matrix, chunk_size, sinks, executor_used, lenient
         )
         elapsed = time.perf_counter() - start
         return BatchAnalysisResult(
@@ -915,9 +1141,10 @@ class BatchedAnalysisEngine:
         scenario_source: ScenarioSource,
         num_scenarios: int,
         *,
-        chunk_size: int = 1024,
+        chunk_size: int | None = None,
         sinks: Sequence[ScenarioSink] = (),
         workers: int | None = None,
+        executor: SweepExecutor | str | None = None,
     ) -> StreamedSweepResult:
         """Stream arbitrarily many generated scenarios through the sinks.
 
@@ -926,21 +1153,27 @@ class BatchedAnalysisEngine:
         whose scenario set is generated (cross products, random sampling)
         never materialise the full ``(num_scenarios, num_nodes)`` load
         matrix either — the whole pipeline, inputs included, runs in
-        ``O(num_nodes * chunk_size)`` memory (times ``workers`` when
-        solving in parallel).
+        ``O(num_nodes * chunk_size)`` memory (times the executor's
+        parallelism when solving in parallel).
 
         Args:
             network: The grid (or its compiled form) all scenarios share.
             scenario_source: Chunk generator; see :data:`ScenarioSource`.
-                Always called from the calling thread, in ascending
-                scenario order, even when ``workers > 1``.
+                The serial / threaded executors always call it from the
+                calling thread in ascending order; the process-sharded
+                executor calls pickled copies from its workers, each over
+                a contiguous sub-range.
             num_scenarios: Total number of scenarios to stream.
             chunk_size: RHS chunk width (and source request size).
+                ``None`` picks an adaptive width via
+                :func:`resolve_chunk_size` from the grid size and the
+                executor's parallelism.
             sinks: Scenario sinks to stream every solved chunk into.
             workers: Solver threads for the chunk solves; sinks still fold
                 in ascending scenario order, so every result is
                 bitwise-identical to the sequential sweep.  ``None`` uses
                 the engine default.
+            executor: Sweep-execution strategy (see :meth:`analyze_batch`).
 
         Returns:
             A :class:`StreamedSweepResult` with the per-scenario
@@ -948,11 +1181,13 @@ class BatchedAnalysisEngine:
         """
         start = time.perf_counter()
         compiled = self._compiled(network)
-        workers = self._resolve_workers(workers)
+        executor_used, lenient = self._sweep_executor(workers, executor)
         if num_scenarios < 1:
             raise ValueError("num_scenarios must be at least 1")
-        reductions, reused, iterations = self._stream_scenarios(
-            compiled, scenario_source, num_scenarios, chunk_size, sinks, workers
+        if chunk_size is None:
+            chunk_size = resolve_chunk_size(compiled.num_unknowns, executor_used.parallelism)
+        reductions, reused, iterations, executor_used = self._stream_scenarios(
+            compiled, scenario_source, num_scenarios, chunk_size, sinks, executor_used, lenient
         )
         return StreamedSweepResult(
             compiled=compiled,
@@ -962,7 +1197,8 @@ class BatchedAnalysisEngine:
             sinks=tuple(sinks),
             analysis_time=time.perf_counter() - start,
             factorization_reused=reused,
-            workers=workers,
+            workers=executor_used.parallelism,
+            executor=executor_used.name,
             solver_method=self._solver_method(compiled),
             solver_iterations=iterations,
         )
@@ -973,9 +1209,10 @@ class BatchedAnalysisEngine:
         load_matrix: np.ndarray,
         pad_voltage_matrix: np.ndarray,
         *,
-        chunk_size: int = 1024,
+        chunk_size: int | None = None,
         sinks: Sequence[ScenarioSink] = (),
         workers: int | None = None,
+        executor: SweepExecutor | str | None = None,
     ) -> MegaSweepResult:
         """Sweep the full load × pad-voltage cross product, streamed.
 
@@ -999,18 +1236,22 @@ class BatchedAnalysisEngine:
                 voltages aligned with the compiled ``pad_names`` (e.g.
                 from
                 :func:`~repro.grid.perturbation.perturbed_pad_voltage_matrix`).
-            chunk_size: RHS chunk width bounding the working memory.
+            chunk_size: RHS chunk width bounding the working memory
+                (``None`` = adaptive, see :func:`resolve_chunk_size`).
             sinks: Scenario sinks to stream every solved chunk into.
             workers: Solver threads for the chunk solves (see
                 :meth:`analyze_scenario_stream`); bitwise-identical
                 results, ~``workers``× throughput on a multi-core host.
+            executor: Sweep-execution strategy (see :meth:`analyze_batch`);
+                ``"processes"`` shards the cross product across worker
+                processes and merges the mergeable sinks.
 
         Returns:
             A :class:`MegaSweepResult` over all combined scenarios.
         """
         start = time.perf_counter()
         compiled = self._compiled(network)
-        workers = self._resolve_workers(workers)
+        executor_used, lenient = self._sweep_executor(workers, executor)
         load_matrix = np.asarray(load_matrix, dtype=float)
         if load_matrix.ndim != 2 or load_matrix.shape[1] != compiled.num_nodes:
             raise ValueError(
@@ -1028,16 +1269,12 @@ class BatchedAnalysisEngine:
         if num_loads == 0 or num_pad_rows == 0:
             raise ValueError("both matrices must contain at least one scenario row")
 
-        def cross_source(begin: int, end: int) -> tuple[np.ndarray, np.ndarray]:
-            indices = np.arange(begin, end)
-            return (
-                load_matrix[indices // num_pad_rows],
-                pad_voltage_matrix[indices % num_pad_rows],
-            )
-
+        if chunk_size is None:
+            chunk_size = resolve_chunk_size(compiled.num_unknowns, executor_used.parallelism)
+        cross_source = CrossProductScenarioSource(load_matrix, pad_voltage_matrix)
         num_scenarios = num_loads * num_pad_rows
-        reductions, reused, iterations = self._stream_scenarios(
-            compiled, cross_source, num_scenarios, chunk_size, sinks, workers
+        reductions, reused, iterations, executor_used = self._stream_scenarios(
+            compiled, cross_source, num_scenarios, chunk_size, sinks, executor_used, lenient
         )
         return MegaSweepResult(
             compiled=compiled,
@@ -1047,7 +1284,8 @@ class BatchedAnalysisEngine:
             sinks=tuple(sinks),
             analysis_time=time.perf_counter() - start,
             factorization_reused=reused,
-            workers=workers,
+            workers=executor_used.parallelism,
+            executor=executor_used.name,
             solver_method=self._solver_method(compiled),
             solver_iterations=iterations,
             num_load_scenarios=num_loads,

@@ -1,0 +1,411 @@
+"""Pluggable sweep-execution layer for chunked / streamed scenario sweeps.
+
+:class:`~repro.analysis.engine.BatchedAnalysisEngine` describes *what* a
+sweep is — a scenario source, a chunk width, reductions and sinks.  This
+module decides *how* it runs.  A :class:`SweepExecutor` receives the
+engine's :class:`SweepPlan` and drives the chunk pipeline:
+
+* :class:`SerialExecutor` — produce → solve → fold on the calling thread.
+* :class:`ThreadedExecutor` — the PR-4 pipeline: chunk solves on a thread
+  pool (SuperLU releases the GIL) while the calling thread folds finished
+  chunks in ascending scenario order.  Bitwise-identical to serial for
+  every result, including every sink.
+* :class:`ProcessShardedExecutor` — splits the *scenario range* into
+  contiguous shards across a ``ProcessPoolExecutor``.  Each worker process
+  holds its own factorization and runs the serial pipeline over its shard
+  with fresh copies of the sinks; the parent merges the shard reductions
+  (exact by construction — per-scenario reductions are chunk-local) and
+  the shard sink snapshots via the
+  :class:`~repro.analysis.sinks.MergeableSink` protocol.  This is the
+  executor that scales past the GIL-bound fold: the sink/reduction fold
+  itself runs in parallel, one fold per shard.
+
+Executors are stateless between calls (pools are created per sweep), so
+one instance can be shared across engines and sweeps.
+
+Process-sharding contract
+-------------------------
+
+The scenario source and the compiled grid are pickled once and shipped to
+every worker, so both must be picklable — the engine's own sources
+(matrix slices, cross products, the vectorless budget sampler) are;
+ad-hoc lambdas and closures are not.  Every sink must implement
+:class:`~repro.analysis.sinks.MergeableSink`; ``P2QuantileSink`` is
+order-dependent and therefore rejected with a pointer to the reservoir
+sink.  Incompatible sweeps raise :class:`ExecutorIncompatibility` *before*
+any sink observes the sweep — the engine downgrades to the threaded
+pipeline instead when the executor was only an environment default
+(:data:`EXECUTOR_ENV`), so exporting ``REPRO_TEST_EXECUTOR=processes``
+runs an entire test suite process-sharded wherever that is well-defined.
+
+Exactness: shard boundaries are just another chunking, so the streamed
+worst / mean / worst-node reductions and every *exact* sink (histogram,
+exceedance, joint exceedance, top-k) are bitwise-identical to the
+sequential sweep for every shard count.  The reservoir sink merges by
+weighted resampling (statistically equivalent); P² does not merge at all.
+"""
+
+from __future__ import annotations
+
+import copy
+import multiprocessing as mp
+import os
+import pickle
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from .sinks import MergeableSink, ScenarioSink
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..grid.compiled import CompiledGrid
+    from .engine import BatchedAnalysisEngine, BatchReductions, ScenarioSource
+
+EXECUTOR_ENV = "REPRO_TEST_EXECUTOR"
+"""Environment variable supplying the engine's default sweep executor.
+
+Lets CI (and local runs) push the whole test suite through one execution
+strategy without touching any call site: every chunked / streamed sweep
+that passes neither ``executor=`` nor ``workers=`` uses this strategy.
+Accepted values are the :data:`EXECUTOR_NAMES`; unset or empty means the
+threaded pipeline at the engine's default worker count.  Sweeps a strategy
+cannot run (non-mergeable sinks or an unpicklable source under
+``processes``) silently fall back to the threaded pipeline — an explicit
+``executor=`` argument raises instead.
+"""
+
+EXECUTOR_NAMES = ("serial", "threads", "processes")
+"""Names accepted by :func:`make_executor` (and :data:`EXECUTOR_ENV`)."""
+
+
+class ExecutorIncompatibility(ValueError):
+    """A sweep cannot run on the requested executor as specified.
+
+    Raised *before* any sink observes the sweep, so the engine can fall
+    back to the threaded pipeline when the executor was only an
+    environment default.
+    """
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """Everything an executor needs to drive one chunked sweep.
+
+    Attributes:
+        engine: The engine that owns the factorization cache and the
+            chunk pipeline.
+        compiled: The compiled grid every scenario is solved on.
+        scenario_source: Chunk generator; a pure function of the half-open
+            scenario range (see
+            :data:`~repro.analysis.engine.ScenarioSource`).
+        num_scenarios: Total number of scenarios to sweep.
+        chunk_size: RHS chunk width of the solve pipeline.
+        sinks: Scenario sinks observing the sweep, in caller order.
+    """
+
+    engine: "BatchedAnalysisEngine"
+    compiled: "CompiledGrid"
+    scenario_source: "ScenarioSource"
+    num_scenarios: int
+    chunk_size: int
+    sinks: tuple[ScenarioSink, ...]
+
+
+class SweepExecutor(ABC):
+    """Strategy driving the chunk pipeline of one scenario sweep.
+
+    Contract: :meth:`execute` must (1) bind every sink in ``plan.sinks``
+    to the full sweep exactly once, (2) ensure each scenario is folded
+    into the reductions and every sink exactly once in ascending scenario
+    order, and (3) return the per-scenario reductions, the
+    factorization-reuse flag and the per-scenario solver iteration
+    counts.  Any incompatibility with the plan must raise
+    :class:`ExecutorIncompatibility` before the first sink is bound.
+    """
+
+    name: str = "abstract"
+
+    @property
+    @abstractmethod
+    def parallelism(self) -> int:
+        """Worker count the sweep runs with (1 = sequential)."""
+
+    @abstractmethod
+    def execute(self, plan: SweepPlan) -> "tuple[BatchReductions, bool, np.ndarray]":
+        """Run the sweep; return ``(reductions, reused, iterations)``."""
+
+
+class SerialExecutor(SweepExecutor):
+    """Produce → solve → fold sequentially on the calling thread."""
+
+    name = "serial"
+
+    @property
+    def parallelism(self) -> int:
+        return 1
+
+    def execute(self, plan: SweepPlan) -> "tuple[BatchReductions, bool, np.ndarray]":
+        return plan.engine._run_chunk_pipeline(
+            plan.compiled,
+            plan.scenario_source,
+            plan.num_scenarios,
+            plan.chunk_size,
+            plan.sinks,
+            workers=1,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return "SerialExecutor()"
+
+
+class ThreadedExecutor(SweepExecutor):
+    """Chunk solves on a thread pool, one ordered fold on the caller.
+
+    The exact PR-4 pipeline (``workers=`` on the engine entry points maps
+    to this executor): at most ``workers`` chunks are in flight, the
+    scenario source is always called from the calling thread in ascending
+    order, and finished chunks fold FIFO — so every result, including
+    every sink state, is bitwise-identical to :class:`SerialExecutor`.
+
+    Args:
+        workers: Solver threads (``None`` uses ``os.cpu_count()``).
+    """
+
+    name = "threads"
+
+    def __init__(self, workers: int | None = None) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.workers = workers
+
+    @property
+    def parallelism(self) -> int:
+        return self.workers
+
+    def execute(self, plan: SweepPlan) -> "tuple[BatchReductions, bool, np.ndarray]":
+        return plan.engine._run_chunk_pipeline(
+            plan.compiled,
+            plan.scenario_source,
+            plan.num_scenarios,
+            plan.chunk_size,
+            plan.sinks,
+            workers=self.workers,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ThreadedExecutor(workers={self.workers})"
+
+
+class ProcessShardedExecutor(SweepExecutor):
+    """Shard the scenario range across worker processes and merge.
+
+    The sweep's ``[0, num_scenarios)`` range is split into ``shards``
+    contiguous, near-equal sub-ranges.  Each worker process unpickles the
+    compiled grid and scenario source once (pool initializer), then runs
+    the engine's serial chunk pipeline over its shard with its *own*
+    factorization and fresh deep-copies of the sinks — no GIL, no shared
+    fold thread.  The parent scatters the shard reductions into the full
+    per-scenario arrays and merges the shard sink snapshots in ascending
+    shard order through :class:`~repro.analysis.sinks.MergeableSink`.
+
+    The parent engine also warms its own factorization cache (direct path
+    only), so follow-up single solves — e.g.
+    :meth:`~repro.analysis.sinks.TopKScenarioSink.rematerialize` — reuse
+    it, and the usual one-factorization-per-sweep accounting holds.
+
+    Memory: each worker holds its own factorization plus
+    ``O(num_nodes * chunk_size)`` chunk state, so the high-water mark is
+    ``shards × `` the serial pipeline's (factorization included) — the
+    price of scaling past the GIL-bound fold.
+
+    Args:
+        shards: Number of worker processes / scenario shards.  ``None``
+            uses ``max(2, os.cpu_count())`` so the sharded path is
+            exercised even on single-core hosts.
+        start_method: ``multiprocessing`` start method; ``None`` prefers
+            ``fork`` (cheap, copy-on-write grid) where available and the
+            platform default elsewhere.
+    """
+
+    name = "processes"
+
+    def __init__(self, shards: int | None = None, start_method: str | None = None) -> None:
+        if shards is None:
+            shards = max(2, os.cpu_count() or 1)
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
+        if start_method is not None and start_method not in mp.get_all_start_methods():
+            raise ValueError(
+                f"start_method {start_method!r} not available; "
+                f"choose from {mp.get_all_start_methods()}"
+            )
+        self.shards = shards
+        self.start_method = start_method
+
+    @property
+    def parallelism(self) -> int:
+        return self.shards
+
+    def _context(self) -> mp.context.BaseContext:
+        method = self.start_method
+        if method is None:
+            method = "fork" if "fork" in mp.get_all_start_methods() else None
+        return mp.get_context(method)
+
+    def execute(self, plan: SweepPlan) -> "tuple[BatchReductions, bool, np.ndarray]":
+        from .engine import BatchReductions
+
+        engine, compiled, sinks = plan.engine, plan.compiled, plan.sinks
+        non_mergeable = sorted(
+            {type(sink).__name__ for sink in sinks if not isinstance(sink, MergeableSink)}
+        )
+        if non_mergeable:
+            raise ExecutorIncompatibility(
+                f"sinks {non_mergeable} cannot merge across process shards "
+                "(their state is order-dependent); use mergeable sinks — e.g. "
+                "ReservoirQuantileSink instead of P2QuantileSink — or the "
+                "threads executor"
+            )
+        num_scenarios = plan.num_scenarios
+        shards = min(self.shards, num_scenarios)
+        if shards <= 1:
+            return engine._run_chunk_pipeline(
+                compiled, plan.scenario_source, num_scenarios, plan.chunk_size, sinks, workers=1
+            )
+        compiled.fingerprint  # hash once here; workers inherit the digest
+        engine_config = {
+            "cache_size": engine.cache_size,
+            "direct_size_limit": engine.direct_size_limit,
+        }
+        try:
+            payload = pickle.dumps(
+                (engine_config, compiled, plan.scenario_source, plan.chunk_size, sinks),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        except (pickle.PicklingError, TypeError, AttributeError) as exc:
+            raise ExecutorIncompatibility(
+                "process-sharded sweeps must pickle the scenario source, the "
+                "compiled grid and every sink into the worker processes; use a "
+                "picklable source (e.g. MatrixScenarioSource / "
+                f"CrossProductScenarioSource) or the threads executor: {exc}"
+            ) from exc
+        for sink in sinks:
+            sink.bind(compiled, num_scenarios)
+        reused = False
+        if not engine._use_cg(compiled):
+            _, reused = engine._factor(compiled)
+
+        worst = np.empty(num_scenarios, dtype=float)
+        average = np.empty(num_scenarios, dtype=float)
+        worst_index = np.empty(num_scenarios, dtype=np.int64)
+        iterations = np.zeros(num_scenarios, dtype=np.int64)
+        bounds = [num_scenarios * i // shards for i in range(shards + 1)]
+        ranges = [(bounds[i], bounds[i + 1]) for i in range(shards)]
+        with ProcessPoolExecutor(
+            max_workers=shards,
+            mp_context=self._context(),
+            initializer=_init_shard_worker,
+            initargs=(payload,),
+        ) as pool:
+            futures = [pool.submit(_solve_shard, begin, end) for begin, end in ranges]
+            outcomes = [future.result() for future in futures]
+        for begin, end, shard_worst, shard_avg, shard_index, shard_iter, shard_reused, snaps in (
+            outcomes
+        ):
+            worst[begin:end] = shard_worst
+            average[begin:end] = shard_avg
+            worst_index[begin:end] = shard_index
+            iterations[begin:end] = shard_iter
+            reused = reused or shard_reused
+            for sink, snapshot in zip(sinks, snaps):
+                sink.merge(snapshot)
+        reductions = BatchReductions(
+            worst_ir_drop=worst, average_ir_drop=average, worst_node_index=worst_index
+        )
+        return reductions, reused, iterations
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ProcessShardedExecutor(shards={self.shards})"
+
+
+def make_executor(name: str, workers: int | None = None) -> SweepExecutor:
+    """Build an executor from its CLI / environment name.
+
+    Args:
+        name: One of :data:`EXECUTOR_NAMES`.
+        workers: Parallelism — threads for ``threads``, shards for
+            ``processes`` (``None`` = derive from ``os.cpu_count()``).
+            ``serial`` accepts only ``None`` / 1.
+    """
+    if name == "serial":
+        if workers not in (None, 1):
+            raise ValueError("the serial executor runs single-threaded; do not pass workers")
+        return SerialExecutor()
+    if name == "threads":
+        return ThreadedExecutor(workers)
+    if name == "processes":
+        return ProcessShardedExecutor(shards=workers)
+    raise ValueError(f"unknown executor {name!r}; choose from {EXECUTOR_NAMES}")
+
+
+# ----------------------------------------------------------------------
+# Worker-process side of ProcessShardedExecutor
+# ----------------------------------------------------------------------
+_WORKER_STATE: dict = {}
+"""Per-worker sweep context, installed once by the pool initializer."""
+
+
+def _init_shard_worker(payload: bytes) -> None:
+    """Unpickle the sweep context into this worker process.
+
+    The worker's engine mirrors the parent's solver configuration (cache
+    size, direct-vs-CG threshold) so shards solve exactly the way the
+    parent would have.
+    """
+    from .engine import BatchedAnalysisEngine
+
+    engine_config, compiled, source, chunk_size, sink_prototypes = pickle.loads(payload)
+    _WORKER_STATE.update(
+        engine=BatchedAnalysisEngine(
+            default_workers=1, default_executor=SerialExecutor(), **engine_config
+        ),
+        compiled=compiled,
+        source=source,
+        chunk_size=chunk_size,
+        sink_prototypes=sink_prototypes,
+    )
+
+
+def _solve_shard(begin: int, end: int) -> tuple:
+    """Run the serial chunk pipeline over ``[begin, end)`` in this worker.
+
+    The shard runs as its own sweep of ``end - begin`` scenarios: the
+    source is shifted by ``begin`` and fresh sink copies observe
+    shard-local offsets — :meth:`MergeableSink.merge` re-bases any
+    indices when the parent folds the snapshots back together.
+    """
+    state = _WORKER_STATE
+    source = state["source"]
+    sinks: Sequence[ScenarioSink] = copy.deepcopy(state["sink_prototypes"])
+
+    def shard_source(lo: int, hi: int):
+        return source(begin + lo, begin + hi)
+
+    reductions, reused, iterations = state["engine"]._run_chunk_pipeline(
+        state["compiled"], shard_source, end - begin, state["chunk_size"], sinks, workers=1
+    )
+    return (
+        begin,
+        end,
+        reductions.worst_ir_drop,
+        reductions.average_ir_drop,
+        reductions.worst_node_index,
+        iterations,
+        reused,
+        tuple(sink.snapshot() for sink in sinks),
+    )

@@ -19,13 +19,25 @@ and a top-k shortlist simultaneously — all in ``O(num_nodes * chunk_size)``
 working memory.
 
 Exact sinks (:class:`NodeHistogramSink`, :class:`ExceedanceCountSink`,
-:class:`TopKScenarioSink`) are bitwise-independent of the chunk size: they
-produce the identical result whether the sweep arrives in one dense block
-or one scenario at a time.  Approximate sinks trade exactness for O(1)
-state (:class:`P2QuantileSink`) or a fixed-size sample
-(:class:`ReservoirQuantileSink`, which is exact while the stream still
-fits in its reservoir and deterministic for a given seed regardless of
-chunking).
+:class:`JointExceedanceSink`, :class:`TopKScenarioSink`) are
+bitwise-independent of the chunk size: they produce the identical result
+whether the sweep arrives in one dense block or one scenario at a time.
+Approximate sinks trade exactness for O(1) state (:class:`P2QuantileSink`)
+or a fixed-size sample (:class:`ReservoirQuantileSink`, which is exact
+while the stream still fits in its reservoir and deterministic for a given
+seed regardless of chunking).
+
+Most sinks additionally implement the :class:`MergeableSink` capability —
+:meth:`snapshot` freezes the state accumulated over a contiguous scenario
+shard into a picklable :class:`SinkSnapshot`, and :meth:`merge` folds such
+a snapshot into another instance of the same sink.  That is what lets the
+process-sharded executor (:mod:`repro.analysis.executors`) split a sweep's
+scenario range across worker processes and combine the per-shard sink
+states afterwards: the exact sinks merge exactly (counter addition, top-k
+union), the reservoir merges by weighted resampling, and
+:class:`P2QuantileSink` is deliberately *not* mergeable — its marker state
+is order-dependent — so process-sharded sweeps reject it up front and
+steer users to the reservoir sink instead.
 """
 
 from __future__ import annotations
@@ -37,6 +49,8 @@ import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..grid.compiled import CompiledGrid
+    from .engine import BatchedAnalysisEngine, ScenarioSource
+    from .irdrop import IRDropResult
 
 _SCENARIO_STATISTICS = ("worst", "mean")
 """Per-scenario scalar statistics the scalar-stream sinks can track."""
@@ -66,6 +80,51 @@ class ScenarioSink(Protocol):
 
     def result(self):
         """Return the finished statistic (sink-specific type)."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass(frozen=True)
+class SinkSnapshot:
+    """Picklable mergeable state of a sink over one contiguous scenario shard.
+
+    Attributes:
+        sink_type: Class name of the sink that produced the snapshot; a
+            snapshot only merges into a sink of the same type.
+        num_scenarios: Number of scenarios the snapshot accumulates.  Any
+            scenario indices inside ``state`` are shard-local (the first
+            scenario of the shard is index 0); :meth:`MergeableSink.merge`
+            re-bases them onto the merging sink's running offset.
+        state: Sink-specific arrays plus the configuration needed to check
+            that the two sinks are compatible (bin edges, thresholds, k,
+            ...).  Arrays are copies — mutating the source sink afterwards
+            does not change the snapshot.
+    """
+
+    sink_type: str
+    num_scenarios: int
+    state: dict
+
+
+@runtime_checkable
+class MergeableSink(Protocol):
+    """Capability of sinks whose per-shard states can be combined.
+
+    A sweep split into contiguous scenario shards ``[0, s1), [s1, s2), ...``
+    is reconstructed by binding one sink to the full sweep and merging the
+    shard snapshots **in ascending shard order**: each :meth:`merge` call
+    appends ``snapshot.num_scenarios`` scenarios at the sink's current
+    offset, exactly like consuming the shard's chunks directly.  Exact
+    sinks guarantee the merged result is bitwise-identical to the
+    sequential sweep; the reservoir sink merges by weighted resampling
+    (statistically equivalent, not bitwise).
+    """
+
+    def snapshot(self) -> SinkSnapshot:
+        """Freeze the accumulated state into a picklable snapshot."""
+        ...  # pragma: no cover - protocol
+
+    def merge(self, snapshot: SinkSnapshot) -> None:
+        """Fold a shard snapshot into this sink at its current offset."""
         ...  # pragma: no cover - protocol
 
 
@@ -158,6 +217,33 @@ class IRDropSink:
         self._consume_drops(drops, scenario_offset)
         self._consumed += count
 
+    def _begin_merge(self, snapshot: SinkSnapshot) -> int:
+        """Validate a shard snapshot against this sink; return its offset.
+
+        Mergeable subclasses call this first from :meth:`merge`: it checks
+        the snapshot came from the same sink type and fits inside the
+        sweep, and returns the global scenario offset the shard lands at
+        (the sink's current consumed count — shards must merge in
+        ascending order).  The caller folds the state and then advances
+        the offset with :meth:`_finish_merge`.
+        """
+        self._require_bound()
+        if snapshot.sink_type != type(self).__name__:
+            raise ValueError(
+                f"cannot merge a {snapshot.sink_type} snapshot into {type(self).__name__}"
+            )
+        if snapshot.num_scenarios < 0:
+            raise ValueError("snapshot num_scenarios must be non-negative")
+        if self._consumed + snapshot.num_scenarios > self._expected_scenarios:
+            raise ValueError(
+                f"merged shard overruns the sweep: {self._consumed} consumed + "
+                f"{snapshot.num_scenarios} new > {self._expected_scenarios} expected"
+            )
+        return self._consumed
+
+    def _finish_merge(self, snapshot: SinkSnapshot) -> None:
+        self._consumed += snapshot.num_scenarios
+
     def _on_bind(self, compiled: "CompiledGrid", num_scenarios: int) -> None:
         """Hook for subclasses needing grid-dependent state."""
 
@@ -215,72 +301,123 @@ class QuantileEstimate:
             raise KeyError(f"quantile {quantile} was not tracked: {self.quantiles}") from exc
 
 
-class _P2Estimator:
-    """Single-quantile P² estimator (Jain & Chlamtac, CACM 1985).
+_P2_BLOCK = 64
+"""Internal batch width of the vectorised P² update.
 
-    Five markers track the running quantile in O(1) memory; marker heights
-    are adjusted with the piecewise-parabolic (P²) formula, falling back to
-    linear interpolation when the parabolic prediction would leave the
-    bracketing interval.
+Incoming per-scenario scalars are buffered to blocks of this fixed width
+before the marker state is updated, so the estimate depends only on the
+scenario order — never on how the engine chunked the sweep."""
+
+
+class _P2MarkerBank:
+    """Vectorised multi-estimator P² state (Jain & Chlamtac, CACM 1985).
+
+    One row of five markers per tracked quantile level.  Instead of the
+    textbook one-observation-at-a-time update, whole blocks of
+    observations are folded at once: the marker *positions* advance by the
+    block's per-cell counts (a single vectorised comparison), and the
+    marker *heights* are then re-adjusted with the piecewise-parabolic
+    formula — generalised to integer steps of any size, clamped to keep
+    positions strictly monotone, falling back to a unit linear step when
+    the parabolic prediction leaves the bracketing interval.  All levels
+    update simultaneously as NumPy array ops, which is what makes quantile
+    tracking cheap relative to the chunk solves it rides along with.
     """
 
-    def __init__(self, p: float) -> None:
-        self.p = p
-        self.heights: list[float] = []
-        self.positions = np.arange(1, 6, dtype=float)
-        self.desired = np.array([1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0])
-        self.increments = np.array([0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0])
+    def __init__(self, quantiles: Sequence[float]) -> None:
+        p = np.asarray(quantiles, dtype=float)
+        m = p.size
         self.count = 0
-
-    def add(self, value: float) -> None:
-        self.count += 1
-        if len(self.heights) < 5:
-            self.heights.append(value)
-            self.heights.sort()
-            return
-        q = self.heights
-        if value < q[0]:
-            q[0] = value
-            cell = 0
-        elif value >= q[4]:
-            q[4] = value
-            cell = 3
-        else:
-            cell = 0
-            while value >= q[cell + 1]:
-                cell += 1
-        self.positions[cell + 1 :] += 1.0
-        self.desired += self.increments
-        for i in (1, 2, 3):
-            d = self.desired[i] - self.positions[i]
-            below = self.positions[i + 1] - self.positions[i]
-            above = self.positions[i] - self.positions[i - 1]
-            if (d >= 1.0 and below > 1.0) or (d <= -1.0 and above > 1.0):
-                step = 1.0 if d >= 1.0 else -1.0
-                candidate = self._parabolic(i, step)
-                if not q[i - 1] < candidate < q[i + 1]:
-                    candidate = self._linear(i, step)
-                q[i] = candidate
-                self.positions[i] += step
-
-    def _parabolic(self, i: int, step: float) -> float:
-        q, n = self.heights, self.positions
-        return q[i] + step / (n[i + 1] - n[i - 1]) * (
-            (n[i] - n[i - 1] + step) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
-            + (n[i + 1] - n[i] - step) * (q[i] - q[i - 1]) / (n[i] - n[i - 1])
+        self.heights = np.zeros((m, 5))
+        self.positions = np.tile(np.arange(1.0, 6.0), (m, 1))
+        self.increments = np.column_stack(
+            (np.zeros(m), p / 2.0, p, (1.0 + p) / 2.0, np.ones(m))
         )
+        self.desired = np.column_stack(
+            (np.ones(m), 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, np.full(m, 5.0))
+        )
+        self._quantiles = p
+        self._seed: list[float] = []
 
-    def _linear(self, i: int, step: float) -> float:
-        q, n = self.heights, self.positions
-        j = i + int(step)
-        return q[i] + step * (q[j] - q[i]) / (n[j] - n[i])
+    def clone(self) -> "_P2MarkerBank":
+        """Independent copy (used to estimate without flushing buffers)."""
+        other = object.__new__(_P2MarkerBank)
+        other.count = self.count
+        other.heights = self.heights.copy()
+        other.positions = self.positions.copy()
+        other.increments = self.increments
+        other.desired = self.desired.copy()
+        other._quantiles = self._quantiles
+        other._seed = list(self._seed)
+        return other
 
-    def estimate(self) -> float:
+    def insert(self, values: np.ndarray) -> None:
+        """Fold a block of observations (in scenario order) into the markers."""
+        values = np.asarray(values, dtype=float)
+        self.count += values.size
+        if len(self._seed) < 5:
+            take = min(5 - len(self._seed), values.size)
+            self._seed.extend(float(v) for v in values[:take])
+            values = values[take:]
+            if len(self._seed) == 5:
+                self.heights[:] = np.sort(np.array(self._seed))
+        if values.size == 0 or len(self._seed) < 5:
+            return
+        heights, positions = self.heights, self.positions
+        heights[:, 0] = np.minimum(heights[:, 0], values.min())
+        heights[:, 4] = np.maximum(heights[:, 4], values.max())
+        below = (values[None, None, :] < heights[:, 1:4, None]).sum(axis=2)
+        positions[:, 1:4] += below
+        positions[:, 4] += values.size
+        self.desired += self.increments * values.size
+        # Positions stay integer-valued, so every pass moves each marker at
+        # least one whole position; any residual deficit simply carries
+        # into the next block's adjustment.
+        for _ in range(2 * values.size):
+            if not self._adjust():
+                break
+
+    def _adjust(self) -> bool:
+        """One vectorised height/position adjustment pass; True if moved."""
+        heights, positions = self.heights, self.positions
+        moved = False
+        for i in (1, 2, 3):
+            d = self.desired[:, i] - positions[:, i]
+            gap_up = positions[:, i + 1] - positions[:, i]
+            gap_down = positions[:, i] - positions[:, i - 1]
+            up = (d >= 1.0) & (gap_up > 1.0)
+            down = (d <= -1.0) & (gap_down > 1.0)
+            active = up | down
+            if not active.any():
+                continue
+            moved = True
+            step = np.where(
+                up,
+                np.minimum(np.floor(d), gap_up - 1.0),
+                np.maximum(np.ceil(d), 1.0 - gap_down),
+            )
+            qm, qi, qp = heights[:, i - 1], heights[:, i], heights[:, i + 1]
+            nm, ni, npl = positions[:, i - 1], positions[:, i], positions[:, i + 1]
+            parabolic = qi + step / (npl - nm) * (
+                (ni - nm + step) * (qp - qi) / (npl - ni)
+                + (npl - ni - step) * (qi - qm) / (ni - nm)
+            )
+            valid = (qm < parabolic) & (parabolic < qp)
+            unit = np.where(step > 0.0, 1.0, -1.0)
+            linear = qi + unit * (np.where(step > 0.0, qp, qm) - qi) / (
+                np.where(step > 0.0, npl, nm) - ni
+            )
+            heights[:, i] = np.where(active, np.where(valid, parabolic, linear), qi)
+            positions[:, i] = ni + np.where(active, np.where(valid, step, unit), 0.0)
+        return moved
+
+    def estimate(self) -> np.ndarray:
+        """Current estimate per level (exact while ≤ 5 observations)."""
         if self.count == 0:
-            return float("nan")
+            return np.full(self._quantiles.size, np.nan)
         if self.count <= 5:
-            return float(np.quantile(np.array(self.heights), self.p))
-        return float(self.heights[2])
+            return np.quantile(np.array(self._seed), self._quantiles)
+        return self.heights[:, 2].copy()
 
 
 def _validated_quantiles(quantiles: Sequence[float]) -> tuple[float, ...]:
@@ -297,10 +434,20 @@ def _validated_quantiles(quantiles: Sequence[float]) -> tuple[float, ...]:
 class P2QuantileSink(_ScalarStreamSink):
     """O(1)-memory streaming quantiles of a per-scenario scalar (P²).
 
-    One five-marker P² estimator per requested level tracks the quantile of
-    the per-scenario worst (or mean) IR drop without retaining the stream.
-    The estimate is approximate; use :class:`ReservoirQuantileSink` when a
-    bounded sample (exact for small sweeps) is preferred.
+    A vectorised bank of five-marker P² estimators (one row per requested
+    level) tracks the quantiles of the per-scenario worst (or mean) IR
+    drop without retaining the stream.  Incoming scalars are buffered to
+    fixed-width internal blocks (:data:`_P2_BLOCK`) and folded with a
+    NumPy multi-estimator batch step, so the estimate depends only on the
+    scenario order — never on the engine's chunking — and the fold costs
+    a few vectorised array ops per block instead of a Python marker update
+    per scenario.  The estimate is approximate; use
+    :class:`ReservoirQuantileSink` when a bounded sample (exact for small
+    sweeps) is preferred.
+
+    The marker state is order-dependent, so this sink is **not**
+    mergeable across process shards — process-sharded sweeps reject it
+    and steer to the reservoir sink.
 
     Args:
         quantiles: Quantile levels in [0, 1], strictly ascending.
@@ -310,20 +457,40 @@ class P2QuantileSink(_ScalarStreamSink):
     def __init__(self, quantiles: Sequence[float], statistic: str = "worst") -> None:
         super().__init__(statistic)
         self.quantiles = _validated_quantiles(quantiles)
-        self._estimators = [_P2Estimator(q) for q in self.quantiles]
+        self._bank = _P2MarkerBank(self.quantiles)
+        self._pending = np.empty(_P2_BLOCK, dtype=float)
+        self._pending_len = 0
 
     def _consume_scalars(self, scalars: np.ndarray, scenario_offset: int) -> None:
-        for value in scalars:
-            for estimator in self._estimators:
-                estimator.add(float(value))
+        scalars = np.asarray(scalars, dtype=float)
+        position = 0
+        while position < scalars.size:
+            take = min(_P2_BLOCK - self._pending_len, scalars.size - position)
+            self._pending[self._pending_len : self._pending_len + take] = scalars[
+                position : position + take
+            ]
+            self._pending_len += take
+            position += take
+            if self._pending_len == _P2_BLOCK:
+                self._bank.insert(self._pending)
+                self._pending_len = 0
 
     def result(self) -> QuantileEstimate:
-        """Current quantile estimates (exact while ≤ 5 scenarios seen)."""
+        """Current quantile estimates (exact while ≤ 5 scenarios seen).
+
+        Non-destructive: the buffered tail is folded into a clone of the
+        marker bank, so reading an estimate mid-sweep does not disturb the
+        fixed block boundaries.
+        """
         self._require_bound()
+        bank = self._bank
+        if self._pending_len:
+            bank = bank.clone()
+            bank.insert(self._pending[: self._pending_len])
         return QuantileEstimate(
             statistic=self.statistic,
             quantiles=self.quantiles,
-            values=np.array([e.estimate() for e in self._estimators]),
+            values=bank.estimate(),
             num_scenarios=self._consumed,
             exact=self._consumed <= 5,
         )
@@ -334,8 +501,18 @@ class ReservoirQuantileSink(_ScalarStreamSink):
 
     Maintains an Algorithm-R reservoir of per-scenario scalars: exact
     empirical quantiles while the sweep fits in the reservoir, an unbiased
-    uniform sample beyond that.  The sample — and therefore the result —
-    depends only on the seed and the scenario order, not on the chunking.
+    uniform sample beyond that.  Replacement slots are drawn vectorised
+    per chunk from the same uniform stream a per-value loop would consume,
+    so the sample — and therefore the result — depends only on the seed
+    and the scenario order, not on the chunking.
+
+    The sink is mergeable: two reservoirs over disjoint scenario shards
+    combine by weighted resampling (each shard's sample is drawn from in
+    proportion to the number of scenarios it represents).  A merged
+    reservoir is a statistically equivalent uniform sample of the union,
+    exact while the combined stream still fits in the capacity — this is
+    the quantile sink to use with the process-sharded executor, where the
+    order-dependent :class:`P2QuantileSink` is rejected.
 
     Args:
         capacity: Reservoir size (scenarios retained).
@@ -361,14 +538,86 @@ class ReservoirQuantileSink(_ScalarStreamSink):
         self._filled = 0
 
     def _consume_scalars(self, scalars: np.ndarray, scenario_offset: int) -> None:
-        for offset, value in enumerate(scalars):
-            if self._filled < self.capacity:
-                self._sample[self._filled] = value
-                self._filled += 1
-                continue
-            slot = int(self._rng.integers(0, scenario_offset + offset + 1))
-            if slot < self.capacity:
-                self._sample[slot] = value
+        scalars = np.asarray(scalars, dtype=float)
+        taken = 0
+        if self._filled < self.capacity:
+            taken = min(self.capacity - self._filled, scalars.size)
+            self._sample[self._filled : self._filled + taken] = scalars[:taken]
+            self._filled += taken
+        rest = scalars[taken:]
+        if rest.size == 0:
+            return
+        # Algorithm R, vectorised: value j of the stream (0-based global
+        # index i_j) replaces a uniform slot in [0, i_j + 1) when that slot
+        # lands inside the reservoir.  Duplicate slots within one chunk
+        # resolve last-wins via fancy assignment — identical to the
+        # sequential loop.
+        stream_length = scenario_offset + taken + np.arange(rest.size) + 1.0
+        slots = np.floor(self._rng.random(rest.size) * stream_length).astype(np.int64)
+        accept = slots < self.capacity
+        self._sample[slots[accept]] = rest[accept]
+
+    def snapshot(self) -> SinkSnapshot:
+        """Freeze the reservoir (and the stream size it represents)."""
+        self._require_bound()
+        return SinkSnapshot(
+            sink_type=type(self).__name__,
+            num_scenarios=self._consumed,
+            state={
+                "capacity": self.capacity,
+                "quantiles": self.quantiles,
+                "statistic": self.statistic,
+                "sample": self._sample[: self._filled].copy(),
+            },
+        )
+
+    def merge(self, snapshot: SinkSnapshot) -> None:
+        """Merge a shard's reservoir by weighted resampling.
+
+        Both samples are drawn from in proportion to the number of
+        scenarios each represents, yielding a uniform sample of the
+        combined stream.  While everything still fits in the capacity the
+        merge is an exact concatenation.
+        """
+        self._begin_merge(snapshot)
+        state = snapshot.state
+        if (
+            state["capacity"] != self.capacity
+            or state["quantiles"] != self.quantiles
+            or state["statistic"] != self.statistic
+        ):
+            raise ValueError(
+                "cannot merge reservoirs with different capacity / quantiles / statistic"
+            )
+        other = np.asarray(state["sample"], dtype=float)
+        own_weight, other_weight = self._consumed, snapshot.num_scenarios
+        if other.size:
+            own_complete = self._filled == own_weight
+            other_complete = other.size == other_weight
+            if self._filled == 0:
+                self._sample[: other.size] = other
+                self._filled = other.size
+            elif own_complete and other_complete and self._filled + other.size <= self.capacity:
+                self._sample[self._filled : self._filled + other.size] = other
+                self._filled += other.size
+            else:
+                own = self._sample[: self._filled]
+                # A uniform m-subset of the combined stream contains a
+                # Hypergeometric(own_weight, other_weight, m) number of the
+                # own side's items; drawing that count and filling each
+                # side's share from its (uniform, shuffled) sample keeps
+                # every stream item equally likely to survive the merge —
+                # exactly, not just in expectation.
+                merged_size = min(self.capacity, own.size + other.size)
+                from_own = int(
+                    self._rng.hypergeometric(own_weight, other_weight, merged_size)
+                )
+                from_own = min(max(from_own, merged_size - other.size), own.size)
+                own = self._rng.permutation(own)[:from_own]
+                other = self._rng.permutation(other)[: merged_size - from_own]
+                self._sample[:merged_size] = np.concatenate((own, other))
+                self._filled = merged_size
+        self._finish_merge(snapshot)
 
     def result(self) -> QuantileEstimate:
         """Empirical quantiles of the reservoir sample."""
@@ -476,6 +725,30 @@ class NodeHistogramSink(IRDropSink):
         self._underflow += (drops < edges[0]).sum(axis=0)
         self._overflow += (drops > edges[-1]).sum(axis=0)
 
+    def snapshot(self) -> SinkSnapshot:
+        """Freeze the accumulated per-node counters."""
+        self._require_bound()
+        return SinkSnapshot(
+            sink_type=type(self).__name__,
+            num_scenarios=self._consumed,
+            state={
+                "edges": self.edges.copy(),
+                "counts": self._counts.copy(),
+                "underflow": self._underflow.copy(),
+                "overflow": self._overflow.copy(),
+            },
+        )
+
+    def merge(self, snapshot: SinkSnapshot) -> None:
+        """Add a shard's counters (exact — counting is associative)."""
+        self._begin_merge(snapshot)
+        if not np.array_equal(snapshot.state["edges"], self.edges):
+            raise ValueError("cannot merge histograms with different bin edges")
+        self._counts += snapshot.state["counts"]
+        self._underflow += snapshot.state["underflow"]
+        self._overflow += snapshot.state["overflow"]
+        self._finish_merge(snapshot)
+
     def result(self) -> NodeHistogram:
         """The accumulated per-node histogram."""
         self._require_bound()
@@ -555,6 +828,23 @@ class ExceedanceCountSink(IRDropSink):
     def _consume_drops(self, drops: np.ndarray, scenario_offset: int) -> None:
         self._exceed += (drops > self.threshold).sum(axis=0)
 
+    def snapshot(self) -> SinkSnapshot:
+        """Freeze the accumulated per-node exceedance counters."""
+        self._require_bound()
+        return SinkSnapshot(
+            sink_type=type(self).__name__,
+            num_scenarios=self._consumed,
+            state={"threshold": self.threshold, "counts": self._exceed.copy()},
+        )
+
+    def merge(self, snapshot: SinkSnapshot) -> None:
+        """Add a shard's counters (exact — counting is associative)."""
+        self._begin_merge(snapshot)
+        if snapshot.state["threshold"] != self.threshold:
+            raise ValueError("cannot merge exceedance counters with different thresholds")
+        self._exceed += snapshot.state["counts"]
+        self._finish_merge(snapshot)
+
     def result(self) -> ExceedanceCounts:
         """The accumulated exceedance counters."""
         self._require_bound()
@@ -563,6 +853,109 @@ class ExceedanceCountSink(IRDropSink):
             counts=self._exceed,
             num_scenarios=self._consumed,
         )
+
+
+@dataclass(frozen=True)
+class JointExceedance:
+    """Joint (per-scenario) exceedance statistics against an IR-drop threshold.
+
+    Where :class:`ExceedanceCounts` counts scenarios per node — and can
+    therefore only lower-bound "some node exceeds" probabilities — this
+    reduction counts *violating nodes per scenario*, so the joint question
+    is answered exactly.
+
+    Attributes:
+        threshold: IR-drop threshold in volts (strict ``>`` comparison).
+        violating_node_counts: ``(max_violating_nodes + 1,)`` histogram:
+            entry ``v`` is the number of scenarios with exactly ``v``
+            nodes over the threshold (entry 0 = fully clean scenarios).
+        num_scenarios: Number of scenarios observed.
+    """
+
+    threshold: float
+    violating_node_counts: np.ndarray
+    num_scenarios: int
+
+    @property
+    def scenarios_with_violation(self) -> int:
+        """Exact count of scenarios where at least one node exceeds."""
+        return int(self.violating_node_counts[1:].sum())
+
+    @property
+    def any_exceedance_rate(self) -> float:
+        """P(≥ 1 node exceeds) over the observed scenarios.
+
+        NaN when no scenario was observed — an undefined probability must
+        not masquerade as "never exceeds".
+        """
+        if self.num_scenarios == 0:
+            return float("nan")
+        return self.scenarios_with_violation / self.num_scenarios
+
+    @property
+    def max_violating_nodes(self) -> int:
+        """Largest number of simultaneously violating nodes seen."""
+        nonzero = np.flatnonzero(self.violating_node_counts)
+        return int(nonzero[-1]) if nonzero.size else 0
+
+
+class JointExceedanceSink(IRDropSink):
+    """Exact joint exceedance statistics: violating-node counts per scenario.
+
+    Each scenario is reduced to its number of nodes over the threshold;
+    the sink keeps the exact integer histogram of those counts.  Counting
+    is associative, so the result is bitwise-identical for every chunking
+    and merges exactly across process shards.
+
+    Args:
+        threshold: IR-drop threshold in volts (strictly-greater counts).
+    """
+
+    def __init__(self, threshold: float) -> None:
+        super().__init__()
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        self.threshold = float(threshold)
+        self._counts = np.zeros(1, dtype=np.int64)
+
+    def _consume_drops(self, drops: np.ndarray, scenario_offset: int) -> None:
+        violating = (drops > self.threshold).sum(axis=1)
+        chunk_counts = np.bincount(violating)
+        self._counts = _padded_add(self._counts, chunk_counts)
+
+    def snapshot(self) -> SinkSnapshot:
+        """Freeze the violating-node-count histogram."""
+        self._require_bound()
+        return SinkSnapshot(
+            sink_type=type(self).__name__,
+            num_scenarios=self._consumed,
+            state={"threshold": self.threshold, "counts": self._counts.copy()},
+        )
+
+    def merge(self, snapshot: SinkSnapshot) -> None:
+        """Add a shard's histogram (exact — counting is associative)."""
+        self._begin_merge(snapshot)
+        if snapshot.state["threshold"] != self.threshold:
+            raise ValueError("cannot merge joint exceedance sinks with different thresholds")
+        self._counts = _padded_add(self._counts, snapshot.state["counts"])
+        self._finish_merge(snapshot)
+
+    def result(self) -> JointExceedance:
+        """The accumulated joint exceedance statistics."""
+        self._require_bound()
+        return JointExceedance(
+            threshold=self.threshold,
+            violating_node_counts=self._counts,
+            num_scenarios=self._consumed,
+        )
+
+
+def _padded_add(accumulated: np.ndarray, extra: np.ndarray) -> np.ndarray:
+    """Sum two 1-D integer histograms of possibly different lengths."""
+    if extra.size > accumulated.size:
+        accumulated = np.pad(accumulated, (0, extra.size - accumulated.size))
+    accumulated[: extra.size] += extra
+    return accumulated
 
 
 @dataclass(frozen=True)
@@ -621,6 +1014,40 @@ class TopKScenarioSink(IRDropSink):
         self._indices = indices[order]
         self._nodes = nodes[order]
 
+    def snapshot(self) -> SinkSnapshot:
+        """Freeze the shortlist (scenario indices stay shard-local)."""
+        self._require_bound()
+        return SinkSnapshot(
+            sink_type=type(self).__name__,
+            num_scenarios=self._consumed,
+            state={
+                "k": self.k,
+                "values": self._values.copy(),
+                "indices": self._indices.copy(),
+                "nodes": self._nodes.copy(),
+            },
+        )
+
+    def merge(self, snapshot: SinkSnapshot) -> None:
+        """Union a shard's shortlist (exact — selection is associative).
+
+        The shard's scenario indices are re-based onto this sink's current
+        offset, so merging shards in ascending order reproduces the global
+        indices — and therefore the exact sequential shortlist, including
+        tie-breaks toward the lower index.
+        """
+        offset = self._begin_merge(snapshot)
+        if snapshot.state["k"] != self.k:
+            raise ValueError("cannot merge top-k sinks with different k")
+        values = np.concatenate((self._values, snapshot.state["values"]))
+        indices = np.concatenate((self._indices, snapshot.state["indices"] + offset))
+        nodes = np.concatenate((self._nodes, snapshot.state["nodes"]))
+        order = np.lexsort((indices, -values))[: self.k]
+        self._values = values[order]
+        self._indices = indices[order]
+        self._nodes = nodes[order]
+        self._finish_merge(snapshot)
+
     def result(self) -> TopKScenarios:
         """The accumulated shortlist, worst scenario first."""
         self._require_bound()
@@ -630,3 +1057,67 @@ class TopKScenarioSink(IRDropSink):
             worst_node_index=self._nodes,
             num_scenarios=self._consumed,
         )
+
+    def rematerialize(
+        self,
+        engine: "BatchedAnalysisEngine",
+        network,
+        scenario_source: "ScenarioSource",
+        names: Sequence[str] | None = None,
+    ) -> "list[IRDropResult]":
+        """Replay the shortlisted scenarios unsharded, as full results.
+
+        Streamed sweeps keep only reductions and sink states; this closes
+        the triage loop: the shortlisted scenario indices are regenerated
+        one row at a time through ``scenario_source`` (the same pure
+        function of the scenario range the sweep ran on — e.g. a
+        :class:`~repro.analysis.engine.CrossProductScenarioSource` for a
+        mega-sweep) and solved through the unsharded batch path, so each
+        worst offender comes back as a complete
+        :class:`~repro.analysis.irdrop.IRDropResult` with per-node
+        voltages and drops.
+
+        Args:
+            engine: The analysis engine to solve the replay with (reuses
+                its cached factorization when the sweep ran on it).
+            network: The grid (or compiled grid) the sweep analysed.
+            scenario_source: Chunk generator covering the swept range.
+            names: Optional per-result names (default
+                ``"scenario <index>"``).
+
+        Returns:
+            One :class:`IRDropResult` per shortlisted scenario, worst
+            first (aligned with :attr:`TopKScenarios.scenario_index`).
+        """
+        self._require_bound()
+        if self._indices.size == 0:
+            return []
+        load_rows: list[np.ndarray] = []
+        pad_rows: list[np.ndarray] = []
+        for index in self._indices:
+            loads, pads = scenario_source(int(index), int(index) + 1)
+            if loads is not None:
+                load_rows.append(np.asarray(loads, dtype=float).reshape(1, -1))
+            if pads is not None:
+                pad_rows.append(np.asarray(pads, dtype=float).reshape(1, -1))
+        if len(load_rows) not in (0, self._indices.size) or len(pad_rows) not in (
+            0,
+            self._indices.size,
+        ):
+            raise ValueError(
+                "scenario source must return loads / pad voltages consistently "
+                "for every scenario"
+            )
+        if not load_rows and not pad_rows:
+            raise ValueError("scenario source returned neither loads nor pad voltages")
+        load_matrix = np.vstack(load_rows) if load_rows else None
+        pad_matrix = np.vstack(pad_rows) if pad_rows else None
+        if names is None:
+            names = tuple(f"scenario {int(index)}" for index in self._indices)
+        if pad_matrix is not None:
+            batch = engine.analyze_pad_batch(
+                network, pad_matrix, load_matrix=load_matrix, names=names
+            )
+        else:
+            batch = engine.analyze_batch(network, load_matrix, names=names)
+        return batch.results()

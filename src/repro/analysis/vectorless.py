@@ -24,12 +24,47 @@ from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
+import scipy.sparse as sp
 
 from ..grid.elements import CurrentSource
 from ..grid.network import PowerGridNetwork
 from .engine import BatchedAnalysisEngine, StreamedSweepResult
+from .executors import SweepExecutor
 from .irdrop import IRDropAnalyzer, IRDropResult
 from .sinks import ScenarioSink
+
+
+@dataclass(frozen=True)
+class _BudgetPolytopeSource:
+    """Picklable scenario source sampling the vectorless budget polytope.
+
+    Scenario ``i`` draws every load at an independent uniform fraction of
+    its budgeted maximum (RNG seeded ``seed + i``), scaled back onto the
+    global utilisation cap when exceeded.  A pure function of the scenario
+    range, so re-chunking — or process-sharding, which pickles this source
+    into worker processes — reproduces the sweep exactly.
+    """
+
+    load_incidence: sp.csr_matrix
+    maxima: np.ndarray
+    allowed_total: float
+    global_utilisation: float
+    seed: int
+
+    def __call__(self, begin: int, end: int) -> tuple[np.ndarray, None]:
+        maxima = self.maxima
+        factors = np.empty((end - begin, maxima.size), dtype=float)
+        for row, scenario in enumerate(range(begin, end)):
+            rng = np.random.default_rng(self.seed + scenario)
+            factors[row] = rng.random(maxima.size)
+        per_source = factors * maxima
+        if maxima.size and self.global_utilisation < 1.0:
+            totals = per_source.sum(axis=1)
+            over = totals > self.allowed_total
+            if np.any(over):
+                per_source[over] *= (self.allowed_total / totals[over])[:, None]
+        loads = np.asarray(self.load_incidence.T.dot(per_source.T)).T
+        return loads, None
 
 
 @dataclass(frozen=True)
@@ -210,10 +245,11 @@ class VectorlessAnalyzer:
         budget: VectorlessBudget,
         num_scenarios: int,
         *,
-        chunk_size: int = 1024,
+        chunk_size: int | None = 1024,
         sinks: Sequence[ScenarioSink] = (),
         seed: int = 0,
         workers: int | None = None,
+        executor: SweepExecutor | str | None = None,
     ) -> StatisticalVectorlessResult:
         """Sample the budget polytope and stream the scenarios into sinks.
 
@@ -237,6 +273,10 @@ class VectorlessAnalyzer:
                 scenarios are still generated and folded in ascending
                 order, so the sweep stays bitwise-reproducible).  ``None``
                 uses the engine default.
+            executor: Sweep-execution strategy (see
+                :meth:`BatchedAnalysisEngine.analyze_batch`); the budget
+                sampler is picklable, so ``"processes"`` shards the sweep
+                across worker processes with mergeable sinks.
 
         Returns:
             A :class:`StatisticalVectorlessResult` combining the
@@ -256,22 +296,13 @@ class VectorlessAnalyzer:
         vectorless = self.analyze(network, budget)
         compiled = network.compile()
         maxima = self._budgeted_maxima(compiled, budget)
-        allowed_total = float(maxima.sum()) * budget.global_utilisation
-
-        def budget_source(begin: int, end: int) -> tuple[np.ndarray, None]:
-            factors = np.empty((end - begin, maxima.size), dtype=float)
-            for row, scenario in enumerate(range(begin, end)):
-                rng = np.random.default_rng(seed + scenario)
-                factors[row] = rng.random(maxima.size)
-            per_source = factors * maxima
-            if maxima.size and budget.global_utilisation < 1.0:
-                totals = per_source.sum(axis=1)
-                over = totals > allowed_total
-                if np.any(over):
-                    per_source[over] *= (allowed_total / totals[over])[:, None]
-            loads = np.asarray(compiled.load_incidence.T.dot(per_source.T)).T
-            return loads, None
-
+        budget_source = _BudgetPolytopeSource(
+            load_incidence=compiled.load_incidence,
+            maxima=maxima,
+            allowed_total=float(maxima.sum()) * budget.global_utilisation,
+            global_utilisation=budget.global_utilisation,
+            seed=seed,
+        )
         sweep = self.analyzer.analyze_scenario_stream(
             compiled,
             budget_source,
@@ -279,6 +310,7 @@ class VectorlessAnalyzer:
             chunk_size=chunk_size,
             sinks=sinks,
             workers=workers,
+            executor=executor,
         )
         return StatisticalVectorlessResult(vectorless=vectorless, sweep=sweep)
 

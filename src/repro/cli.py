@@ -28,11 +28,14 @@ from pathlib import Path
 import numpy as np
 
 from .analysis import (
+    EXECUTOR_NAMES,
     BatchedAnalysisEngine,
     EMChecker,
     ExceedanceCountSink,
+    JointExceedanceSink,
     NodeHistogramSink,
     P2QuantileSink,
+    ReservoirQuantileSink,
     TopKScenarioSink,
 )
 from .core import PowerPlanningDL, format_key_values, format_table
@@ -104,13 +107,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--gamma", type=float, default=0.2, help="perturbation size (0-1)")
     sweep.add_argument(
-        "--chunk-size", type=int, default=256, help="scenarios solved per RHS chunk"
+        "--chunk-size", type=int, default=None,
+        help="scenarios solved per RHS chunk (default: adaptive from grid size and workers)",
+    )
+    sweep.add_argument(
+        "--executor", choices=EXECUTOR_NAMES, default=None,
+        help=(
+            "sweep-execution strategy: serial, threads (chunk solves on a "
+            "thread pool, one ordered fold) or processes (scenario range "
+            "sharded across worker processes, mergeable sinks; quantiles "
+            "switch from P2 to a mergeable reservoir sample)"
+        ),
     )
     sweep.add_argument(
         "--workers", type=int, default=None,
         help=(
-            "solver threads for the chunk solves (default: 1, or "
-            "REPRO_TEST_WORKERS); results are identical for any value"
+            "parallelism: solver threads (threads executor) or shard "
+            "processes (processes executor). Without --executor the "
+            "default is 1 (or the REPRO_TEST_WORKERS / REPRO_TEST_EXECUTOR "
+            "environment); with an explicit --executor threads/processes "
+            "it defaults to the host CPU count. Exact results are "
+            "identical for any value"
         ),
     )
     sweep.add_argument(
@@ -291,11 +308,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.num_loads < 1 or args.num_pads < 1:
         print("error: --num-loads and --num-pads must be at least 1", file=sys.stderr)
         return 2
-    if args.chunk_size < 1:
+    if args.chunk_size is not None and args.chunk_size < 1:
         print("error: --chunk-size must be at least 1", file=sys.stderr)
         return 2
     if args.workers is not None and args.workers < 1:
         print("error: --workers must be at least 1", file=sys.stderr)
+        return 2
+    if args.executor == "serial" and args.workers not in (None, 1):
+        print("error: --executor serial runs single-threaded; drop --workers", file=sys.stderr)
         return 2
     if args.top_k < 1:
         print("error: --top-k must be at least 1", file=sys.stderr)
@@ -323,29 +343,39 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     load_matrix, pad_matrix = mega_sweep_matrices(
         grid, bench.floorplan, args.gamma, args.num_loads, args.num_pads, seed=args.seed
     )
-    quantile_sink = P2QuantileSink(quantiles)
+    if args.executor == "processes":
+        # P2 marker state is order-dependent and cannot merge across
+        # process shards; the reservoir sample merges (weighted
+        # resampling) and is exact while the sweep fits in it.
+        quantile_sink = ReservoirQuantileSink(4096, quantiles, seed=args.seed)
+    else:
+        quantile_sink = P2QuantileSink(quantiles)
     histogram_sink = NodeHistogramSink.uniform(
         0.0, max(2.0 * nominal.worst_ir_drop, 1e-6), args.bins
     )
     exceedance_sink = ExceedanceCountSink(threshold)
+    joint_sink = JointExceedanceSink(threshold)
     topk_sink = TopKScenarioSink(args.top_k)
     result = engine.analyze_mega_sweep(
         grid,
         load_matrix,
         pad_matrix,
         chunk_size=args.chunk_size,
-        sinks=(quantile_sink, histogram_sink, exceedance_sink, topk_sink),
+        sinks=(quantile_sink, histogram_sink, exceedance_sink, joint_sink, topk_sink),
         workers=args.workers,
+        executor=args.executor,
     )
 
     estimate = quantile_sink.result()
     exceedance = exceedance_sink.result()
+    joint = joint_sink.result()
     topk = topk_sink.result()
     nodes_exceeding = int((exceedance.counts > 0).sum())
     summary = {
         "benchmark": bench.name,
         "scenarios (loads x pads)": f"{args.num_loads} x {args.num_pads} = {result.num_scenarios}",
         "chunk size": result.chunk_size,
+        "executor": result.executor,
         "solver workers": result.workers,
         "nominal worst IR drop (mV)": nominal.worst_ir_drop_mv,
         "sweep worst IR drop (mV)": float(result.worst_ir_drop.max()) * 1000.0,
@@ -357,6 +387,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "exceedance threshold (mV)": threshold * 1000.0,
             "nodes ever exceeding": nodes_exceeding,
             "max node exceedance rate": float(exceedance.rates.max()),
+            "scenarios with any violation": joint.scenarios_with_violation,
+            "P(any node exceeds)": joint.any_exceedance_rate,
             "scenarios / second": result.scenarios_per_second,
             "sweep time (s)": result.analysis_time,
             "factorizations": engine.cache_info().factorizations,
@@ -389,6 +421,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "num_pad_scenarios": args.num_pads,
             "num_scenarios": result.num_scenarios,
             "chunk_size": result.chunk_size,
+            "executor": result.executor,
             "workers": result.workers,
             "nominal_worst_ir_drop": nominal.worst_ir_drop,
             "sweep_worst_ir_drop": float(result.worst_ir_drop.max()),
@@ -396,6 +429,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "exceedance_threshold": threshold,
             "nodes_ever_exceeding": nodes_exceeding,
             "max_node_exceedance_rate": float(exceedance.rates.max()),
+            "scenarios_with_violation": joint.scenarios_with_violation,
+            "any_exceedance_rate": joint.any_exceedance_rate,
+            "max_violating_nodes": joint.max_violating_nodes,
             "histogram_edges": histogram.edges.tolist(),
             "top_scenarios": [
                 {

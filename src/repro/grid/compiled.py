@@ -810,6 +810,19 @@ class CompiledGrid:
         per_source = source_factors * self.load_current
         return np.asarray(self.load_incidence.T.dot(per_source.T)).T
 
+    def __getstate__(self) -> dict:
+        """Drop the unpicklable cached hash object before pickling.
+
+        Process-sharded sweeps ship the compiled grid to worker processes;
+        everything in it is arrays and sparse matrices except the cached
+        ``hashlib`` partial digest, which a clone recomputes on demand
+        (the finished :attr:`fingerprint` string, if cached, travels
+        along, so workers usually never re-hash).
+        """
+        state = self.__dict__.copy()
+        state.pop("_topology_digest", None)
+        return state
+
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (
             f"CompiledGrid(name={self.name!r}, nodes={self.num_nodes}, "

@@ -1,0 +1,508 @@
+"""Tests for the pluggable sweep-execution layer.
+
+The core guarantee: a process-sharded sweep — scenario range split across
+worker processes, each with its own factorization and its own fold — is
+**bitwise-identical** to the sequential sweep for the streamed reductions
+and every exact mergeable sink, at every shard count (1, an even split,
+and a non-divisor).  The reservoir sink merges by weighted resampling and
+is validated statistically; the order-dependent P² sink is rejected up
+front with a pointer to the reservoir.  Also covered: executor resolution
+precedence (explicit executor > workers= > environment default), the
+lenient fallback of :data:`EXECUTOR_ENV`, the adaptive chunk-width
+heuristic, and top-k rematerialisation.
+"""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    BatchedAnalysisEngine,
+    CrossProductScenarioSource,
+    ExceedanceCountSink,
+    ExecutorIncompatibility,
+    JointExceedanceSink,
+    MatrixScenarioSource,
+    MergeableSink,
+    NodeHistogramSink,
+    P2QuantileSink,
+    ProcessShardedExecutor,
+    ReservoirQuantileSink,
+    SerialExecutor,
+    ThreadedExecutor,
+    TopKScenarioSink,
+    VectorlessAnalyzer,
+    make_executor,
+    resolve_chunk_size,
+    uniform_budget,
+)
+from repro.analysis.engine import (
+    CHUNK_MEMORY_BUDGET_BYTES,
+    MAX_CHUNK_SIZE,
+    MIN_CHUNK_SIZE,
+)
+from repro.analysis.executors import EXECUTOR_ENV
+from repro.grid import (
+    PerturbationKind,
+    PerturbationSpec,
+    SyntheticIBMSuite,
+    mega_sweep_matrices,
+    perturbed_load_matrix,
+)
+
+SHARD_COUNTS = [1, 2, 3]
+"""Degenerate single shard, even split, and a non-divisor of 37."""
+
+
+@pytest.fixture(scope="module")
+def ibmpg1_bench():
+    return SyntheticIBMSuite().load("ibmpg1")
+
+
+@pytest.fixture(scope="module")
+def ibmpg1_grid(ibmpg1_bench):
+    return ibmpg1_bench.build_uniform_grid(5.0)
+
+
+@pytest.fixture(scope="module")
+def load_sweep(ibmpg1_grid):
+    spec = PerturbationSpec(gamma=0.2, kind=PerturbationKind.CURRENT_WORKLOADS, seed=11)
+    return perturbed_load_matrix(ibmpg1_grid, spec, 37)
+
+
+@pytest.fixture(scope="module")
+def nominal_worst(ibmpg1_grid):
+    return BatchedAnalysisEngine().analyze(ibmpg1_grid).worst_ir_drop
+
+
+def mergeable_sinks(threshold: float) -> dict:
+    """Fresh instances of every mergeable sink family."""
+    return {
+        "reservoir": ReservoirQuantileSink(16, (0.5, 0.9), seed=3),
+        "histogram": NodeHistogramSink.uniform(0.0, 2.0 * threshold + 1e-6, 8),
+        "exceedance": ExceedanceCountSink(threshold),
+        "joint": JointExceedanceSink(threshold),
+        "topk": TopKScenarioSink(4),
+    }
+
+
+def assert_exact_sinks_identical(sequential: dict, sharded: dict) -> None:
+    """Every exact mergeable sink must be bitwise-equal between sweeps."""
+    seq_hist, shard_hist = sequential["histogram"].result(), sharded["histogram"].result()
+    assert np.array_equal(seq_hist.counts, shard_hist.counts)
+    assert np.array_equal(seq_hist.underflow, shard_hist.underflow)
+    assert np.array_equal(seq_hist.overflow, shard_hist.overflow)
+    assert np.array_equal(
+        sequential["exceedance"].result().counts, sharded["exceedance"].result().counts
+    )
+    seq_joint, shard_joint = sequential["joint"].result(), sharded["joint"].result()
+    assert np.array_equal(
+        seq_joint.violating_node_counts, shard_joint.violating_node_counts
+    )
+    assert seq_joint.scenarios_with_violation == shard_joint.scenarios_with_violation
+    seq_topk, shard_topk = sequential["topk"].result(), sharded["topk"].result()
+    assert np.array_equal(seq_topk.scenario_index, shard_topk.scenario_index)
+    assert np.array_equal(seq_topk.worst_ir_drop, shard_topk.worst_ir_drop)
+    assert np.array_equal(seq_topk.worst_node_index, shard_topk.worst_node_index)
+
+
+def assert_reductions_identical(sequential, sharded) -> None:
+    assert np.array_equal(sequential.worst_ir_drop, sharded.worst_ir_drop)
+    assert np.array_equal(sequential.average_ir_drop, sharded.average_ir_drop)
+    assert np.array_equal(sequential.worst_node_index, sharded.worst_node_index)
+
+
+class TestProcessShardedEquivalence:
+    """Merge-equivalence suite: process shards == sequential, bitwise."""
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_batch_bitwise_matches_sequential(
+        self, ibmpg1_grid, load_sweep, nominal_worst, shards
+    ):
+        engine = BatchedAnalysisEngine()
+        seq_sinks = mergeable_sinks(nominal_worst)
+        sequential = engine.analyze_batch(
+            ibmpg1_grid,
+            load_sweep,
+            chunk_size=7,
+            sinks=tuple(seq_sinks.values()),
+            workers=1,
+        )
+        shard_sinks = mergeable_sinks(nominal_worst)
+        sharded = engine.analyze_batch(
+            ibmpg1_grid,
+            load_sweep,
+            chunk_size=7,
+            sinks=tuple(shard_sinks.values()),
+            executor=ProcessShardedExecutor(shards=shards),
+        )
+        assert_reductions_identical(sequential, sharded)
+        assert_exact_sinks_identical(seq_sinks, shard_sinks)
+        assert np.array_equal(sequential.solver_iterations, sharded.solver_iterations)
+        assert sharded.solver_method == sequential.solver_method
+        # Every shard observed the whole of its range exactly once.
+        assert shard_sinks["topk"].num_consumed == load_sweep.shape[0]
+
+    @pytest.mark.parametrize("shards", [2, 3])
+    def test_mega_sweep_bitwise_matches_sequential(
+        self, ibmpg1_grid, ibmpg1_bench, nominal_worst, shards
+    ):
+        load_matrix, pad_matrix = mega_sweep_matrices(
+            ibmpg1_grid, ibmpg1_bench.floorplan, 0.2, 12, 8, seed=7
+        )
+        engine = BatchedAnalysisEngine()
+        seq_sinks = mergeable_sinks(nominal_worst)
+        sequential = engine.analyze_mega_sweep(
+            ibmpg1_grid,
+            load_matrix,
+            pad_matrix,
+            chunk_size=13,
+            sinks=tuple(seq_sinks.values()),
+            workers=1,
+        )
+        shard_sinks = mergeable_sinks(nominal_worst)
+        sharded = engine.analyze_mega_sweep(
+            ibmpg1_grid,
+            load_matrix,
+            pad_matrix,
+            chunk_size=13,
+            sinks=tuple(shard_sinks.values()),
+            executor=ProcessShardedExecutor(shards=shards),
+        )
+        assert_reductions_identical(sequential, sharded)
+        assert_exact_sinks_identical(seq_sinks, shard_sinks)
+        assert sharded.executor == "processes"
+        assert sharded.workers == shards
+
+    def test_pad_batch_bitwise_matches_sequential(self, ibmpg1_grid, ibmpg1_bench):
+        from repro.grid import perturbed_pad_voltage_matrix
+
+        spec = PerturbationSpec(gamma=0.15, kind=PerturbationKind.NODE_VOLTAGES, seed=17)
+        pad_matrix = perturbed_pad_voltage_matrix(ibmpg1_grid, spec, 9)
+        engine = BatchedAnalysisEngine()
+        sequential = engine.analyze_pad_batch(ibmpg1_grid, pad_matrix, chunk_size=2, workers=1)
+        sharded = engine.analyze_pad_batch(
+            ibmpg1_grid, pad_matrix, chunk_size=2, executor="processes"
+        )
+        assert_reductions_identical(sequential, sharded)
+
+    def test_scenario_stream_with_picklable_source(self, ibmpg1_grid, load_sweep):
+        engine = BatchedAnalysisEngine()
+        source = MatrixScenarioSource(load_matrix=load_sweep)
+        sequential = engine.analyze_scenario_stream(
+            ibmpg1_grid, source, load_sweep.shape[0], chunk_size=5, workers=1
+        )
+        sharded = engine.analyze_scenario_stream(
+            ibmpg1_grid,
+            source,
+            load_sweep.shape[0],
+            chunk_size=5,
+            executor=ProcessShardedExecutor(shards=3),
+        )
+        assert_reductions_identical(sequential, sharded)
+        assert sharded.executor == "processes"
+
+    def test_statistical_vectorless_bitwise_matches_sequential(self, ibmpg1_grid):
+        budget = uniform_budget(ibmpg1_grid, headroom=1.3, utilisation=0.9)
+        sequential = VectorlessAnalyzer(BatchedAnalysisEngine()).analyze_statistical(
+            ibmpg1_grid, budget, 30, chunk_size=7, seed=5, workers=1
+        )
+        sharded = VectorlessAnalyzer(BatchedAnalysisEngine()).analyze_statistical(
+            ibmpg1_grid,
+            budget,
+            30,
+            chunk_size=7,
+            seed=5,
+            executor=ProcessShardedExecutor(shards=2),
+        )
+        assert_reductions_identical(sequential.sweep, sharded.sweep)
+        assert sequential.worst_observed == sharded.worst_observed
+
+    def test_parent_cache_warm_after_process_sweep(self, ibmpg1_grid, load_sweep):
+        """One factorization lands in the parent for follow-up solves."""
+        engine = BatchedAnalysisEngine()
+        engine.analyze_batch(
+            ibmpg1_grid, load_sweep, chunk_size=7, executor="processes"
+        )
+        assert engine.cache_info().factorizations == 1
+        follow_up = engine.analyze(ibmpg1_grid)
+        assert follow_up.worst_ir_drop > 0
+        assert engine.cache_info().factorizations == 1  # served from cache
+
+    def test_reservoir_merge_statistically_valid(self, ibmpg1_grid, nominal_worst):
+        """Merged reservoirs estimate the true quantiles about as well as
+        one sequential reservoir (deterministic seeds — no flakiness)."""
+        spec = PerturbationSpec(
+            gamma=0.25, kind=PerturbationKind.CURRENT_WORKLOADS, seed=13
+        )
+        big_sweep = perturbed_load_matrix(ibmpg1_grid, spec, 400)
+        engine = BatchedAnalysisEngine()
+        reference = engine.analyze_batch(ibmpg1_grid, big_sweep, chunk_size=64)
+        worst = reference.worst_ir_drop
+        true = np.quantile(worst, (0.5, 0.9))
+        spread = worst.max() - worst.min()
+        sink = ReservoirQuantileSink(64, (0.5, 0.9), seed=3)
+        engine.analyze_batch(
+            ibmpg1_grid,
+            big_sweep,
+            chunk_size=64,
+            sinks=[sink],
+            executor=ProcessShardedExecutor(shards=4),
+        )
+        estimate = sink.result()
+        assert estimate.num_scenarios == 400
+        assert np.all(np.abs(estimate.values - true) <= 0.15 * spread)
+
+
+class TestProcessShardedRejections:
+    def test_p2_rejected_with_pointer_to_reservoir(self, ibmpg1_grid, load_sweep):
+        engine = BatchedAnalysisEngine()
+        with pytest.raises(ExecutorIncompatibility, match="ReservoirQuantileSink"):
+            engine.analyze_batch(
+                ibmpg1_grid,
+                load_sweep,
+                chunk_size=7,
+                sinks=[P2QuantileSink([0.5])],
+                executor=ProcessShardedExecutor(shards=2),
+            )
+
+    def test_p2_not_mergeable_reservoir_is(self):
+        assert not isinstance(P2QuantileSink([0.5]), MergeableSink)
+        assert isinstance(ReservoirQuantileSink(8, [0.5]), MergeableSink)
+
+    def test_unpicklable_source_rejected(self, ibmpg1_grid, load_sweep):
+        engine = BatchedAnalysisEngine()
+        with pytest.raises(ExecutorIncompatibility, match="picklable"):
+            engine.analyze_scenario_stream(
+                ibmpg1_grid,
+                lambda begin, end: (load_sweep[begin:end], None),
+                load_sweep.shape[0],
+                chunk_size=5,
+                executor="processes",
+            )
+
+    def test_incompatibility_raised_before_sinks_bind(self, ibmpg1_grid, load_sweep):
+        """Rejection must leave the sinks reusable (nothing observed)."""
+        engine = BatchedAnalysisEngine()
+        p2 = P2QuantileSink([0.5])
+        exceedance = ExceedanceCountSink(0.1)
+        with pytest.raises(ExecutorIncompatibility):
+            engine.analyze_batch(
+                ibmpg1_grid,
+                load_sweep,
+                chunk_size=7,
+                sinks=[exceedance, p2],
+                executor="processes",
+            )
+        # The same sinks still run fine on the threaded path.
+        engine.analyze_batch(
+            ibmpg1_grid, load_sweep, chunk_size=7, sinks=[exceedance, p2], workers=2
+        )
+        assert exceedance.num_consumed == load_sweep.shape[0]
+
+
+class TestExecutorResolution:
+    def test_make_executor_names(self):
+        assert isinstance(make_executor("serial"), SerialExecutor)
+        assert make_executor("threads", 3).parallelism == 3
+        assert make_executor("processes", 5).parallelism == 5
+        with pytest.raises(ValueError, match="unknown executor"):
+            make_executor("fibers")
+        with pytest.raises(ValueError, match="serial"):
+            make_executor("serial", 4)
+
+    def test_executor_and_workers_conflict(self, ibmpg1_grid, load_sweep):
+        engine = BatchedAnalysisEngine()
+        with pytest.raises(ValueError, match="not both"):
+            engine.analyze_batch(
+                ibmpg1_grid,
+                load_sweep,
+                chunk_size=7,
+                workers=2,
+                executor=SerialExecutor(),
+            )
+        # A *named* executor combines with workers= as its parallelism.
+        result = engine.analyze_batch(
+            ibmpg1_grid, load_sweep, chunk_size=7, workers=2, executor="threads"
+        )
+        assert result.reductions is not None
+
+    def test_serial_executor_matches_threads(self, ibmpg1_grid, load_sweep):
+        engine = BatchedAnalysisEngine()
+        serial = engine.analyze_batch(
+            ibmpg1_grid, load_sweep, chunk_size=7, executor=SerialExecutor()
+        )
+        threaded = engine.analyze_batch(
+            ibmpg1_grid, load_sweep, chunk_size=7, executor=ThreadedExecutor(3)
+        )
+        assert_reductions_identical(serial, threaded)
+
+    def test_stream_reports_executor_name(self, ibmpg1_grid, load_sweep):
+        engine = BatchedAnalysisEngine()
+        source = MatrixScenarioSource(load_matrix=load_sweep)
+        result = engine.analyze_scenario_stream(
+            ibmpg1_grid,
+            source,
+            load_sweep.shape[0],
+            chunk_size=5,
+            executor=SerialExecutor(),
+        )
+        assert result.executor == "serial"
+        assert result.workers == 1
+
+    def test_env_default_executor(self, monkeypatch, ibmpg1_grid, load_sweep):
+        monkeypatch.setenv(EXECUTOR_ENV, "processes")
+        engine = BatchedAnalysisEngine()
+        reference = BatchedAnalysisEngine(default_executor="serial").analyze_batch(
+            ibmpg1_grid, load_sweep, chunk_size=7
+        )
+        sharded = engine.analyze_batch(ibmpg1_grid, load_sweep, chunk_size=7)
+        assert_reductions_identical(reference, sharded)
+
+    def test_env_default_falls_back_for_incompatible_sweeps(
+        self, monkeypatch, ibmpg1_grid, load_sweep
+    ):
+        monkeypatch.setenv(EXECUTOR_ENV, "processes")
+        engine = BatchedAnalysisEngine()
+        # P² sink: not mergeable -> threads fallback, sweep still succeeds.
+        sink = P2QuantileSink([0.5])
+        engine.analyze_batch(ibmpg1_grid, load_sweep, chunk_size=7, sinks=[sink])
+        assert sink.result().num_scenarios == load_sweep.shape[0]
+        # Closure source: not picklable -> threads fallback.
+        stream = engine.analyze_scenario_stream(
+            ibmpg1_grid,
+            lambda begin, end: (load_sweep[begin:end], None),
+            load_sweep.shape[0],
+            chunk_size=5,
+        )
+        assert stream.executor == "threads"
+
+    def test_env_value_validated(self, monkeypatch):
+        monkeypatch.setenv(EXECUTOR_ENV, "bogus")
+        with pytest.raises(ValueError, match=EXECUTOR_ENV):
+            BatchedAnalysisEngine()
+
+    def test_explicit_executor_overrides_env(self, monkeypatch, ibmpg1_grid, load_sweep):
+        monkeypatch.setenv(EXECUTOR_ENV, "processes")
+        engine = BatchedAnalysisEngine()
+        # An explicit executor is strict: P² + processes raises even
+        # though the environment default would have fallen back.
+        with pytest.raises(ExecutorIncompatibility):
+            engine.analyze_batch(
+                ibmpg1_grid,
+                load_sweep,
+                chunk_size=7,
+                sinks=[P2QuantileSink([0.5])],
+                executor="processes",
+            )
+
+    def test_invalid_shards_rejected(self):
+        with pytest.raises(ValueError, match="shards"):
+            ProcessShardedExecutor(shards=0)
+        with pytest.raises(ValueError, match="start_method"):
+            ProcessShardedExecutor(start_method="telepathy")
+
+
+class TestCompiledGridPickling:
+    def test_compiled_grid_round_trips_after_fingerprint(self, ibmpg1_grid):
+        compiled = ibmpg1_grid.compile()
+        compiled.fingerprint  # caches the (unpicklable) partial digest
+        compiled.reduced_matrix
+        clone = pickle.loads(pickle.dumps(compiled))
+        assert clone.fingerprint == compiled.fingerprint
+        assert clone.num_unknowns == compiled.num_unknowns
+        assert (clone.reduced_matrix != compiled.reduced_matrix).nnz == 0
+
+
+class TestResolveChunkSize:
+    def test_bounds_pinned(self):
+        assert resolve_chunk_size(10, workers=1) == MAX_CHUNK_SIZE
+        assert resolve_chunk_size(50_000_000, workers=1) == MIN_CHUNK_SIZE
+        # Exact interior point: 65536 unknowns x 2 workers x 32 B/scenario
+        # = 4 MiB per scenario-slot; 256 MiB budget -> 64 scenarios.
+        assert resolve_chunk_size(65536, workers=2) == 64
+
+    def test_monotone_in_grid_size_and_workers(self):
+        assert resolve_chunk_size(50_000, workers=1) >= resolve_chunk_size(
+            200_000, workers=1
+        )
+        assert resolve_chunk_size(200_000, workers=1) >= resolve_chunk_size(
+            200_000, workers=4
+        )
+
+    def test_defaults_and_budget(self):
+        assert resolve_chunk_size(65536, workers=None) == resolve_chunk_size(
+            65536, workers=os.cpu_count() or 1
+        )
+        assert resolve_chunk_size(
+            65536, workers=2, memory_budget_bytes=2 * CHUNK_MEMORY_BUDGET_BYTES
+        ) == 128
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="num_unknowns"):
+            resolve_chunk_size(-1)
+        with pytest.raises(ValueError, match="workers"):
+            resolve_chunk_size(100, workers=0)
+        with pytest.raises(ValueError, match="memory_budget_bytes"):
+            resolve_chunk_size(100, memory_budget_bytes=0)
+
+    def test_streamed_default_is_adaptive(self, ibmpg1_grid, load_sweep):
+        engine = BatchedAnalysisEngine()
+        source = MatrixScenarioSource(load_matrix=load_sweep)
+        result = engine.analyze_scenario_stream(
+            ibmpg1_grid, source, load_sweep.shape[0], workers=1
+        )
+        compiled = ibmpg1_grid.compile()
+        assert result.chunk_size == resolve_chunk_size(compiled.num_unknowns, 1)
+
+
+class TestRematerialize:
+    def test_mega_sweep_topk_round_trip(self, ibmpg1_grid, ibmpg1_bench):
+        load_matrix, pad_matrix = mega_sweep_matrices(
+            ibmpg1_grid, ibmpg1_bench.floorplan, 0.2, 6, 4, seed=3
+        )
+        engine = BatchedAnalysisEngine()
+        topk_sink = TopKScenarioSink(3)
+        result = engine.analyze_mega_sweep(
+            ibmpg1_grid, load_matrix, pad_matrix, chunk_size=7, sinks=[topk_sink]
+        )
+        topk = topk_sink.result()
+        replayed = topk_sink.rematerialize(
+            engine, ibmpg1_grid, CrossProductScenarioSource(load_matrix, pad_matrix)
+        )
+        assert len(replayed) == 3
+        compiled = result.compiled
+        for rank, full in enumerate(replayed):
+            assert full.worst_ir_drop == float(topk.worst_ir_drop[rank])
+            assert full.worst_node == compiled.node_names[int(topk.worst_node_index[rank])]
+            assert full.network_name == f"scenario {int(topk.scenario_index[rank])}"
+            assert len(full.node_voltages) == compiled.num_nodes
+
+    def test_rematerialize_after_process_sharded_sweep(
+        self, ibmpg1_grid, load_sweep, nominal_worst
+    ):
+        engine = BatchedAnalysisEngine()
+        topk_sink = TopKScenarioSink(2)
+        engine.analyze_batch(
+            ibmpg1_grid,
+            load_sweep,
+            chunk_size=7,
+            sinks=[topk_sink],
+            executor=ProcessShardedExecutor(shards=3),
+        )
+        replayed = topk_sink.rematerialize(
+            engine, ibmpg1_grid, MatrixScenarioSource(load_matrix=load_sweep)
+        )
+        topk = topk_sink.result()
+        assert [r.worst_ir_drop for r in replayed] == [float(v) for v in topk.worst_ir_drop]
+        # The replay reuses the factorization the process sweep warmed.
+        assert engine.cache_info().factorizations == 1
+
+    def test_unbound_sink_rejected(self, ibmpg1_grid, load_sweep):
+        engine = BatchedAnalysisEngine()
+        with pytest.raises(ValueError, match="never bound"):
+            TopKScenarioSink(2).rematerialize(
+                engine, ibmpg1_grid, MatrixScenarioSource(load_matrix=load_sweep)
+            )

@@ -132,6 +132,48 @@ class TestSweep:
         assert "--threshold-mv" in capsys.readouterr().err
         assert main(["sweep", "ibmpg1", "--workers", "0"]) == 2
         assert "--workers" in capsys.readouterr().err
+        assert main(["sweep", "ibmpg1", "--executor", "serial", "--workers", "2"]) == 2
+        assert "--executor serial" in capsys.readouterr().err
+
+    def test_sweep_executor_processes(self, tmp_path, capsys):
+        """--executor processes shards the sweep and reports exact
+        statistics identical to the threaded run (quantiles switch to the
+        mergeable reservoir sample and are excluded)."""
+        args = [
+            "sweep", "ibmpg1",
+            "--num-loads", "6", "--num-pads", "4",
+            "--chunk-size", "7", "--top-k", "3",
+        ]
+        threads_path = tmp_path / "threads.json"
+        process_path = tmp_path / "processes.json"
+        assert main(args + ["--executor", "threads", "--json-out", str(threads_path)]) == 0
+        assert (
+            main(
+                args
+                + [
+                    "--executor", "processes", "--workers", "2",
+                    "--json-out", str(process_path),
+                ]
+            )
+            == 0
+        )
+        assert "executor" in capsys.readouterr().out
+
+        import json
+
+        threads = json.loads(threads_path.read_text())
+        processes = json.loads(process_path.read_text())
+        assert threads["executor"] == "threads"
+        assert processes["executor"] == "processes"
+        assert processes["workers"] == 2
+        volatile = (
+            "executor", "workers", "analysis_time_seconds", "scenarios_per_second",
+            "quantiles",  # P2 (threads) vs mergeable reservoir (processes)
+        )
+        for record in (threads, processes):
+            for key in volatile:
+                record.pop(key)
+        assert threads == processes
 
     def test_sweep_with_workers_matches_sequential_record(self, tmp_path, capsys):
         """--workers changes throughput only: the JSON record's statistics
