@@ -336,6 +336,7 @@ def test_mega_sweep_sinks(benchmark, results_dir):
     record = {
         "benchmark": BENCHMARK,
         "scale": scale,
+        "smoke": not full_scale(),
         "num_nodes": result.compiled.num_nodes,
         "num_load_scenarios": num_loads,
         "num_pad_scenarios": num_pads,

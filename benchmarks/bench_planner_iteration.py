@@ -15,6 +15,14 @@ emits a JSON speedup record mirroring ``bench_engine_batched_solve.py``.
 The acceptance bar is a ≥ 3x per-iteration construction speedup at full
 grid scale.
 
+On top of construction, the bench times the *solve* side of one
+analyse–resize iteration through the solver-policy layer: the resized
+grid served by a low-rank incremental update of the base factorization
+(Sherman–Morrison–Woodbury / preconditioned CG) versus a fresh
+factorization.  Voltages must agree to 1e-9 at any scale; at full scale
+the incremental path must be ≥ 3x faster.  Reduced-scale records carry
+``"smoke": true`` so ``check_results.py`` skips the performance bars.
+
 Environment variables:
     REPRO_BENCH_PLANNER_GRID: Benchmark to plan (default: the largest grid).
     REPRO_BENCH_SCALE: Global grid scale (tiny-grid CI smoke gate).
@@ -29,11 +37,13 @@ import time
 import numpy as np
 from conftest import bench_scale, full_scale
 
+from repro.analysis import BatchedAnalysisEngine
 from repro.core import format_key_values
 from repro.design import ConventionalPowerPlanner
 from repro.grid import GridBuilder, SyntheticIBMSuite
 
 MIN_SPEEDUP = 3.0
+VOLTAGE_TOLERANCE = 1e-9
 REPEATS = 3
 
 
@@ -114,9 +124,56 @@ def test_planner_iteration_speedup(benchmark, results_dir):
     compiled_seconds = float(np.mean(compiled_times))
     speedup = legacy_seconds / compiled_seconds
 
+    # Solve side of one analyse—resize iteration.  A planner resize
+    # touches the violating subset of lines, so upsize one decile and
+    # compare the resized grid served by a low-rank update of the base
+    # factors against a fresh factorization of the resized matrix.
+    partial_widths = np.asarray(initial_widths, dtype=float).copy()
+    upsized = legacy_planner.rules.legalize_widths(partial_widths * 1.3)
+    downsized = legacy_planner.rules.legalize_widths(partial_widths * 0.7)
+    # Lines already at the legal maximum cannot move up; fall back to a
+    # downsize so the update always has non-zero rank.
+    target = upsized if np.any(upsized != partial_widths) else downsized
+    movable = np.flatnonzero(target != partial_widths)
+    chosen = movable[: max(1, min(movable.size, partial_widths.size // 10))]
+    num_resized_lines = int(chosen.size)
+    partial_widths[chosen] = target[chosen]
+    resized = builder.resize_compiled(base, topology, partial_widths)
+    update_rank = int(resized.update_columns(resized.update_indices)[1].size)
+
+    fresh_engine = BatchedAnalysisEngine(incremental_updates=False)
+    fresh_times = []
+    for _ in range(REPEATS):
+        fresh_engine.clear_cache()
+        fresh_engine.analyze(base)  # prime the base factors (untimed)
+        start = time.perf_counter()
+        fresh_voltages = fresh_engine.solve_voltages(resized)
+        fresh_times.append(time.perf_counter() - start)
+
+    incremental_engine = BatchedAnalysisEngine()
+    incremental_times = []
+    for _ in range(REPEATS):
+        incremental_engine.clear_cache()
+        incremental_engine.analyze(base)
+        start = time.perf_counter()
+        incremental_voltages = incremental_engine.solve_voltages(resized)
+        incremental_times.append(time.perf_counter() - start)
+
+    cache = incremental_engine.cache_info()
+    assert cache.updates == REPEATS, cache
+    assert cache.update_fallbacks == 0, cache
+    max_voltage_error = float(np.max(np.abs(incremental_voltages - fresh_voltages)))
+    assert max_voltage_error <= VOLTAGE_TOLERANCE, (
+        f"incremental update diverged from fresh factors by {max_voltage_error}"
+    )
+    fresh_solve_seconds = float(np.mean(fresh_times))
+    incremental_solve_seconds = float(np.mean(incremental_times))
+    incremental_speedup = fresh_solve_seconds / incremental_solve_seconds
+
     record = {
         "benchmark": name,
         "scale": bench_scale(),
+        "smoke": not full_scale(),
         "grid_statistics": dict(
             zip(
                 ("num_nodes", "num_resistors", "num_sources", "num_loads"),
@@ -129,6 +186,18 @@ def test_planner_iteration_speedup(benchmark, results_dir):
         "compiled_iteration_build_seconds": compiled_seconds,
         "compiled_first_build_seconds": first_build_time,
         "iteration_build_speedup": speedup,
+        "solver_backend": cache.backend,
+        "incremental_update_rank": update_rank,
+        "resized_lines": num_resized_lines,
+        "fresh_iteration_solve_seconds": fresh_solve_seconds,
+        "incremental_iteration_solve_seconds": incremental_solve_seconds,
+        "refactorization_seconds_saved_per_iteration": (
+            fresh_solve_seconds - incremental_solve_seconds
+        ),
+        "incremental_speedup": incremental_speedup,
+        "incremental_max_voltage_error": max_voltage_error,
+        "incremental_updates": cache.updates,
+        "incremental_update_fallbacks": cache.update_fallbacks,
         "legacy_history": _iteration_history(legacy_plan),
         "compiled_history": _iteration_history(fast_plan),
         "legacy_plan_total_seconds": legacy_plan.total_time,
@@ -144,6 +213,12 @@ def test_planner_iteration_speedup(benchmark, results_dir):
                 "compiled resize (s)": round(compiled_seconds, 5),
                 "compiled first build (s)": round(first_build_time, 5),
                 "per-iteration speedup": round(speedup, 2),
+                "solver backend": cache.backend,
+                "update rank": update_rank,
+                "fresh factor+solve (s)": round(fresh_solve_seconds, 5),
+                "incremental solve (s)": round(incremental_solve_seconds, 5),
+                "incremental speedup": round(incremental_speedup, 2),
+                "max voltage error": max_voltage_error,
                 "plan total legacy (s)": round(legacy_plan.total_time, 4),
                 "plan total compiled (s)": round(fast_plan.total_time, 4),
             },
@@ -157,4 +232,8 @@ def test_planner_iteration_speedup(benchmark, results_dir):
         assert speedup >= MIN_SPEEDUP, (
             f"compiled planner iteration speedup {speedup:.2f}x below the "
             f"{MIN_SPEEDUP}x bar"
+        )
+        assert incremental_speedup >= MIN_SPEEDUP, (
+            f"incremental-update iteration speedup {incremental_speedup:.2f}x "
+            f"below the {MIN_SPEEDUP}x bar"
         )

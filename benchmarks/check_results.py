@@ -4,9 +4,11 @@
 CI uploads every ``benchmarks/results/*.json`` record as a workflow
 artifact and then runs this script, which fails the build when a recorded
 speedup (or exactness invariant) falls below its acceptance bar.  Bars
-that only hold on the full-size grids are gated on the record's ``scale``
-field, so the tiny-grid smoke runs still exercise the checker without
-asserting full-scale performance.
+that only hold on the full-size grids are skipped for records tagged
+``"smoke": true`` (the tiny-grid CI runs), so smoke runs still exercise
+the checker — including every exactness invariant — without asserting
+full-scale performance.  Records from older benches without the tag fall
+back to the ``scale`` heuristic.
 
 Stdlib-only on purpose: it must run before (or without) the package being
 installed.
@@ -24,12 +26,18 @@ import sys
 from pathlib import Path
 
 
-def _full_scale(record: dict) -> bool:
-    """True when the record was produced at full grid scale.
+def _gate_performance(record: dict) -> bool:
+    """True when the record's performance bars should be enforced.
 
-    Records without a ``scale`` field (e.g. the engine micro-benchmark,
-    which always runs the full-size grid) count as full scale.
+    The benches tag reduced-size runs with ``"smoke": true``; their
+    speedup / throughput / fold-fraction bars are skipped (exactness
+    invariants always apply).  Records without the tag — produced by an
+    older bench — fall back to the full-scale heuristic: no ``scale``
+    field (e.g. the engine micro-benchmark, which always runs the
+    full-size grid) counts as full scale.
     """
+    if "smoke" in record:
+        return not bool(record["smoke"])
     return float(record.get("scale", 1.0)) == 1.0
 
 
@@ -46,13 +54,30 @@ def check_engine_batched_solve(record: dict) -> list[str]:
 
 def check_planner_iteration(record: dict) -> list[str]:
     problems = []
-    if _full_scale(record) and record.get("iteration_build_speedup", 0.0) < 3.0:
+    if _gate_performance(record) and record.get("iteration_build_speedup", 0.0) < 3.0:
         problems.append(
             f"planner iteration speedup {record.get('iteration_build_speedup')} "
             "below the 3.0x bar"
         )
-    if _full_scale(record) and not record.get("converged", False):
+    if _gate_performance(record) and not record.get("converged", False):
         problems.append("planner did not converge")
+    if "incremental_speedup" not in record or "incremental_max_voltage_error" not in record:
+        problems.append(
+            "record lacks the incremental-update fields (incremental_speedup / "
+            "incremental_max_voltage_error) — produced by an older bench? re-run it"
+        )
+    else:
+        # The update must be exact wherever it ran — smoke runs included.
+        if record["incremental_max_voltage_error"] > 1e-9:
+            problems.append(
+                f"incremental-update voltages diverge from the fresh factorization "
+                f"by {record['incremental_max_voltage_error']} (bar: <= 1e-9)"
+            )
+        if _gate_performance(record) and record["incremental_speedup"] < 3.0:
+            problems.append(
+                f"incremental-update iteration speedup {record['incremental_speedup']} "
+                "below the 3.0x bar"
+            )
     return problems
 
 
@@ -64,7 +89,7 @@ def check_mega_sweep_sinks(record: dict) -> list[str]:
         problems.append(
             f"mega-sweep used {record.get('factorizations')} factorizations, expected 1"
         )
-    if _full_scale(record) and record.get("num_scenarios", 0) < 100_000:
+    if _gate_performance(record) and record.get("num_scenarios", 0) < 100_000:
         problems.append(
             f"full-scale mega-sweep ran {record.get('num_scenarios')} scenarios, "
             "expected >= 100000"
@@ -87,7 +112,7 @@ def check_mega_sweep_sinks(record: dict) -> list[str]:
     # The throughput bar only holds where parallel chunk solving can
     # actually run concurrently: full-scale grids on a multi-core runner.
     if (
-        _full_scale(record)
+        _gate_performance(record)
         and int(record.get("cpu_count", 1)) >= 2
         and record.get("parallel_speedup", 0.0) < 1.5
     ):
@@ -114,7 +139,7 @@ def check_mega_sweep_sinks(record: dict) -> list[str]:
     # Process sharding pays a pool + per-worker-factorization overhead, so
     # its >= 2x bar only holds with enough real cores to amortise it.
     if (
-        _full_scale(record)
+        _gate_performance(record)
         and int(record.get("cpu_count", 1)) >= 4
         and record.get("process_speedup", 0.0) < 2.0
     ):
@@ -124,7 +149,7 @@ def check_mega_sweep_sinks(record: dict) -> list[str]:
         )
     # The vectorised P² fold must stay a small fraction of the solve, or
     # the fold serialises parallel sweeps again.
-    if _full_scale(record) and record.get("p2_fold_fraction", 0.0) >= 0.25:
+    if _gate_performance(record) and record.get("p2_fold_fraction", 0.0) >= 0.25:
         problems.append(
             f"P2 fold consumed {record.get('p2_fold_fraction')} of the sweep; "
             "the fold is the bottleneck again (bar: < 0.25)"

@@ -8,12 +8,18 @@ reduced conductance matrix) depends only on the grid *topology* and branch
 conductances, not on the loads or pad voltages.
 
 :class:`BatchedAnalysisEngine` exploits that: it compiles the network once
-(:class:`~repro.grid.compiled.CompiledGrid`), caches the SuperLU
-factorization keyed on the compiled grid's topology fingerprint, and solves
-arbitrarily many right-hand sides against one factorization — either one at
-a time (:meth:`analyze`, a drop-in replacement for
-:class:`~repro.analysis.irdrop.IRDropAnalyzer`) or as a single multi-RHS
-triangular solve (:meth:`analyze_batch`).
+(:class:`~repro.grid.compiled.CompiledGrid`), caches the sparse
+factorization — produced by a pluggable solver backend
+(:mod:`repro.analysis.solvers`): SuperLU by default, CHOLMOD when
+``scikit-sparse`` is installed — keyed on the compiled grid's topology
+fingerprint, and solves arbitrarily many right-hand sides against one
+factorization — either one at a time (:meth:`analyze`, a drop-in
+replacement for :class:`~repro.analysis.irdrop.IRDropAnalyzer`) or as a
+single multi-RHS triangular solve (:meth:`analyze_batch`).  Grids derived
+by a conductance-only change
+(:meth:`~repro.grid.compiled.CompiledGrid.with_conductances`, the
+planner's resize step) are served by **low-rank incremental updates** of
+the parent's cached factors instead of fresh factorizations.
 
 Chunked and streamed sweeps run on a pluggable execution layer
 (:mod:`repro.analysis.executors`).  ``workers=`` keeps its original
@@ -42,7 +48,6 @@ from functools import cached_property
 from typing import Callable, Sequence
 
 import numpy as np
-import scipy.sparse.linalg as spla
 
 from ..grid.compiled import CompiledGrid
 from ..grid.network import PowerGridNetwork
@@ -58,6 +63,13 @@ from .irdrop import IRDropResult
 from .mna import system_from_compiled
 from .sinks import IRDropSink, ScenarioSink
 from .solver import LinearSolverError, PowerGridSolver, SolverMethod
+from .solvers import (
+    Factorization,
+    UpdateDivergenceError,
+    UpdatePolicy,
+    make_update_factorization,
+    resolve_solver_backend,
+)
 
 ENGINE_METHOD = "cached_lu"
 """Solver-method tag recorded in results produced by the engine."""
@@ -208,15 +220,51 @@ class CrossProductScenarioSource:
 class EngineCacheInfo:
     """Counters describing the engine's factorization cache behaviour.
 
+    All counters survive :meth:`BatchedAnalysisEngine.clear_cache` (only
+    ``entries`` drops to zero), so long-running consumers can report
+    totals.
+
     Attributes:
-        factorizations: Number of sparse LU factorizations performed.
+        factorizations: Number of fresh sparse factorizations performed.
         hits: Number of solves served by an already cached factorization.
         entries: Number of factorizations currently cached.
+        updates: Number of factorizations served as low-rank incremental
+            updates of a previous factorization instead of fresh ones.
+        update_fallbacks: Number of times the incremental path was
+            applicable but downgraded to a fresh factorization — the
+            update rank crossed the policy threshold, the capacitance
+            system was unusable, or an update solve diverged.
+        backend: Name of the resolved solver backend (``splu`` /
+            ``cholmod``).
     """
 
     factorizations: int
     hits: int
     entries: int
+    updates: int = 0
+    update_fallbacks: int = 0
+    backend: str = "splu"
+
+
+@dataclass
+class _FactorCacheEntry:
+    """One cached factorization plus the state incremental updates need.
+
+    Attributes:
+        factor: The factorization solves are served from (may be a
+            low-rank update object).
+        direct: The underlying fresh factorization — updates chain
+            against this, never against each other, so a resize sequence
+            of any length pays one preconditioner application per CG
+            iteration instead of recursing.
+        base_conductance: Branch conductances ``direct`` was factored
+            from; the union delta of a chained resize is computed against
+            these.
+    """
+
+    factor: Factorization
+    direct: Factorization
+    base_conductance: np.ndarray
 
 
 def _row_reductions(rows: np.ndarray) -> "BatchReductions":
@@ -531,6 +579,25 @@ class BatchedAnalysisEngine:
             threaded pipeline at ``default_workers``.  A name from
             :data:`~repro.analysis.executors.EXECUTOR_NAMES` or an
             executor instance pins the strategy strictly.
+        solver: Solver backend policy — a name from
+            :data:`~repro.analysis.solvers.SOLVER_NAMES` (``"splu"``,
+            ``"cholmod"``, ``"auto"``), a backend instance, or ``None``
+            (the default) to read
+            :data:`~repro.analysis.solvers.SOLVER_ENV` and fall back to
+            ``splu``.  Requesting ``cholmod`` without ``scikit-sparse``
+            installed degrades to ``splu`` with a warning.
+        incremental_updates: When True (the default), a compiled grid
+            produced by
+            :meth:`~repro.grid.compiled.CompiledGrid.with_conductances`
+            whose parent factorization is still cached is served by a
+            low-rank incremental update (Sherman–Morrison–Woodbury at
+            small rank, base-preconditioned CG above it) instead of a
+            fresh factorization — the planner's analyse–resize fast
+            path.  Updates that cross the policy's rank threshold or
+            fail to converge fall back to fresh factorizations
+            automatically (counted in ``EngineCacheInfo``).
+        update_policy: Crossover / tolerance knobs of the incremental
+            path (:class:`~repro.analysis.solvers.UpdatePolicy`).
     """
 
     def __init__(
@@ -539,6 +606,9 @@ class BatchedAnalysisEngine:
         direct_size_limit: int = 60000,
         default_workers: int | None = None,
         default_executor: SweepExecutor | str | None = None,
+        solver: str | None = None,
+        incremental_updates: bool = True,
+        update_policy: UpdatePolicy | None = None,
     ) -> None:
         if cache_size < 1:
             raise ValueError("cache_size must be at least 1")
@@ -566,11 +636,16 @@ class BatchedAnalysisEngine:
         elif isinstance(default_executor, str):
             default_executor = self._executor_from_name(default_executor)
         self._default_executor = default_executor
+        self.solver_backend = resolve_solver_backend(solver)
+        self.incremental_updates = bool(incremental_updates)
+        self.update_policy = update_policy or UpdatePolicy()
         self._cg_solver = PowerGridSolver(method=SolverMethod.CG)
-        self._cache: OrderedDict[str, spla.SuperLU] = OrderedDict()
+        self._cache: OrderedDict[str, _FactorCacheEntry] = OrderedDict()
         self._cache_lock = threading.Lock()
         self._factorizations = 0
         self._hits = 0
+        self._updates = 0
+        self._update_fallbacks = 0
 
     def _executor_from_name(self, name: str) -> SweepExecutor:
         """Default-executor construction honouring ``default_workers``."""
@@ -583,41 +658,173 @@ class BatchedAnalysisEngine:
     # Cache management
     # ------------------------------------------------------------------
     def cache_info(self) -> EngineCacheInfo:
-        """Return factorization / cache-hit counters."""
+        """Return factorization / cache-hit / incremental-update counters."""
         return EngineCacheInfo(
             factorizations=self._factorizations,
             hits=self._hits,
             entries=len(self._cache),
+            updates=self._updates,
+            update_fallbacks=self._update_fallbacks,
+            backend=self.solver_backend.name,
         )
 
     def clear_cache(self) -> None:
-        """Drop all cached factorizations (counters are kept)."""
+        """Drop all cached factorizations (every counter is kept)."""
         self._cache.clear()
 
-    def _factor(self, compiled: CompiledGrid) -> tuple[spla.SuperLU, bool]:
-        """Return the (cached) LU factorization of the reduced matrix.
+    def _cache_key(self, fingerprint: str) -> str:
+        """Per-backend cache key: factors from different backends never mix."""
+        return f"{self.solver_backend.name}:{fingerprint}"
+
+    def _store_entry(self, key: str, entry: _FactorCacheEntry) -> None:
+        self._cache[key] = entry
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+
+    def _fresh_entry(self, compiled: CompiledGrid) -> _FactorCacheEntry:
+        factor = self.solver_backend.factor(compiled.reduced_matrix)
+        self._factorizations += 1
+        return _FactorCacheEntry(
+            factor=factor, direct=factor, base_conductance=compiled.conductance
+        )
+
+    def _update_entry(
+        self, compiled: CompiledGrid, prev: _FactorCacheEntry
+    ) -> _FactorCacheEntry | None:
+        """Build an incremental-update entry against ``prev``, or ``None``.
+
+        The delta is taken against the conductances of ``prev``'s *direct*
+        factorization, so chained resizes accumulate one union update on
+        the original factors instead of stacking update objects.  ``None``
+        means the caller should factor fresh (rank past the crossover, or
+        the update construction failed); the downgrade is counted.
+        """
+        changed = np.flatnonzero(compiled.conductance != prev.base_conductance)
+        incidence, active = compiled.update_columns(changed)
+        rank = int(active.size)
+        if rank == 0:
+            # Only RHS-side branches changed: the matrix is identical to
+            # the base, so the direct factors serve the clone as-is.
+            self._updates += 1
+            return _FactorCacheEntry(
+                factor=prev.direct,
+                direct=prev.direct,
+                base_conductance=prev.base_conductance,
+            )
+        if rank > self.update_policy.crossover_fraction * compiled.num_unknowns:
+            self._update_fallbacks += 1
+            return None
+        delta = compiled.conductance[active] - prev.base_conductance[active]
+        try:
+            factor = make_update_factorization(
+                matrix=compiled.reduced_matrix,
+                base=prev.direct,
+                update_incidence=incidence,
+                delta=delta,
+                policy=self.update_policy,
+            )
+        except LinearSolverError:
+            self._update_fallbacks += 1
+            return None
+        self._updates += 1
+        return _FactorCacheEntry(
+            factor=factor, direct=prev.direct, base_conductance=prev.base_conductance
+        )
+
+    def _factor(self, compiled: CompiledGrid) -> tuple[Factorization, bool]:
+        """Return the (cached) factorization of the reduced matrix.
 
         Serialised by a lock so that parallel chunk workers racing on a
         cold cache perform exactly one factorization (and keep the LRU
         bookkeeping consistent); cache hits only pay an uncontended
-        acquire.
+        acquire.  A miss first tries the incremental path: when the grid
+        is a :meth:`~repro.grid.compiled.CompiledGrid.with_conductances`
+        clone whose parent factorization is still cached, a low-rank
+        update of those factors is built instead of a fresh
+        factorization.
         """
-        key = compiled.fingerprint
+        key = self._cache_key(compiled.fingerprint)
         with self._cache_lock:
-            factor = self._cache.get(key)
-            if factor is not None:
+            entry = self._cache.get(key)
+            if entry is not None:
                 self._hits += 1
                 self._cache.move_to_end(key)
-                return factor, True
-            try:
-                factor = spla.splu(compiled.reduced_matrix.tocsc())
-            except RuntimeError as exc:
-                raise LinearSolverError(f"factorization failed: {exc}") from exc
-            self._factorizations += 1
-            self._cache[key] = factor
-            while len(self._cache) > self.cache_size:
-                self._cache.popitem(last=False)
-            return factor, False
+                return entry.factor, True
+            entry = None
+            if (
+                self.incremental_updates
+                and compiled.update_base_fingerprint is not None
+            ):
+                prev = self._cache.get(self._cache_key(compiled.update_base_fingerprint))
+                if prev is not None:
+                    entry = self._update_entry(compiled, prev)
+            if entry is None:
+                entry = self._fresh_entry(compiled)
+            self._store_entry(key, entry)
+            return entry.factor, False
+
+    def _refactor_fresh(self, compiled: CompiledGrid) -> Factorization:
+        """Replace a diverged update factorization with fresh factors."""
+        key = self._cache_key(compiled.fingerprint)
+        with self._cache_lock:
+            entry = self._cache.get(key)
+            if entry is not None and not entry.factor.is_update:
+                # Another thread already downgraded this fingerprint.
+                return entry.factor
+            self._update_fallbacks += 1
+            entry = self._fresh_entry(compiled)
+            self._store_entry(key, entry)
+            return entry.factor
+
+    def factor_update(
+        self,
+        prev: PowerGridNetwork | CompiledGrid,
+        new: PowerGridNetwork | CompiledGrid,
+    ) -> Factorization:
+        """Factor ``new`` as a low-rank update of ``prev``'s factorization.
+
+        Both grids must share one topology (same endpoints and pad mask) —
+        typically ``new`` is a
+        :meth:`~repro.grid.compiled.CompiledGrid.with_conductances` clone
+        of ``prev``.  ``prev`` is factored (or served from the cache)
+        first; ``new`` is then served by an incremental update of those
+        factors, falling back to a fresh factorization past the policy's
+        crossover threshold.  The resulting factorization is cached under
+        ``new``'s fingerprint like any other, so subsequent solves on
+        ``new`` hit it.  Works regardless of the engine's
+        ``incremental_updates`` default (this is the explicit form).
+
+        Returns:
+            The :class:`~repro.analysis.solvers.Factorization` serving
+            ``new``.
+        """
+        prev_compiled = self._compiled(prev)
+        new_compiled = self._compiled(new)
+        if (
+            prev_compiled.num_unknowns != new_compiled.num_unknowns
+            or not np.array_equal(prev_compiled.res_a, new_compiled.res_a)
+            or not np.array_equal(prev_compiled.res_b, new_compiled.res_b)
+        ):
+            raise ValueError("factor_update requires two grids sharing one topology")
+        if self._use_cg(prev_compiled):
+            raise ValueError(
+                "factor_update needs the direct path; the system exceeds "
+                f"direct_size_limit={self.direct_size_limit}"
+            )
+        self._factor(prev_compiled)
+        key = self._cache_key(new_compiled.fingerprint)
+        with self._cache_lock:
+            entry = self._cache.get(key)
+            if entry is not None:
+                self._hits += 1
+                self._cache.move_to_end(key)
+                return entry.factor
+            prev_entry = self._cache.get(self._cache_key(prev_compiled.fingerprint))
+            entry = self._update_entry(new_compiled, prev_entry) if prev_entry else None
+            if entry is None:
+                entry = self._fresh_entry(new_compiled)
+            self._store_entry(key, entry)
+            return entry.factor
 
     # ------------------------------------------------------------------
     # Solving
@@ -673,14 +880,28 @@ class BatchedAnalysisEngine:
         result = self._cg_solver.solve(system)
         return result.voltages, result.iterations
 
+    def _solve_factored(self, compiled: CompiledGrid, rhs: np.ndarray) -> np.ndarray:
+        """Solve via the cached factorization, refactorizing on divergence.
+
+        An incremental-update factorization that cannot reach its
+        tolerance raises
+        :class:`~repro.analysis.solvers.UpdateDivergenceError`; the
+        fingerprint is then downgraded to a fresh factorization (counted
+        in ``update_fallbacks``) and the solve repeats exactly.
+        """
+        factor, _ = self._factor(compiled)
+        try:
+            return factor.solve(rhs)
+        except UpdateDivergenceError:
+            return self._refactor_fresh(compiled).solve(rhs)
+
     def _solve_unknowns(self, compiled: CompiledGrid, rhs: np.ndarray) -> tuple[np.ndarray, int]:
         """Solve one RHS, returning unknown voltages and solver iterations."""
         if rhs.size == 0:
             return np.empty(0), 0
         if self._use_cg(compiled):
             return self._solve_cg(compiled, rhs)
-        factor, _ = self._factor(compiled)
-        return factor.solve(rhs), 0
+        return self._solve_factored(compiled, rhs), 0
 
     def solve_voltages(
         self,
@@ -750,7 +971,10 @@ class BatchedAnalysisEngine:
             reused = False
         else:
             factor, reused = self._factor(compiled)
-            unknown = factor.solve(rhs)
+            try:
+                unknown = factor.solve(rhs)
+            except UpdateDivergenceError:
+                unknown = self._refactor_fresh(compiled).solve(rhs)
         if not np.all(np.isfinite(unknown)):
             raise LinearSolverError("batched solve produced non-finite voltages")
         return unknown, reused, iterations

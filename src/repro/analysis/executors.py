@@ -281,6 +281,8 @@ class ProcessShardedExecutor(SweepExecutor):
         engine_config = {
             "cache_size": engine.cache_size,
             "direct_size_limit": engine.direct_size_limit,
+            "solver": engine.solver_backend.name,
+            "incremental_updates": engine.incremental_updates,
         }
         try:
             payload = pickle.dumps(

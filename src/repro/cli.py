@@ -29,6 +29,7 @@ import numpy as np
 
 from .analysis import (
     EXECUTOR_NAMES,
+    SOLVER_NAMES,
     BatchedAnalysisEngine,
     EMChecker,
     ExceedanceCountSink,
@@ -77,6 +78,22 @@ def build_parser() -> argparse.ArgumentParser:
     plan = subparsers.add_parser("plan", help="conventional iterative power planning")
     plan.add_argument("benchmark", choices=SUITE_NAMES, help="benchmark name")
     plan.add_argument("--netlist-out", type=Path, default=None, help="write the sized grid here")
+    plan.add_argument(
+        "--solver", choices=SOLVER_NAMES, default=None,
+        help=(
+            "solver backend policy: splu (SuperLU, the default), cholmod "
+            "(SPD Cholesky via scikit-sparse; degrades to splu with a "
+            "warning when not installed) or auto (cholmod when available). "
+            "Unset reads the REPRO_TEST_SOLVER environment"
+        ),
+    )
+    plan.add_argument(
+        "--oracle", action="store_true",
+        help=(
+            "disable low-rank incremental updates and refactorize every "
+            "resize iteration fresh (the equivalence-oracle loop)"
+        ),
+    )
 
     train = subparsers.add_parser("train", help="train the width model on a benchmark")
     train.add_argument("benchmark", choices=SUITE_NAMES, help="benchmark name")
@@ -140,6 +157,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--top-k", type=int, default=5, help="worst scenarios to shortlist")
     sweep.add_argument("--bins", type=int, default=32, help="per-node histogram bins")
+    sweep.add_argument(
+        "--solver", choices=SOLVER_NAMES, default=None,
+        help=(
+            "solver backend policy: splu (SuperLU, the default), cholmod "
+            "(SPD Cholesky via scikit-sparse; degrades to splu with a "
+            "warning when not installed) or auto (cholmod when available). "
+            "Unset reads the REPRO_TEST_SOLVER environment"
+        ),
+    )
     sweep.add_argument("--seed", type=int, default=2020, help="scenario-generation seed")
     sweep.add_argument(
         "--json-out", type=Path, default=None, help="write the sweep record as JSON here"
@@ -208,7 +234,11 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 def _cmd_plan(args: argparse.Namespace) -> int:
     bench = SyntheticIBMSuite().load(args.benchmark)
-    plan = ConventionalPowerPlanner(bench.technology).plan(bench.floorplan, bench.topology)
+    planner = ConventionalPowerPlanner(
+        bench.technology, solver=args.solver, incremental_updates=not args.oracle
+    )
+    plan = planner.plan(bench.floorplan, bench.topology)
+    cache = planner.analyzer.cache_info()
     print(
         format_key_values(
             {
@@ -218,6 +248,10 @@ def _cmd_plan(args: argparse.Namespace) -> int:
                 "worst-case IR drop (mV)": plan.ir_result.worst_ir_drop_mv,
                 "EM violations": len(plan.em_report.violations),
                 "median width (um)": float(np.median(plan.widths)),
+                "solver backend": cache.backend,
+                "factorizations": cache.factorizations,
+                "incremental updates": cache.updates,
+                "update fallbacks": cache.update_fallbacks,
                 "total time (s)": plan.total_time,
             },
             title="conventional power planning",
@@ -335,7 +369,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     bench = SyntheticIBMSuite().load(args.benchmark)
     grid = bench.build_uniform_grid(args.width)
-    engine = BatchedAnalysisEngine()
+    engine = BatchedAnalysisEngine(solver=args.solver)
     nominal = engine.analyze(grid)
     threshold = (
         args.threshold_mv / 1000.0 if args.threshold_mv is not None else nominal.worst_ir_drop
@@ -391,6 +425,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "P(any node exceeds)": joint.any_exceedance_rate,
             "scenarios / second": result.scenarios_per_second,
             "sweep time (s)": result.analysis_time,
+            "solver backend": engine.cache_info().backend,
             "factorizations": engine.cache_info().factorizations,
         }
     )
@@ -443,6 +478,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             ],
             "analysis_time_seconds": result.analysis_time,
             "scenarios_per_second": result.scenarios_per_second,
+            "solver_backend": engine.cache_info().backend,
+            "factorizations": engine.cache_info().factorizations,
+            "incremental_updates": engine.cache_info().updates,
+            "update_fallbacks": engine.cache_info().update_fallbacks,
         }
         args.json_out.parent.mkdir(parents=True, exist_ok=True)
         with open(args.json_out, "w") as handle:

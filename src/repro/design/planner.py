@@ -136,6 +136,17 @@ class ConventionalPowerPlanner:
             :meth:`~repro.grid.builder.GridBuilder.resize_compiled` —
             no object-graph rebuild, no full recompile.  Set to False to
             force the legacy rebuild loop (kept as the equivalence oracle).
+        solver: Solver backend policy for the default engine — a name
+            from :data:`~repro.analysis.solvers.SOLVER_NAMES` or ``None``
+            for the environment default.  Ignored when ``analyzer`` is
+            passed explicitly.
+        incremental_updates: When True (the default), each resize
+            iteration of the compiled loop is solved as a low-rank
+            incremental update of the previous iteration's cached
+            factorization instead of a fresh factorization (the
+            analyse–resize fast path).  Set to False for the
+            fresh-factorization oracle loop.  Ignored when ``analyzer``
+            is passed explicitly.
     """
 
     def __init__(
@@ -147,6 +158,8 @@ class ConventionalPowerPlanner:
         upsize_factor: float = 1.25,
         analyzer: IRDropAnalyzer | BatchedAnalysisEngine | None = None,
         use_compiled_loop: bool = True,
+        solver: str | None = None,
+        incremental_updates: bool = True,
     ) -> None:
         if max_iterations < 1:
             raise ValueError("max_iterations must be at least 1")
@@ -159,7 +172,11 @@ class ConventionalPowerPlanner:
         self.upsize_factor = upsize_factor
         # Each resize iteration changes conductances (a new fingerprint), so
         # a deep factorization cache would only pin dead memory: keep one.
-        self.analyzer = analyzer or BatchedAnalysisEngine(cache_size=1)
+        # One entry suffices for the incremental path too — every update
+        # entry carries its own reference to the original direct factors.
+        self.analyzer = analyzer or BatchedAnalysisEngine(
+            cache_size=1, solver=solver, incremental_updates=incremental_updates
+        )
         self.use_compiled_loop = use_compiled_loop
         self.em_checker = EMChecker(technology)
 

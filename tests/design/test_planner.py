@@ -144,3 +144,50 @@ class TestParameters:
             ConventionalPowerPlanner(small_benchmark.technology, max_iterations=0)
         with pytest.raises(ValueError):
             ConventionalPowerPlanner(small_benchmark.technology, upsize_factor=1.0)
+
+
+class TestIncrementalSolverParity:
+    """The incremental-update planner loop against the fresh-factorization
+    oracle: identical convergence trajectory, voltages within 1e-9."""
+
+    @pytest.fixture(scope="class")
+    def parity_plans(self, small_benchmark):
+        rules = DesignRules.from_technology(small_benchmark.technology)
+        tiny_widths = np.full(small_benchmark.topology.num_lines, rules.min_width)
+        incremental = ConventionalPowerPlanner(small_benchmark.technology, max_iterations=8)
+        oracle = ConventionalPowerPlanner(
+            small_benchmark.technology, max_iterations=8, incremental_updates=False
+        )
+        plan_inc = incremental.plan(
+            small_benchmark.floorplan, small_benchmark.topology, initial_widths=tiny_widths
+        )
+        plan_ora = oracle.plan(
+            small_benchmark.floorplan, small_benchmark.topology, initial_widths=tiny_widths
+        )
+        return incremental, plan_inc, oracle, plan_ora
+
+    def test_updates_actually_served_the_loop(self, parity_plans):
+        incremental, plan_inc, oracle, _ = parity_plans
+        assert plan_inc.num_iterations > 1  # the undersized start forces resizes
+        info = incremental.analyzer.cache_info()
+        assert info.updates >= plan_inc.num_iterations - 1
+        assert oracle.analyzer.cache_info().updates == 0
+        assert oracle.analyzer.cache_info().factorizations >= plan_inc.num_iterations
+
+    def test_same_convergence_trajectory(self, parity_plans):
+        _, plan_inc, _, plan_ora = parity_plans
+        assert plan_inc.converged == plan_ora.converged
+        assert plan_inc.num_iterations == plan_ora.num_iterations
+        for step_inc, step_ora in zip(plan_inc.iterations, plan_ora.iterations):
+            assert step_inc.lines_resized == step_ora.lines_resized
+            assert step_inc.worst_ir_drop == pytest.approx(
+                step_ora.worst_ir_drop, abs=1e-9
+            )
+
+    def test_same_final_design(self, parity_plans):
+        _, plan_inc, _, plan_ora = parity_plans
+        np.testing.assert_allclose(plan_inc.widths, plan_ora.widths, rtol=0, atol=1e-9)
+        assert plan_inc.ir_result.worst_ir_drop == pytest.approx(
+            plan_ora.ir_result.worst_ir_drop, abs=1e-9
+        )
+        assert plan_inc.ir_result.worst_node == plan_ora.ir_result.worst_node
