@@ -23,6 +23,14 @@ factorization.  Voltages must agree to 1e-9 at any scale; at full scale
 the incremental path must be ≥ 3x faster.  Reduced-scale records carry
 ``"smoke": true`` so ``check_results.py`` skips the performance bars.
 
+A second section (``test_planner_search_batched``) benchmarks the
+batched candidate search against the one-move-per-iteration loop:
+solves per committed move, wall-clock per iteration and final worst
+drop for the baseline, the exact search and the NN-ranker-pruned
+search, with every committed candidate verified to 1e-9 against a
+fresh-factorization oracle.  Its record lands in
+``bench_planner_search.json``.
+
 Environment variables:
     REPRO_BENCH_PLANNER_GRID: Benchmark to plan (default: the largest grid).
     REPRO_BENCH_SCALE: Global grid scale (tiny-grid CI smoke gate).
@@ -39,12 +47,14 @@ from conftest import bench_scale, full_scale
 
 from repro.analysis import BatchedAnalysisEngine
 from repro.core import format_key_values
-from repro.design import ConventionalPowerPlanner
+from repro.design import CandidateRanker, ConventionalPowerPlanner, SearchConfig
 from repro.grid import GridBuilder, SyntheticIBMSuite
 
 MIN_SPEEDUP = 3.0
 VOLTAGE_TOLERANCE = 1e-9
 REPEATS = 3
+SEARCH_ITERATIONS = 10
+MAX_RANKER_LOSS = 0.01
 
 
 def target_benchmark_name(suite: SyntheticIBMSuite) -> str:
@@ -236,4 +246,189 @@ def test_planner_iteration_speedup(benchmark, results_dir):
         assert incremental_speedup >= MIN_SPEEDUP, (
             f"incremental-update iteration speedup {incremental_speedup:.2f}x "
             f"below the {MIN_SPEEDUP}x bar"
+        )
+
+
+def _committed_moves(plan) -> int:
+    """Moves the one-move loop actually applied (iterations that resized)."""
+    return sum(1 for iteration in plan.iterations if iteration.lines_resized > 0)
+
+
+def _oracle_verify(technology, floorplan, topology, moves) -> float:
+    """Max voltage error of every committed candidate vs fresh factors.
+
+    Each committed move is rebuilt from its absolute widths with
+    ``build_compiled`` (bit-identical to the resize chain) and re-solved
+    by a fresh-factorization engine against the move's recorded loads.
+    """
+    builder = GridBuilder(technology)
+    oracle = BatchedAnalysisEngine(incremental_updates=False)
+    worst = 0.0
+    for move in moves:
+        fresh = builder.build_compiled(floorplan, topology, move.widths)
+        voltages = oracle.solve_voltages(fresh, move.loads)
+        worst = max(worst, float(np.max(np.abs(voltages - move.voltages))))
+    return worst
+
+
+def test_planner_search_batched(results_dir):
+    """Batched candidate search vs the one-move-per-iteration loop.
+
+    All three modes start from a deliberately undersized grid (every
+    stripe at the legal minimum) under one fixed iteration budget, so
+    each pays a full analyse–resize trajectory:
+
+    * **one-move baseline** — the conventional loop, fresh factorization
+      per iteration (the paper's flow);
+    * **exact search** — every candidate of every batch solved through
+      the incremental-update path against the single cached base
+      factorization;
+    * **ranker search** — the batch pruned by the NN ranker (trained on
+      the exact run's observed improvements) before any solve.
+
+    Gates (full scale only): the exact search must reach a final worst
+    drop no worse than the baseline while paying >= 3x fewer full
+    factorizations per committed move, every committed candidate must
+    match a fresh-factorization oracle to 1e-9, and the ranker-pruned
+    search must lose <= 1% final drop vs exact.
+    """
+    suite = SyntheticIBMSuite(scale=bench_scale())
+    name = target_benchmark_name(suite)
+    bench = suite.load(name)
+    technology = bench.technology
+    floorplan, topology = bench.floorplan, bench.topology
+
+    baseline_planner = ConventionalPowerPlanner(
+        technology, max_iterations=SEARCH_ITERATIONS, incremental_updates=False
+    )
+    tiny = np.full(topology.num_lines, baseline_planner.rules.min_width)
+    baseline_plan = baseline_planner.plan(floorplan, topology, initial_widths=tiny)
+    baseline_cache = baseline_planner.analyzer.cache_info()
+    baseline_moves = max(_committed_moves(baseline_plan), 1)
+    baseline_solves_per_move = baseline_cache.factorizations / baseline_moves
+
+    exact_planner = ConventionalPowerPlanner(
+        technology, max_iterations=SEARCH_ITERATIONS, search=True
+    )
+    exact_plan = exact_planner.plan(floorplan, topology, initial_widths=tiny.copy())
+    exact_cache = exact_planner.analyzer.cache_info()
+    exact_stats = exact_plan.search
+    exact_moves = max(exact_stats.moves_committed, 1)
+    exact_solves_per_move = exact_cache.factorizations / exact_moves
+    solve_ratio = baseline_solves_per_move / max(exact_solves_per_move, 1e-12)
+
+    oracle_max_error = _oracle_verify(
+        technology, floorplan, topology, exact_stats.committed
+    )
+    assert oracle_max_error <= VOLTAGE_TOLERANCE, (
+        f"committed candidate diverged from the fresh-factorization oracle "
+        f"by {oracle_max_error}"
+    )
+    assert exact_stats.candidates_generated == (
+        exact_stats.candidates_pruned + exact_stats.candidates_solved
+    )
+    assert exact_stats.candidates_pruned == 0  # exact mode solves everything
+
+    features, improvements = exact_stats.training_data()
+    ranker = CandidateRanker()
+    ranker.fit(features, improvements)
+    ranker_planner = ConventionalPowerPlanner(
+        technology,
+        max_iterations=SEARCH_ITERATIONS,
+        search=SearchConfig(ranker=ranker),
+    )
+    ranker_plan = ranker_planner.plan(floorplan, topology, initial_widths=tiny.copy())
+    ranker_stats = ranker_plan.search
+    assert ranker_stats.candidates_pruned > 0
+    assert ranker_stats.candidates_generated == (
+        ranker_stats.candidates_pruned + ranker_stats.candidates_solved
+    )
+    ranker_loss = (
+        ranker_plan.ir_result.worst_ir_drop - exact_plan.ir_result.worst_ir_drop
+    ) / exact_plan.ir_result.worst_ir_drop
+
+    record = {
+        "benchmark": name,
+        "scale": bench_scale(),
+        "smoke": not full_scale(),
+        "iteration_budget": SEARCH_ITERATIONS,
+        "baseline": {
+            "final_worst_ir_drop": baseline_plan.ir_result.worst_ir_drop,
+            "converged": baseline_plan.converged,
+            "iterations": baseline_plan.num_iterations,
+            "committed_moves": _committed_moves(baseline_plan),
+            "factorizations": baseline_cache.factorizations,
+            "solves_per_committed_move": baseline_solves_per_move,
+            "seconds_per_iteration": (
+                baseline_plan.total_time / baseline_plan.num_iterations
+            ),
+            "total_seconds": baseline_plan.total_time,
+        },
+        "exact_search": {
+            "final_worst_ir_drop": exact_plan.ir_result.worst_ir_drop,
+            "converged": exact_plan.converged,
+            "iterations": exact_plan.num_iterations,
+            "factorizations": exact_cache.factorizations,
+            "incremental_updates": exact_cache.updates,
+            "update_fallbacks": exact_cache.update_fallbacks,
+            "solves_per_committed_move": exact_solves_per_move,
+            "seconds_per_iteration": (
+                exact_plan.total_time / exact_plan.num_iterations
+            ),
+            "total_seconds": exact_plan.total_time,
+            "oracle_max_voltage_error": oracle_max_error,
+            **exact_stats.as_record(),
+        },
+        "ranker_search": {
+            "final_worst_ir_drop": ranker_plan.ir_result.worst_ir_drop,
+            "converged": ranker_plan.converged,
+            "iterations": ranker_plan.num_iterations,
+            "relative_loss_vs_exact": ranker_loss,
+            "seconds_per_iteration": (
+                ranker_plan.total_time / ranker_plan.num_iterations
+            ),
+            "total_seconds": ranker_plan.total_time,
+            **ranker_stats.as_record(),
+        },
+        "solve_ratio_vs_baseline": solve_ratio,
+    }
+    print()
+    print(
+        format_key_values(
+            {
+                "benchmark": name,
+                "baseline final drop (V)": round(
+                    baseline_plan.ir_result.worst_ir_drop, 6
+                ),
+                "exact search final drop (V)": round(
+                    exact_plan.ir_result.worst_ir_drop, 6
+                ),
+                "ranker final drop (V)": round(
+                    ranker_plan.ir_result.worst_ir_drop, 6
+                ),
+                "ranker loss vs exact": f"{ranker_loss:+.3%}",
+                "baseline solves/move": round(baseline_solves_per_move, 3),
+                "search solves/move": round(exact_solves_per_move, 3),
+                "solve ratio": round(solve_ratio, 2),
+                "candidates solved (exact)": exact_stats.candidates_solved,
+                "candidates pruned (ranker)": ranker_stats.candidates_pruned,
+                "oracle max voltage error": oracle_max_error,
+            },
+            title=f"batched planner search vs one-move loop ({name})",
+        )
+    )
+    with open(results_dir / "bench_planner_search.json", "w") as handle:
+        json.dump(record, handle, indent=2)
+
+    if full_scale():
+        assert exact_plan.ir_result.worst_ir_drop <= (
+            baseline_plan.ir_result.worst_ir_drop + 1e-12
+        ), "exact search finished worse than the one-move baseline"
+        assert solve_ratio >= MIN_SPEEDUP, (
+            f"search pays only {solve_ratio:.2f}x fewer solves per committed "
+            f"move (bar: {MIN_SPEEDUP}x)"
+        )
+        assert ranker_loss <= MAX_RANKER_LOSS, (
+            f"ranker-pruned search lost {ranker_loss:.3%} final drop vs exact "
+            f"(bar: {MAX_RANKER_LOSS:.0%})"
         )

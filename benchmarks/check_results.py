@@ -157,10 +157,68 @@ def check_mega_sweep_sinks(record: dict) -> list[str]:
     return problems
 
 
+def check_planner_search(record: dict) -> list[str]:
+    problems = []
+    baseline = record.get("baseline", {})
+    exact = record.get("exact_search", {})
+    ranker = record.get("ranker_search", {})
+    if not baseline or not exact or not ranker:
+        return [
+            "record lacks the baseline / exact_search / ranker_search sections "
+            "— produced by an older bench? re-run it"
+        ]
+    # Exactness: every committed candidate must match the oracle, smoke
+    # runs included.
+    oracle_error = exact.get("oracle_max_voltage_error")
+    if oracle_error is None or oracle_error > 1e-9:
+        problems.append(
+            f"committed search candidates diverge from the fresh-factorization "
+            f"oracle by {oracle_error} (bar: <= 1e-9)"
+        )
+    # Counter bookkeeping must balance in both search modes.
+    for label, stats in (("exact_search", exact), ("ranker_search", ranker)):
+        generated = stats.get("candidates_generated", -1)
+        pruned = stats.get("candidates_pruned", -1)
+        solved = stats.get("candidates_solved", -1)
+        if generated < 0 or pruned < 0 or solved < 0:
+            problems.append(f"{label} record lacks the candidate counters")
+        elif generated != pruned + solved:
+            problems.append(
+                f"{label} counters do not balance: generated {generated} != "
+                f"pruned {pruned} + solved {solved}"
+            )
+    if exact.get("candidates_pruned", 0) != 0:
+        problems.append("exact search pruned candidates; it must solve every one")
+    if ranker.get("candidates_pruned", 0) <= 0:
+        problems.append("ranker search pruned nothing; the model gate did not run")
+    if not _gate_performance(record):
+        return problems
+    # Full-scale bars: search quality and solve economy.
+    if exact.get("final_worst_ir_drop", float("inf")) > (
+        baseline.get("final_worst_ir_drop", 0.0) + 1e-12
+    ):
+        problems.append(
+            f"exact search final drop {exact.get('final_worst_ir_drop')} worse "
+            f"than the one-move baseline {baseline.get('final_worst_ir_drop')}"
+        )
+    if record.get("solve_ratio_vs_baseline", 0.0) < 3.0:
+        problems.append(
+            f"search pays only {record.get('solve_ratio_vs_baseline')}x fewer "
+            "solves per committed move (bar: 3.0x)"
+        )
+    if ranker.get("relative_loss_vs_exact", 1.0) > 0.01:
+        problems.append(
+            f"ranker-pruned search lost {ranker.get('relative_loss_vs_exact')} "
+            "final drop vs the exact search (bar: <= 1%)"
+        )
+    return problems
+
+
 CHECKS = {
     "bench_engine_batched_solve.json": check_engine_batched_solve,
     "bench_planner_iteration.json": check_planner_iteration,
     "bench_mega_sweep_sinks.json": check_mega_sweep_sinks,
+    "bench_planner_search.json": check_planner_search,
 }
 
 

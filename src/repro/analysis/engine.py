@@ -755,8 +755,13 @@ class BatchedAnalysisEngine:
                 self.incremental_updates
                 and compiled.update_base_fingerprint is not None
             ):
-                prev = self._cache.get(self._cache_key(compiled.update_base_fingerprint))
+                prev_key = self._cache_key(compiled.update_base_fingerprint)
+                prev = self._cache.get(prev_key)
                 if prev is not None:
+                    # Touch the base entry so a batch of clones evaluated
+                    # against one base (the planner's candidate search)
+                    # keeps evicting each other, never the shared base.
+                    self._cache.move_to_end(prev_key)
                     entry = self._update_entry(compiled, prev)
             if entry is None:
                 entry = self._fresh_entry(compiled)
@@ -819,7 +824,10 @@ class BatchedAnalysisEngine:
                 self._hits += 1
                 self._cache.move_to_end(key)
                 return entry.factor
-            prev_entry = self._cache.get(self._cache_key(prev_compiled.fingerprint))
+            prev_key = self._cache_key(prev_compiled.fingerprint)
+            prev_entry = self._cache.get(prev_key)
+            if prev_entry is not None:
+                self._cache.move_to_end(prev_key)
             entry = self._update_entry(new_compiled, prev_entry) if prev_entry else None
             if entry is None:
                 entry = self._fresh_entry(new_compiled)

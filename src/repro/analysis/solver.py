@@ -9,6 +9,17 @@ analysers do:
   — scales better in memory for the largest grids.
 
 An automatic policy picks between them based on the system size.
+
+.. deprecated::
+    This module predates :mod:`repro.analysis.solvers`, which is the
+    canonical home of the shared solver machinery: the pluggable
+    factorization backends (``splu`` / ``cholmod`` / ``auto``), the
+    incremental-update factorizations and :class:`LinearSolverError`.
+    :class:`PowerGridSolver` remains supported for legacy MNA-level
+    callers — its direct path is routed through
+    :func:`repro.analysis.solvers.resolve_solver_backend` — but new code
+    should use :class:`~repro.analysis.engine.BatchedAnalysisEngine`
+    with a solver backend instead.
 """
 
 from __future__ import annotations
@@ -21,6 +32,14 @@ import numpy as np
 import scipy.sparse.linalg as spla
 
 from .mna import MNASystem
+from .solvers import LinearSolverError, resolve_solver_backend
+
+__all__ = [
+    "LinearSolverError",
+    "PowerGridSolver",
+    "SolveResult",
+    "SolverMethod",
+]
 
 
 class SolverMethod(str, Enum):
@@ -50,10 +69,6 @@ class SolveResult:
     solve_time: float
 
 
-class LinearSolverError(RuntimeError):
-    """Raised when the nodal system could not be solved to tolerance."""
-
-
 class PowerGridSolver:
     """Solve the reduced nodal system ``G v = b`` of a power grid.
 
@@ -63,6 +78,11 @@ class PowerGridSolver:
         tolerance: Relative residual tolerance for the iterative solver.
         max_iterations: Iteration cap for the iterative solver.
         direct_size_limit: Size threshold used by the ``AUTO`` policy.
+        solver: Factorization backend policy for the direct path — a name
+            from :data:`~repro.analysis.solvers.SOLVER_NAMES`, a backend
+            instance, or ``None`` for the environment default.  The same
+            policy the engine uses, so the legacy ``AUTO`` direct path
+            and the engine factor through one backend layer.
     """
 
     def __init__(
@@ -71,6 +91,7 @@ class PowerGridSolver:
         tolerance: float = 1e-10,
         max_iterations: int = 20000,
         direct_size_limit: int = 60000,
+        solver: str | None = None,
     ) -> None:
         if tolerance <= 0:
             raise ValueError("tolerance must be positive")
@@ -80,6 +101,7 @@ class PowerGridSolver:
         self.tolerance = tolerance
         self.max_iterations = max_iterations
         self.direct_size_limit = direct_size_limit
+        self.backend = resolve_solver_backend(solver)
 
     def solve(self, system: MNASystem) -> SolveResult:
         """Solve the system and return the unknown node voltages.
@@ -123,8 +145,10 @@ class PowerGridSolver:
 
     def _solve_direct(self, system: MNASystem) -> tuple[np.ndarray, int]:
         try:
-            factor = spla.splu(system.matrix.tocsc())
+            factor = self.backend.factor(system.matrix)
             voltages = factor.solve(system.rhs)
+        except LinearSolverError:
+            raise
         except RuntimeError as exc:
             raise LinearSolverError(f"direct solve failed: {exc}") from exc
         if not np.all(np.isfinite(voltages)):

@@ -51,7 +51,14 @@ import scipy.linalg as sla
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
-from .solver import LinearSolverError
+class LinearSolverError(RuntimeError):
+    """Raised when the nodal system could not be solved to tolerance.
+
+    Canonical home of the error shared by the solver backends, the
+    engine and the legacy :mod:`repro.analysis.solver` module (which
+    re-exports it for backward compatibility).
+    """
+
 
 SOLVER_ENV = "REPRO_TEST_SOLVER"
 """Environment variable supplying the engine's default solver backend.

@@ -40,7 +40,7 @@ from .analysis import (
     TopKScenarioSink,
 )
 from .core import PowerPlanningDL, format_key_values, format_table
-from .design import ConventionalPowerPlanner
+from .design import CandidateRanker, ConventionalPowerPlanner, DesignRules, SearchConfig
 from .grid import (
     PerturbationKind,
     PerturbationSpec,
@@ -93,6 +93,38 @@ def build_parser() -> argparse.ArgumentParser:
             "disable low-rank incremental updates and refactorize every "
             "resize iteration fresh (the equivalence-oracle loop)"
         ),
+    )
+    plan.add_argument(
+        "--search", action="store_true",
+        help=(
+            "batched candidate search: each iteration evaluates a batch of "
+            "moves (stripe upsizes, pitch-style reinforcement, decap relief) "
+            "against the single cached factorization and commits the best"
+        ),
+    )
+    plan.add_argument(
+        "--batch-width", type=int, default=12,
+        help="candidates generated per search iteration (implies --search)",
+    )
+    plan.add_argument(
+        "--ranker", action="store_true",
+        help=(
+            "model-guided pruning: run an exact search first, train the NN "
+            "candidate ranker on its observed improvements, then re-plan "
+            "with the ranker pruning each batch before any solve"
+        ),
+    )
+    plan.add_argument(
+        "--min-width-start", action="store_true",
+        help=(
+            "start every stripe at the legal minimum width instead of the "
+            "analytical sizer's estimate, forcing a full resize trajectory "
+            "(the search benchmark's protocol)"
+        ),
+    )
+    plan.add_argument(
+        "--json-out", type=Path, default=None,
+        help="write the plan record (counters included) as JSON here",
     )
 
     train = subparsers.add_parser("train", help="train the width model on a benchmark")
@@ -234,29 +266,96 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 def _cmd_plan(args: argparse.Namespace) -> int:
     bench = SyntheticIBMSuite().load(args.benchmark)
+    use_search = args.search or args.ranker
+    initial_widths = None
+    if args.min_width_start:
+        rules = DesignRules.from_technology(bench.technology)
+        initial_widths = np.full(bench.topology.num_lines, rules.min_width)
+    search_config: SearchConfig | bool = False
+    if use_search:
+        search_config = SearchConfig(batch_width=args.batch_width)
+        if args.ranker:
+            # Exact warmup plan generates the ranker's training data (one
+            # row per solved candidate); the pruned re-plan then pays
+            # solves only for the model's top picks.
+            warm_planner = ConventionalPowerPlanner(
+                bench.technology,
+                solver=args.solver,
+                incremental_updates=not args.oracle,
+                search=SearchConfig(batch_width=args.batch_width),
+            )
+            warm = warm_planner.plan(
+                bench.floorplan,
+                bench.topology,
+                initial_widths=None if initial_widths is None else initial_widths.copy(),
+            )
+            features, improvements = warm.search.training_data()
+            if features.shape[0] == 0:
+                print(
+                    "warmup plan converged without solving any candidate; "
+                    "running the exact search instead"
+                )
+            else:
+                ranker = CandidateRanker()
+                ranker.fit(features, improvements)
+                search_config = SearchConfig(
+                    batch_width=args.batch_width, ranker=ranker
+                )
     planner = ConventionalPowerPlanner(
-        bench.technology, solver=args.solver, incremental_updates=not args.oracle
+        bench.technology,
+        solver=args.solver,
+        incremental_updates=not args.oracle,
+        search=search_config,
     )
-    plan = planner.plan(bench.floorplan, bench.topology)
+    plan = planner.plan(bench.floorplan, bench.topology, initial_widths=initial_widths)
     cache = planner.analyzer.cache_info()
-    print(
-        format_key_values(
+    values = {
+        "benchmark": bench.name,
+        "converged": plan.converged,
+        "iterations": plan.num_iterations,
+        "worst-case IR drop (mV)": plan.ir_result.worst_ir_drop_mv,
+        "EM violations": len(plan.em_report.violations),
+        "median width (um)": float(np.median(plan.widths)),
+        "solver backend": cache.backend,
+        "factorizations": cache.factorizations,
+        "incremental updates": cache.updates,
+        "update fallbacks": cache.update_fallbacks,
+        "total time (s)": plan.total_time,
+    }
+    if plan.search is not None:
+        values.update(
             {
-                "benchmark": bench.name,
-                "converged": plan.converged,
-                "iterations": plan.num_iterations,
-                "worst-case IR drop (mV)": plan.ir_result.worst_ir_drop_mv,
-                "EM violations": len(plan.em_report.violations),
-                "median width (um)": float(np.median(plan.widths)),
-                "solver backend": cache.backend,
-                "factorizations": cache.factorizations,
-                "incremental updates": cache.updates,
-                "update fallbacks": cache.update_fallbacks,
-                "total time (s)": plan.total_time,
-            },
-            title="conventional power planning",
+                "candidates generated": plan.search.candidates_generated,
+                "candidates pruned": plan.search.candidates_pruned,
+                "candidates solved": plan.search.candidates_solved,
+                "moves committed": plan.search.moves_committed,
+                "ranker used": plan.search.ranker_used,
+            }
         )
+    title = "batched planner search" if plan.search is not None else (
+        "conventional power planning"
     )
+    print(format_key_values(values, title=title))
+    if args.json_out is not None:
+        record = {
+            "benchmark": bench.name,
+            "converged": plan.converged,
+            "iterations": plan.num_iterations,
+            "worst_ir_drop": plan.ir_result.worst_ir_drop,
+            "em_violations": len(plan.em_report.violations),
+            "total_time": plan.total_time,
+            "analysis_time": plan.analysis_time,
+            "backend": cache.backend,
+            "factorizations": cache.factorizations,
+            "updates": cache.updates,
+            "update_fallbacks": cache.update_fallbacks,
+        }
+        if plan.search is not None:
+            record["search"] = plan.search.as_record()
+        args.json_out.parent.mkdir(parents=True, exist_ok=True)
+        with open(args.json_out, "w") as handle:
+            json.dump(record, handle, indent=2)
+        print(f"plan record written to {args.json_out}")
     if args.netlist_out is not None:
         write_netlist(plan.network, args.netlist_out)
         print(f"sized netlist written to {args.netlist_out}")

@@ -104,6 +104,16 @@ class DecapPlan:
     total_area: float
     demand_coverage: float
 
+    @property
+    def capacitance_by_block(self) -> dict[str, float]:
+        """Placed capacitance per target block, farads."""
+        totals: dict[str, float] = {}
+        for placement in self.placements:
+            totals[placement.target_block] = (
+                totals.get(placement.target_block, 0.0) + placement.capacitance
+            )
+        return totals
+
 
 class DecapPlanner:
     """Hot-spot-driven decoupling-capacitor planner.

@@ -23,6 +23,7 @@ from ..analysis.em import EMChecker, EMReport
 from ..analysis.engine import ENGINE_METHOD, BatchedAnalysisEngine
 from ..analysis.irdrop import IRDropAnalyzer, IRDropResult
 from ..analysis.solver import SolverMethod
+from ..analysis.solvers import UpdatePolicy
 from ..grid.builder import GridBuilder, GridTopology
 from ..grid.compiled import CompiledGrid
 from ..grid.floorplan import Floorplan
@@ -30,6 +31,14 @@ from ..grid.network import PowerGridNetwork
 from ..grid.technology import Technology
 from .constraints import ConstraintEvaluation, ReliabilityConstraints
 from .rules import DesignRules
+from .search import (
+    CommittedMove,
+    SearchConfig,
+    SearchStats,
+    candidate_features,
+    decap_load_scale,
+    generate_candidates,
+)
 from .sizing import AnalyticalSizer, SizingParameters
 
 
@@ -92,6 +101,9 @@ class PowerPlanResult:
         total_time: Total wall-clock time of the flow in seconds.
         analysis_time: Time spent in power-grid analysis only, in seconds —
             the quantity Table IV reports for the conventional approach.
+        search: Candidate-search statistics (counters, committed moves,
+            ranker training data) when the planner ran in batched-search
+            mode; ``None`` for the one-move loops.
     """
 
     benchmark: str
@@ -104,6 +116,7 @@ class PowerPlanResult:
     converged: bool
     total_time: float
     analysis_time: float
+    search: SearchStats | None = None
 
     @property
     def num_iterations(self) -> int:
@@ -147,6 +160,15 @@ class ConventionalPowerPlanner:
             analyse–resize fast path).  Set to False for the
             fresh-factorization oracle loop.  Ignored when ``analyzer``
             is passed explicitly.
+        search: Enable the batched candidate search: each iteration
+            generates a batch of alternative moves, evaluates them all
+            against the single cached base factorization through the
+            incremental-update path, and commits the best.  Pass True
+            for the defaults or a :class:`~repro.design.search.SearchConfig`
+            (e.g. with a fitted
+            :class:`~repro.design.search.CandidateRanker` for
+            model-guided pruning).  Requires the compiled loop and an
+            engine analyzer.
     """
 
     def __init__(
@@ -160,6 +182,7 @@ class ConventionalPowerPlanner:
         use_compiled_loop: bool = True,
         solver: str | None = None,
         incremental_updates: bool = True,
+        search: bool | SearchConfig = False,
     ) -> None:
         if max_iterations < 1:
             raise ValueError("max_iterations must be at least 1")
@@ -170,13 +193,34 @@ class ConventionalPowerPlanner:
         self.sizer = AnalyticalSizer(technology, self.rules, sizing_parameters)
         self.max_iterations = max_iterations
         self.upsize_factor = upsize_factor
+        if isinstance(search, SearchConfig):
+            self.search_config: SearchConfig | None = search
+        else:
+            self.search_config = SearchConfig() if search else None
         # Each resize iteration changes conductances (a new fingerprint), so
         # a deep factorization cache would only pin dead memory: keep one.
         # One entry suffices for the incremental path too — every update
         # entry carries its own reference to the original direct factors.
-        self.analyzer = analyzer or BatchedAnalysisEngine(
-            cache_size=1, solver=solver, incremental_updates=incremental_updates
-        )
+        # The candidate search holds two: the shared base of the current
+        # batch plus the candidate in flight.  Its accumulated deltas
+        # (many commits, all updating the original factors) routinely
+        # pass the default rank crossover while the base-preconditioned
+        # CG still converges well — widths only grow, so the delta is
+        # SPD — hence the full-range crossover; divergence still falls
+        # back to a fresh factorization.
+        if analyzer is not None:
+            self.analyzer = analyzer
+        elif self.search_config is not None:
+            self.analyzer = BatchedAnalysisEngine(
+                cache_size=2,
+                solver=solver,
+                incremental_updates=incremental_updates,
+                update_policy=UpdatePolicy(crossover_fraction=1.0, maxiter=512),
+            )
+        else:
+            self.analyzer = BatchedAnalysisEngine(
+                cache_size=1, solver=solver, incremental_updates=incremental_updates
+            )
         self.use_compiled_loop = use_compiled_loop
         self.em_checker = EMChecker(technology)
 
@@ -217,7 +261,17 @@ class ConventionalPowerPlanner:
                     f"initial_widths must have length {topology.num_lines}"
                 )
 
-        if self.use_compiled_loop and isinstance(self.analyzer, BatchedAnalysisEngine):
+        compiled_capable = self.use_compiled_loop and isinstance(
+            self.analyzer, BatchedAnalysisEngine
+        )
+        if self.search_config is not None:
+            if not compiled_capable:
+                raise ValueError(
+                    "search mode requires the compiled loop and a "
+                    "BatchedAnalysisEngine analyzer"
+                )
+            return self._plan_search(floorplan, topology, constraints, widths, start)
+        if compiled_capable:
             return self._plan_compiled(floorplan, topology, constraints, widths, start)
         return self._plan_legacy(floorplan, topology, constraints, widths, start)
 
@@ -288,11 +342,14 @@ class ConventionalPowerPlanner:
     # Compiled-array loop (rebuild-free fast path)
     # ------------------------------------------------------------------
     def _analyze_compiled(
-        self, engine: BatchedAnalysisEngine, compiled: CompiledGrid
+        self,
+        engine: BatchedAnalysisEngine,
+        compiled: CompiledGrid,
+        loads: np.ndarray | None = None,
     ) -> _LoopAnalysis:
         """One engine solve plus the array-level reductions the loop needs."""
         analysis_start = time.perf_counter()
-        voltages = engine.solve_voltages(compiled)
+        voltages = engine.solve_voltages(compiled, loads)
         elapsed = time.perf_counter() - analysis_start
         drops = compiled.vdd - voltages
         worst_index = int(drops.argmax()) if drops.size else 0
@@ -393,6 +450,224 @@ class ConventionalPowerPlanner:
         )
 
     # ------------------------------------------------------------------
+    # Batched candidate search (model-guided fast path)
+    # ------------------------------------------------------------------
+    def _plan_search(
+        self,
+        floorplan: Floorplan,
+        topology: GridTopology,
+        constraints: ReliabilityConstraints,
+        widths: np.ndarray,
+        start: float,
+    ) -> PowerPlanResult:
+        """Batched search loop: each iteration generates a candidate batch,
+        evaluates every kept candidate against the *single* cached base
+        factorization via the engine's incremental-update path (each
+        candidate is a rank-k conductance delta or an RHS-only load
+        relief), and commits the best move.  A fitted ranker in the
+        search config prunes the batch before any solve; without one the
+        whole batch is solved (exact mode, the ranker's oracle).
+        """
+        builder = GridBuilder(self.technology)
+        engine = self.analyzer
+        config = self.search_config
+        assert config is not None
+        stats = SearchStats(ranker_used=config.ranker is not None)
+        analysis_time = 0.0
+        iterations: list[PlanningIteration] = []
+
+        build_start = time.perf_counter()
+        compiled = builder.build_compiled(floorplan, topology, widths)
+        build_time = time.perf_counter() - build_start
+        loads = compiled.base_loads.copy()
+
+        relief = None
+        if config.use_decap:
+            relief = decap_load_scale(floorplan, self.technology, compiled)
+            if relief is not None:
+                stats.decap_plan = relief[1]
+        decap_available = relief is not None
+
+        analysis = self._analyze_compiled(engine, compiled, loads)
+        em_report = self.em_checker.check_voltages(compiled, analysis.voltages)
+        analysis_time += analysis.analysis_time
+        evaluation = self._evaluate(constraints, analysis, em_report, widths, topology)
+
+        for iteration in range(self.max_iterations):
+            committed: CommittedMove | None = None
+            best_clone: CompiledGrid | None = None
+            best_build_time = 0.0
+            batch_time = 0.0
+            if not evaluation.all_satisfied:
+                violating = em_report.violating_lines
+                per_line = (
+                    line_currents_from_voltages(compiled, analysis.voltages)
+                    if violating
+                    else {}
+                )
+                worst_x = float(compiled.node_x[analysis.worst_index])
+                worst_y = float(compiled.node_y[analysis.worst_index])
+                baseline_widths, _ = self._resize_core(
+                    widths,
+                    topology,
+                    constraints,
+                    violating_lines=violating,
+                    per_line_current=per_line,
+                    worst_ir_drop=analysis.worst_ir_drop,
+                    worst_x=worst_x,
+                    worst_y=worst_y,
+                )
+                candidates = generate_candidates(
+                    widths=widths,
+                    baseline_widths=baseline_widths,
+                    topology=topology,
+                    compiled=compiled,
+                    drops=compiled.vdd - analysis.voltages,
+                    rules=self.rules,
+                    upsize_factor=self.upsize_factor,
+                    config=config,
+                    load_scale=relief[0] if decap_available else None,
+                )
+                stats.candidates_generated += len(candidates)
+                features = candidate_features(
+                    candidates,
+                    widths=widths,
+                    topology=topology,
+                    compiled=compiled,
+                    worst_x=worst_x,
+                    worst_y=worst_y,
+                    worst_ir_drop=analysis.worst_ir_drop,
+                    loads=loads,
+                )
+                if config.ranker is not None:
+                    kept = config.ranker.select(
+                        candidates, features, config.resolved_prune_to
+                    )
+                else:
+                    kept = list(range(len(candidates)))
+                stats.candidates_pruned += len(candidates) - len(kept)
+
+                best = None
+                batch_start = time.perf_counter()
+                for index in kept:
+                    cand = candidates[index]
+                    clone_start = time.perf_counter()
+                    if np.array_equal(cand.widths, widths):
+                        clone = compiled
+                    else:
+                        clone = builder.resize_compiled(compiled, topology, cand.widths)
+                    clone_time = time.perf_counter() - clone_start
+                    cand_loads = (
+                        loads * cand.load_scale
+                        if cand.load_scale is not None
+                        else loads
+                    )
+                    voltages = engine.solve_voltages(clone, cand_loads)
+                    cand_drops = clone.vdd - voltages
+                    cand_worst = float(cand_drops.max()) if cand_drops.size else 0.0
+                    stats.candidates_solved += 1
+                    stats.training_features.append(features[index])
+                    stats.training_improvements.append(
+                        analysis.worst_ir_drop - cand_worst
+                    )
+                    if best is None or cand_worst < best[0]:
+                        best = (cand_worst, index, clone, cand_loads, voltages, clone_time)
+                batch_time = time.perf_counter() - batch_start
+
+                if best is not None:
+                    cand = candidates[best[1]]
+                    committed = CommittedMove(
+                        iteration=iteration,
+                        kind=cand.kind,
+                        label=cand.label,
+                        widths=cand.widths.copy(),
+                        loads=best[3].copy(),
+                        voltages=best[4],
+                        worst_ir_drop=best[0],
+                        lines_changed=cand.lines_changed,
+                    )
+                    stats.committed.append(committed)
+                    stats.moves_committed += 1
+                    best_clone = best[2]
+                    best_build_time = best[5]
+
+            iterations.append(
+                PlanningIteration(
+                    index=iteration,
+                    worst_ir_drop=analysis.worst_ir_drop,
+                    em_violations=len(em_report.violations),
+                    lines_resized=committed.lines_changed if committed else 0,
+                    analysis_time=analysis.analysis_time,
+                    build_time=build_time,
+                )
+            )
+            if evaluation.all_satisfied or committed is None:
+                break
+
+            # Adopt the committed design.  Re-anchoring the committed
+            # clone's factorization through the explicit update path
+            # keeps the next batch updating an in-cache entry (the batch
+            # itself may have evicted the winner's entry).
+            if (
+                best_clone is not compiled
+                and engine.incremental_updates
+                and compiled.num_unknowns <= engine.direct_size_limit
+            ):
+                engine.factor_update(compiled, best_clone)
+            if committed.kind == "decap":
+                decap_available = False
+            widths = committed.widths
+            loads = committed.loads
+            compiled = best_clone
+            build_time = best_build_time
+            drops = compiled.vdd - committed.voltages
+            analysis = _LoopAnalysis(
+                voltages=committed.voltages,
+                worst_index=int(drops.argmax()) if drops.size else 0,
+                worst_ir_drop=committed.worst_ir_drop,
+                average_ir_drop=float(drops.mean()) if drops.size else 0.0,
+                analysis_time=batch_time,
+            )
+            analysis_time += batch_time
+            em_report = self.em_checker.check_voltages(compiled, analysis.voltages)
+            evaluation = self._evaluate(
+                constraints, analysis, em_report, widths, topology
+            )
+
+        network = builder.build(floorplan, topology, widths, name=floorplan.name)
+        drops = compiled.vdd - analysis.voltages
+        ir_result = IRDropResult(
+            network_name=compiled.name,
+            vdd=compiled.vdd,
+            node_voltages=compiled.voltages_dict(analysis.voltages),
+            node_ir_drop=compiled.voltages_dict(drops),
+            worst_ir_drop=analysis.worst_ir_drop,
+            worst_node=compiled.node_names[analysis.worst_index] if drops.size else "",
+            average_ir_drop=analysis.average_ir_drop,
+            analysis_time=analysis.analysis_time,
+            solver_method=(
+                SolverMethod.CG.value
+                if compiled.num_unknowns > engine.direct_size_limit
+                else ENGINE_METHOD
+            ),
+            solver_iterations=0,
+        )
+        total_time = time.perf_counter() - start
+        return PowerPlanResult(
+            benchmark=floorplan.name,
+            widths=widths,
+            network=network,
+            ir_result=ir_result,
+            em_report=em_report,
+            evaluation=evaluation,
+            iterations=iterations,
+            converged=evaluation.all_satisfied,
+            total_time=total_time,
+            analysis_time=analysis_time,
+            search=stats,
+        )
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _evaluate(
@@ -475,16 +750,9 @@ class ConventionalPowerPlanner:
         nearest the worst node (and their neighbours) are upsized by the
         planner's upsize factor.
         """
-        new_widths = widths.copy()
-        resized: set[int] = set()
-
-        for line_id in violating_lines:
-            required = per_line_current.get(line_id, 0.0) / constraints.jmax
-            target = max(new_widths[line_id] * self.upsize_factor, required)
-            legal = self.rules.legalize_width(target)
-            if legal > new_widths[line_id]:
-                new_widths[line_id] = legal
-                resized.add(line_id)
+        new_widths, resized = self._em_fix_widths(
+            widths, constraints, violating_lines, per_line_current
+        )
 
         if worst_ir_drop > constraints.ir_drop_limit:
             v_positions = np.asarray(topology.vertical_positions)
@@ -508,3 +776,26 @@ class ConventionalPowerPlanner:
                     resized.add(line_id)
 
         return new_widths, len(resized)
+
+    def _em_fix_widths(
+        self,
+        widths: np.ndarray,
+        constraints: ReliabilityConstraints,
+        violating_lines: set[int],
+        per_line_current: dict[int, float],
+    ) -> tuple[np.ndarray, set[int]]:
+        """Widths after the EM-mandated upsizes only (no IR move).
+
+        EM fixes are legality requirements, not search decisions: every
+        search candidate builds on top of them.
+        """
+        new_widths = widths.copy()
+        resized: set[int] = set()
+        for line_id in violating_lines:
+            required = per_line_current.get(line_id, 0.0) / constraints.jmax
+            target = max(new_widths[line_id] * self.upsize_factor, required)
+            legal = self.rules.legalize_width(target)
+            if legal > new_widths[line_id]:
+                new_widths[line_id] = legal
+                resized.add(line_id)
+        return new_widths, resized

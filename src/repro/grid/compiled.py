@@ -808,6 +808,23 @@ class CompiledGrid:
         """Convert a per-node voltage vector into a name-keyed mapping."""
         return {name: float(v) for name, v in zip(self.node_names, voltages)}
 
+    def load_nodes_by_block(self) -> dict[str, np.ndarray]:
+        """Node indices carrying each functional block's current sources.
+
+        Returns:
+            Mapping of block name to the (unique, sorted) node indices of
+            that block's load sources.  Sources not tied to a block
+            (empty block name) are omitted.
+        """
+        nodes: dict[str, list[int]] = {}
+        for block, node in zip(self.load_block, self.load_node):
+            if block:
+                nodes.setdefault(block, []).append(int(node))
+        return {
+            block: np.unique(np.asarray(indices, dtype=np.int64))
+            for block, indices in nodes.items()
+        }
+
     def voltage_array(self, voltages: Mapping[str, float]) -> np.ndarray:
         """Convert a name-keyed voltage mapping into compiled node order."""
         return np.fromiter(

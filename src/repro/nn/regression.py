@@ -91,6 +91,7 @@ class MultiTargetRegressor:
         self.target_scaler = StandardScaler()
         self.history: TrainingHistory | None = None
         self._num_outputs: int | None = None
+        self._num_features: int | None = None
 
     # ------------------------------------------------------------------
     # Estimator interface
@@ -112,6 +113,7 @@ class MultiTargetRegressor:
         if features.shape[0] != targets.shape[0]:
             raise ValueError("features and targets must have the same number of samples")
         self._num_outputs = targets.shape[1]
+        self._num_features = features.shape[1]
 
         scaled_features = (
             self.feature_scaler.fit_transform(features) if self.config.scale_features else features
@@ -135,16 +137,25 @@ class MultiTargetRegressor:
     def predict(self, features: np.ndarray) -> np.ndarray:
         """Predict targets in original (unscaled) units.
 
+        A single sample may be passed 1-D; it is promoted to one row.
+
         Returns:
             Array of shape ``(samples, num_targets)``; single-target models
             still return a 2-D array for consistency.
 
         Raises:
             NotFittedError: If the model has not been fitted.
+            ValueError: If the feature count differs from the one seen
+                at fit time.
         """
         if self.network is None:
             raise NotFittedError("fit() must be called before predict()")
         features = np.atleast_2d(np.asarray(features, dtype=float))
+        expected = getattr(self, "_num_features", None)
+        if expected is not None and features.shape[1] != expected:
+            raise ValueError(
+                f"expected {expected} features per sample, got {features.shape[1]}"
+            )
         scaled = (
             self.feature_scaler.transform(features) if self.config.scale_features else features
         )

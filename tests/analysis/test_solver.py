@@ -61,3 +61,44 @@ class TestSolutionQuality:
         system = assemble(tiny_grid)
         result = PowerGridSolver().solve(system)
         assert result.solve_time >= 0.0
+
+
+class TestBackendRouting:
+    """The legacy direct path routes through the shared solver backends."""
+
+    def test_default_backend_resolved(self):
+        from repro.analysis.solvers import resolve_solver_backend
+
+        solver = PowerGridSolver()
+        assert type(solver.backend) is type(resolve_solver_backend(None))
+
+    def test_explicit_splu_backend(self, tiny_grid):
+        from repro.analysis.solvers import SpluBackend
+
+        solver = PowerGridSolver(method=SolverMethod.DIRECT, solver="splu")
+        assert isinstance(solver.backend, SpluBackend)
+        result = solver.solve(assemble(tiny_grid))
+        assert result.residual_norm < 1e-8
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            PowerGridSolver(solver="not-a-backend")
+
+    def test_error_type_shared_with_solvers_module(self):
+        from repro.analysis import solver as legacy
+        from repro.analysis import solvers as canonical
+
+        assert legacy.LinearSolverError is canonical.LinearSolverError
+
+    def test_direct_and_engine_backends_agree(self, tiny_grid):
+        from repro.analysis import BatchedAnalysisEngine
+
+        system = assemble(tiny_grid)
+        direct = PowerGridSolver(method=SolverMethod.DIRECT).solve(system)
+        engine_voltages = BatchedAnalysisEngine().solve_voltages(tiny_grid.compile())
+        # The two assembly paths reduce the grid differently (node count
+        # and ordering), but they solve the same physical design: the
+        # worst node voltage must agree.
+        np.testing.assert_allclose(
+            direct.voltages.min(), engine_voltages.min(), rtol=1e-9
+        )

@@ -1,5 +1,7 @@
 """Tests for the high-level multi-target regressor."""
 
+import pickle
+
 import numpy as np
 import pytest
 
@@ -70,6 +72,25 @@ class TestFitPredict:
         assert not model.is_fitted
         model.fit(rng.normal(size=(20, 3)), rng.normal(size=(20, 1)))
         assert model.is_fitted
+
+    def test_single_sample_1d_promoted_to_row(self, fitted):
+        model, features, _ = fitted
+        single = model.predict(features[0])
+        assert single.shape == (1, 2)
+        np.testing.assert_allclose(single, model.predict(features[:1]))
+
+    def test_feature_count_mismatch_rejected(self, fitted, rng):
+        model, _, _ = fitted
+        with pytest.raises(ValueError, match="features per sample"):
+            model.predict(rng.normal(size=(4, 5)))
+        with pytest.raises(ValueError, match="features per sample"):
+            model.predict(np.zeros(2))
+
+    def test_fitted_model_pickles_with_identical_predictions(self, fitted):
+        model, features, _ = fitted
+        clone = pickle.loads(pickle.dumps(model))
+        assert clone.is_fitted
+        np.testing.assert_array_equal(clone.predict(features), model.predict(features))
 
 
 class TestConfig:

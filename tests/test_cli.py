@@ -51,6 +51,71 @@ class TestPlan:
         assert "conventional power planning" in output
         assert "converged" in output
 
+    def test_plan_search_reports_counters_and_record(self, tmp_path, capsys):
+        record_path = tmp_path / "plan.json"
+        assert (
+            main(
+                [
+                    "plan", "ibmpg1",
+                    "--search", "--min-width-start",
+                    "--json-out", str(record_path),
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "batched planner search" in output
+        assert "candidates generated" in output
+        assert "moves committed" in output
+        assert record_path.exists()
+
+        import json
+
+        record = json.loads(record_path.read_text())
+        search = record["search"]
+        assert search["candidates_generated"] > 0
+        assert search["moves_committed"] > 0
+        assert search["candidates_generated"] == (
+            search["candidates_pruned"] + search["candidates_solved"]
+        )
+        assert search["candidates_pruned"] == 0  # exact mode
+        assert not search["ranker_used"]
+
+    def test_plan_ranker_implies_search(self, tmp_path, capsys):
+        record_path = tmp_path / "plan_ranker.json"
+        assert (
+            main(
+                [
+                    "plan", "ibmpg1",
+                    "--ranker", "--batch-width", "8", "--min-width-start",
+                    "--json-out", str(record_path),
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "batched planner search" in output
+
+        import json
+
+        record = json.loads(record_path.read_text())
+        search = record["search"]
+        assert search["ranker_used"]
+        assert search["candidates_pruned"] > 0
+        assert search["candidates_generated"] == (
+            search["candidates_pruned"] + search["candidates_solved"]
+        )
+
+    def test_plan_record_without_search_has_no_counters(self, tmp_path):
+        record_path = tmp_path / "plain.json"
+        assert main(["plan", "ibmpg1", "--json-out", str(record_path)]) == 0
+
+        import json
+
+        record = json.loads(record_path.read_text())
+        assert "search" not in record
+        assert record["converged"]
+
 
 class TestTrainPredict:
     def test_train_then_predict_roundtrip(self, tmp_path, capsys):
