@@ -28,7 +28,15 @@ After the timed sequential sweep, the same mega-sweep is re-run twice more:
   bitwise-identical (asserted; the reservoir merge is statistically
   resampled and recorded, not asserted).  The sequential-vs-process
   speedup is recorded and gated ``>= 2x`` by ``check_results.py`` on
-  multi-core (``cpu_count >= 4``) full-scale runners.
+  multi-core (``cpu_count >= 4``) full-scale runners;
+* the **remote fleet executor** (embedded localhost coordinator +
+  workers) at 1 / 2 / non-divisor shard counts — the merged reductions,
+  every exact mergeable sink and the deterministic quantile sketch must
+  be bitwise-identical to the sequential sweep at every count (asserted),
+  and the sequential-vs-remote speedup is recorded and gated ``>= 1.5x``
+  on multi-core full-scale runners.  The sketch's maximum relative error
+  against the dense rank quantiles is recorded and gated against its
+  documented ``1%`` bound at every scale.
 
 The vectorised P² fold is micro-benchmarked by replaying the sweep's
 per-scenario worst-drop stream through a fresh sink: the replayed estimate
@@ -61,6 +69,8 @@ from repro.analysis import (
     NodeHistogramSink,
     P2QuantileSink,
     ProcessShardedExecutor,
+    QuantileSketchSink,
+    RemoteExecutor,
     ReservoirQuantileSink,
     TopKScenarioSink,
 )
@@ -80,6 +90,10 @@ REFERENCE_SCENARIO_BUDGET = 2048
 MIN_FULL_SCALE_SCENARIOS = 100_000
 PARALLEL_WORKERS = max(2, min(4, os.cpu_count() or 1))
 PROCESS_SHARD_COUNTS = tuple(sorted({2, PARALLEL_WORKERS}))
+REMOTE_WORKER_COUNTS = (1, 2, 3)
+"""Single shard, even split and a non-divisor of the full scenario count."""
+SKETCH_RELATIVE_ERROR = 0.01
+"""Documented bound of the quantile sketch (checked against dense ranks)."""
 P2_FOLD_BUDGET_FRACTION = 0.25
 """Full-scale bar: the P² fold must stay below this fraction of the solve."""
 
@@ -101,6 +115,7 @@ def mergeable_sinks(nominal_worst: float, reservoir_capacity: int) -> dict:
     """The sink stack minus P² — everything the process shards can merge."""
     return {
         "reservoir": ReservoirQuantileSink(reservoir_capacity, QUANTILES, seed=SEED),
+        "sketch": QuantileSketchSink(QUANTILES, relative_error=SKETCH_RELATIVE_ERROR),
         "histogram": NodeHistogramSink.uniform(0.0, max(2.0 * nominal_worst, 1e-6), NUM_BINS),
         "exceedance": ExceedanceCountSink(nominal_worst),
         "joint": JointExceedanceSink(nominal_worst),
@@ -137,6 +152,9 @@ def dense_reference(engine, grid, load_rows, pad_matrix, edges, threshold):
         "topk_value": worst[order],
         "topk_node": rows.argmax(axis=1)[order],
         "quantiles": np.quantile(worst, QUANTILES),
+        # The sketch targets the dense rank quantile (floor(q * (n - 1))),
+        # i.e. numpy's "lower" method, within its relative-error bound.
+        "quantiles_lower": np.quantile(worst, QUANTILES, method="lower"),
     }
 
 
@@ -189,6 +207,16 @@ def test_mega_sweep_sinks(benchmark, results_dir):
     reservoir = ref_sinks["reservoir"].result()
     assert reservoir.exact
     assert np.array_equal(reservoir.values, reference["quantiles"])
+    # The sketch is approximate by design; gate it against its documented
+    # relative-error bound at the dense rank quantiles.
+    ref_sketch = ref_sinks["sketch"].result()
+    ref_sketch_error = float(
+        np.max(
+            np.abs(ref_sketch.values - reference["quantiles_lower"])
+            / reference["quantiles_lower"]
+        )
+    )
+    assert ref_sketch_error <= SKETCH_RELATIVE_ERROR
     exact_sinks_match = True
 
     # --- Timed full mega-sweep, chunk-bounded memory, one factorization.
@@ -215,6 +243,12 @@ def test_mega_sweep_sinks(benchmark, results_dir):
 
     p2_estimate = sinks["p2"].result()
     reservoir_estimate = sinks["reservoir"].result()
+    sketch_estimate = sinks["sketch"].result()
+    sketch_reference = np.quantile(result.worst_ir_drop, QUANTILES, method="lower")
+    sketch_rel_error = float(
+        np.max(np.abs(sketch_estimate.values - sketch_reference) / sketch_reference)
+    )
+    assert sketch_rel_error <= SKETCH_RELATIVE_ERROR
     exceedance = sinks["exceedance"].result()
     joint = sinks["joint"].result()
     topk = sinks["topk"].result()
@@ -278,6 +312,7 @@ def test_mega_sweep_sinks(benchmark, results_dir):
             np.array_equal(
                 parallel_sinks["reservoir"].result().values, reservoir_estimate.values
             ),
+            np.array_equal(parallel_sinks["sketch"].result().values, sketch_estimate.values),
         )
     )
     assert parallel_matches
@@ -324,6 +359,11 @@ def test_mega_sweep_sinks(benchmark, results_dir):
                 ),
                 np.array_equal(process_topk.scenario_index, topk.scenario_index),
                 np.array_equal(process_topk.worst_ir_drop, topk.worst_ir_drop),
+                # The sketch merge is aligned counter addition: bitwise
+                # identical at every shard count, unlike the reservoir.
+                np.array_equal(
+                    process_sinks["sketch"].result().values, sketch_estimate.values
+                ),
             )
         )
         assert process_matches, f"process-sharded sweep diverged at {shards} shards"
@@ -332,6 +372,57 @@ def test_mega_sweep_sinks(benchmark, results_dir):
         process_reservoir = process_sinks["reservoir"].result()
     process_shards = PROCESS_SHARD_COUNTS[-1]
     process_speedup = result.analysis_time / process_elapsed if process_elapsed > 0 else 0.0
+
+    # --- Remote fleet executor: the same sweep through the coordinator /
+    # worker protocol (embedded localhost fleet), at 1 / 2 / non-divisor
+    # shard counts (oversubscribe=1 pins shards == workers).  The merged
+    # reductions and every exact mergeable sink must again be
+    # bitwise-identical to the sequential sweep, and the sketch must merge
+    # bitwise at every count.  The largest fleet is timed for the recorded
+    # speedup (gated >= 1.5x by check_results.py on multi-core full-scale
+    # runners; embedded mode pays worker spawn per sweep).
+    remote_matches = True
+    remote_elapsed = 0.0
+    remote_factorizations = 0
+    for workers in REMOTE_WORKER_COUNTS:
+        remote_engine = BatchedAnalysisEngine()
+        remote_sinks = mergeable_sinks(nominal.worst_ir_drop, reservoir_capacity=4096)
+        remote = remote_engine.analyze_mega_sweep(
+            grid,
+            load_matrix,
+            pad_matrix,
+            chunk_size=CHUNK_SIZE,
+            sinks=tuple(remote_sinks.values()),
+            executor=RemoteExecutor(workers=workers, oversubscribe=1),
+        )
+        remote_topk = remote_sinks["topk"].result()
+        remote_matches = remote_matches and all(
+            (
+                np.array_equal(remote.worst_ir_drop, result.worst_ir_drop),
+                np.array_equal(remote.average_ir_drop, result.average_ir_drop),
+                np.array_equal(remote.worst_node_index, result.worst_node_index),
+                np.array_equal(
+                    remote_sinks["histogram"].result().counts, sequential_histogram.counts
+                ),
+                np.array_equal(
+                    remote_sinks["exceedance"].result().counts, exceedance.counts
+                ),
+                np.array_equal(
+                    remote_sinks["joint"].result().violating_node_counts,
+                    joint.violating_node_counts,
+                ),
+                np.array_equal(remote_topk.scenario_index, topk.scenario_index),
+                np.array_equal(remote_topk.worst_ir_drop, topk.worst_ir_drop),
+                np.array_equal(
+                    remote_sinks["sketch"].result().values, sketch_estimate.values
+                ),
+            )
+        )
+        assert remote_matches, f"remote sweep diverged at {workers} workers"
+        remote_elapsed = remote.analysis_time
+        remote_factorizations = remote_engine.cache_info().factorizations
+    remote_workers = REMOTE_WORKER_COUNTS[-1]
+    remote_speedup = result.analysis_time / remote_elapsed if remote_elapsed > 0 else 0.0
 
     record = {
         "benchmark": BENCHMARK,
@@ -363,6 +454,21 @@ def test_mega_sweep_sinks(benchmark, results_dir):
         "process_factorizations": process_factorizations,
         "process_reservoir_quantiles": dict(
             zip(map(str, QUANTILES), process_reservoir.values.tolist())
+        ),
+        "remote_worker_counts": list(REMOTE_WORKER_COUNTS),
+        "remote_workers": remote_workers,
+        "remote_elapsed_seconds": remote_elapsed,
+        "remote_scenarios_per_second": (
+            result.num_scenarios / remote_elapsed if remote_elapsed > 0 else 0.0
+        ),
+        "remote_speedup": remote_speedup,
+        "remote_matches": remote_matches,
+        "remote_factorizations": remote_factorizations,
+        "sketch_relative_error_bound": SKETCH_RELATIVE_ERROR,
+        "sketch_rel_error": sketch_rel_error,
+        "sketch_reference_rel_error": ref_sketch_error,
+        "sketch_quantiles": dict(
+            zip(map(str, QUANTILES), sketch_estimate.values.tolist())
         ),
         "p2_fold_seconds": p2_fold_seconds,
         "p2_fold_fraction": p2_fold_fraction,
@@ -401,6 +507,10 @@ def test_mega_sweep_sinks(benchmark, results_dir):
                 f"process x{process_shards} (s)": round(process_elapsed, 3),
                 "process speedup": round(process_speedup, 2),
                 "process matches": process_matches,
+                f"remote x{remote_workers} (s)": round(remote_elapsed, 3),
+                "remote speedup": round(remote_speedup, 2),
+                "remote matches": remote_matches,
+                "sketch rel error": round(sketch_rel_error, 5),
                 "p2 fold (s)": round(p2_fold_seconds, 3),
                 "p2 fold fraction": round(p2_fold_fraction, 4),
                 "dense GB avoided": round(dense_voltage_bytes / 1e9, 3),

@@ -147,6 +147,40 @@ def check_mega_sweep_sinks(record: dict) -> list[str]:
             f"process-sharded mega-sweep speedup {record.get('process_speedup')} "
             f"below the 2.0x bar on a {record.get('cpu_count')}-core runner"
         )
+    if "remote_matches" not in record or "sketch_rel_error" not in record:
+        problems.append(
+            "record lacks the remote-executor fields (remote_matches / "
+            "sketch_rel_error) — produced by an older bench? re-run it"
+        )
+    else:
+        if not record["remote_matches"]:
+            problems.append(
+                "remote-fleet mega-sweep did not match the sequential sweep "
+                "bitwise for the mergeable sinks / reductions"
+            )
+        if record.get("remote_factorizations", 1) != 1:
+            problems.append(
+                f"remote mega-sweep left {record.get('remote_factorizations')} "
+                "factorizations in the parent engine, expected 1 (cache warm)"
+            )
+        # The sketch's accuracy contract is unconditional — smoke included.
+        bound = float(record.get("sketch_relative_error_bound", 0.01))
+        if record["sketch_rel_error"] > bound:
+            problems.append(
+                f"quantile sketch relative error {record['sketch_rel_error']} "
+                f"above its documented {bound} bound"
+            )
+    # Like process sharding, the remote path pays coordinator + embedded
+    # worker-spawn overhead, so its >= 1.5x bar needs real cores.
+    if (
+        _gate_performance(record)
+        and int(record.get("cpu_count", 1)) >= 4
+        and record.get("remote_speedup", 0.0) < 1.5
+    ):
+        problems.append(
+            f"remote-fleet mega-sweep speedup {record.get('remote_speedup')} "
+            f"below the 1.5x bar on a {record.get('cpu_count')}-core runner"
+        )
     # The vectorised P² fold must stay a small fraction of the solve, or
     # the fold serialises parallel sweeps again.
     if _gate_performance(record) and record.get("p2_fold_fraction", 0.0) >= 0.25:

@@ -41,6 +41,7 @@ from __future__ import annotations
 import os
 import threading
 import time
+import warnings
 from collections import OrderedDict, deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -1038,15 +1039,19 @@ class BatchedAnalysisEngine:
         sinks: Sequence[ScenarioSink],
         executor: SweepExecutor,
         lenient: bool = False,
+        entry_point: str = "sweep",
     ) -> tuple[BatchReductions, bool, np.ndarray, SweepExecutor]:
         """Run one chunked sweep on an executor, with lenient fallback.
 
         ``lenient`` marks an environment-default executor: if it declares
         the sweep incompatible (:class:`ExecutorIncompatibility`, raised
         before any sink binds), the sweep downgrades to the threaded
-        pipeline at the engine's default worker count instead of failing.
-        Returns the reductions, reuse flag, iteration counts and the
-        executor that actually ran the sweep.
+        pipeline at the engine's default worker count instead of failing —
+        with a :class:`RuntimeWarning` naming the entry point and the
+        offending sink class / source, so environment-sharded suites show
+        which sweeps silently ran threaded.  Returns the reductions,
+        reuse flag, iteration counts and the executor that actually ran
+        the sweep.
         """
         if chunk_size < 1:
             raise ValueError("chunk_size must be at least 1")
@@ -1060,9 +1065,15 @@ class BatchedAnalysisEngine:
         )
         try:
             reductions, reused, iterations = executor.execute(plan)
-        except ExecutorIncompatibility:
+        except ExecutorIncompatibility as exc:
             if not lenient:
                 raise
+            warnings.warn(
+                f"{entry_point}: the environment-default {executor.name!r} executor "
+                f"cannot run this sweep ({exc}); falling back to the threaded pipeline",
+                RuntimeWarning,
+                stacklevel=3,
+            )
             executor = ThreadedExecutor(self.default_workers)
             reductions, reused, iterations = executor.execute(plan)
         return reductions, reused, iterations, executor
@@ -1180,6 +1191,7 @@ class BatchedAnalysisEngine:
         sinks: Sequence[ScenarioSink],
         executor: SweepExecutor,
         lenient: bool,
+        entry_point: str,
     ) -> tuple[np.ndarray | None, BatchReductions | None, bool, np.ndarray]:
         """Shared core of the batched solvers.
 
@@ -1210,7 +1222,7 @@ class BatchedAnalysisEngine:
 
         source = MatrixScenarioSource(load_matrix, pad_voltage_matrix)
         reductions, reused, iterations, _ = self._stream_scenarios(
-            compiled, source, k, chunk_size, sinks, executor, lenient
+            compiled, source, k, chunk_size, sinks, executor, lenient, entry_point
         )
         return None, reductions, reused, iterations
 
@@ -1277,7 +1289,8 @@ class BatchedAnalysisEngine:
         if load_matrix.shape[0] == 0:
             raise ValueError("load_matrix must contain at least one scenario")
         voltages, reductions, reused, iterations = self._batch_scenarios(
-            compiled, load_matrix, None, chunk_size, sinks, executor_used, lenient
+            compiled, load_matrix, None, chunk_size, sinks, executor_used, lenient,
+            "analyze_batch",
         )
         elapsed = time.perf_counter() - start
         return BatchAnalysisResult(
@@ -1352,7 +1365,8 @@ class BatchedAnalysisEngine:
                     f"{load_matrix.shape}"
                 )
         voltages, reductions, reused, iterations = self._batch_scenarios(
-            compiled, load_matrix, pad_voltage_matrix, chunk_size, sinks, executor_used, lenient
+            compiled, load_matrix, pad_voltage_matrix, chunk_size, sinks, executor_used, lenient,
+            "analyze_pad_batch",
         )
         elapsed = time.perf_counter() - start
         return BatchAnalysisResult(
@@ -1419,7 +1433,8 @@ class BatchedAnalysisEngine:
         if chunk_size is None:
             chunk_size = resolve_chunk_size(compiled.num_unknowns, executor_used.parallelism)
         reductions, reused, iterations, executor_used = self._stream_scenarios(
-            compiled, scenario_source, num_scenarios, chunk_size, sinks, executor_used, lenient
+            compiled, scenario_source, num_scenarios, chunk_size, sinks, executor_used, lenient,
+            "analyze_scenario_stream",
         )
         return StreamedSweepResult(
             compiled=compiled,
@@ -1506,7 +1521,8 @@ class BatchedAnalysisEngine:
         cross_source = CrossProductScenarioSource(load_matrix, pad_voltage_matrix)
         num_scenarios = num_loads * num_pad_rows
         reductions, reused, iterations, executor_used = self._stream_scenarios(
-            compiled, cross_source, num_scenarios, chunk_size, sinks, executor_used, lenient
+            compiled, cross_source, num_scenarios, chunk_size, sinks, executor_used, lenient,
+            "analyze_mega_sweep",
         )
         return MegaSweepResult(
             compiled=compiled,

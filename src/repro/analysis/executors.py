@@ -77,7 +77,7 @@ cannot run (non-mergeable sinks or an unpicklable source under
 ``executor=`` argument raises instead.
 """
 
-EXECUTOR_NAMES = ("serial", "threads", "processes")
+EXECUTOR_NAMES = ("serial", "threads", "processes", "remote")
 """Names accepted by :func:`make_executor` (and :data:`EXECUTOR_ENV`)."""
 
 
@@ -261,53 +261,21 @@ class ProcessShardedExecutor(SweepExecutor):
         from .engine import BatchReductions
 
         engine, compiled, sinks = plan.engine, plan.compiled, plan.sinks
-        non_mergeable = sorted(
-            {type(sink).__name__ for sink in sinks if not isinstance(sink, MergeableSink)}
-        )
-        if non_mergeable:
-            raise ExecutorIncompatibility(
-                f"sinks {non_mergeable} cannot merge across process shards "
-                "(their state is order-dependent); use mergeable sinks — e.g. "
-                "ReservoirQuantileSink instead of P2QuantileSink — or the "
-                "threads executor"
-            )
+        require_mergeable_sinks(sinks, "process")
         num_scenarios = plan.num_scenarios
         shards = min(self.shards, num_scenarios)
         if shards <= 1:
             return engine._run_chunk_pipeline(
                 compiled, plan.scenario_source, num_scenarios, plan.chunk_size, sinks, workers=1
             )
-        compiled.fingerprint  # hash once here; workers inherit the digest
-        engine_config = {
-            "cache_size": engine.cache_size,
-            "direct_size_limit": engine.direct_size_limit,
-            "solver": engine.solver_backend.name,
-            "incremental_updates": engine.incremental_updates,
-        }
-        try:
-            payload = pickle.dumps(
-                (engine_config, compiled, plan.scenario_source, plan.chunk_size, sinks),
-                protocol=pickle.HIGHEST_PROTOCOL,
-            )
-        except (pickle.PicklingError, TypeError, AttributeError) as exc:
-            raise ExecutorIncompatibility(
-                "process-sharded sweeps must pickle the scenario source, the "
-                "compiled grid and every sink into the worker processes; use a "
-                "picklable source (e.g. MatrixScenarioSource / "
-                f"CrossProductScenarioSource) or the threads executor: {exc}"
-            ) from exc
+        payload = pickle_sweep_payload(plan, "process")
         for sink in sinks:
             sink.bind(compiled, num_scenarios)
         reused = False
         if not engine._use_cg(compiled):
             _, reused = engine._factor(compiled)
 
-        worst = np.empty(num_scenarios, dtype=float)
-        average = np.empty(num_scenarios, dtype=float)
-        worst_index = np.empty(num_scenarios, dtype=np.int64)
-        iterations = np.zeros(num_scenarios, dtype=np.int64)
-        bounds = [num_scenarios * i // shards for i in range(shards + 1)]
-        ranges = [(bounds[i], bounds[i + 1]) for i in range(shards)]
+        ranges = shard_ranges(num_scenarios, shards)
         with ProcessPoolExecutor(
             max_workers=shards,
             mp_context=self._context(),
@@ -316,20 +284,7 @@ class ProcessShardedExecutor(SweepExecutor):
         ) as pool:
             futures = [pool.submit(_solve_shard, begin, end) for begin, end in ranges]
             outcomes = [future.result() for future in futures]
-        for begin, end, shard_worst, shard_avg, shard_index, shard_iter, shard_reused, snaps in (
-            outcomes
-        ):
-            worst[begin:end] = shard_worst
-            average[begin:end] = shard_avg
-            worst_index[begin:end] = shard_index
-            iterations[begin:end] = shard_iter
-            reused = reused or shard_reused
-            for sink, snapshot in zip(sinks, snaps):
-                sink.merge(snapshot)
-        reductions = BatchReductions(
-            worst_ir_drop=worst, average_ir_drop=average, worst_node_index=worst_index
-        )
-        return reductions, reused, iterations
+        return fold_shard_outcomes(plan, outcomes, reused)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"ProcessShardedExecutor(shards={self.shards})"
@@ -352,18 +307,66 @@ def make_executor(name: str, workers: int | None = None) -> SweepExecutor:
         return ThreadedExecutor(workers)
     if name == "processes":
         return ProcessShardedExecutor(shards=workers)
+    if name == "remote":
+        from .remote import RemoteExecutor
+
+        return RemoteExecutor(workers=workers)
     raise ValueError(f"unknown executor {name!r}; choose from {EXECUTOR_NAMES}")
 
 
 # ----------------------------------------------------------------------
-# Worker-process side of ProcessShardedExecutor
+# Shared shard machinery (process-sharded and remote executors)
 # ----------------------------------------------------------------------
-_WORKER_STATE: dict = {}
-"""Per-worker sweep context, installed once by the pool initializer."""
+def require_mergeable_sinks(sinks: Sequence[ScenarioSink], shard_kind: str) -> None:
+    """Reject sweeps whose sinks cannot merge across shards.
+
+    Raised before any sink binds, so an environment-default executor can
+    downgrade the sweep to the threaded pipeline instead of failing.
+    """
+    non_mergeable = sorted(
+        {type(sink).__name__ for sink in sinks if not isinstance(sink, MergeableSink)}
+    )
+    if non_mergeable:
+        raise ExecutorIncompatibility(
+            f"sinks {non_mergeable} cannot merge across {shard_kind} shards "
+            "(their state is order-dependent); use mergeable sinks — e.g. "
+            "QuantileSketchSink instead of P2QuantileSink — or the "
+            "threads executor"
+        )
 
 
-def _init_shard_worker(payload: bytes) -> None:
-    """Unpickle the sweep context into this worker process.
+def pickle_sweep_payload(plan: SweepPlan, shard_kind: str) -> bytes:
+    """Pickle one sweep's worker context (engine config, grid, source, sinks).
+
+    The payload is what shard workers — local processes or remote worker
+    processes — unpickle via :func:`load_shard_state` to rebuild the sweep
+    on their side.  Unpicklable plans raise
+    :class:`ExecutorIncompatibility` before any sink binds.
+    """
+    engine = plan.engine
+    plan.compiled.fingerprint  # hash once here; workers inherit the digest
+    engine_config = {
+        "cache_size": engine.cache_size,
+        "direct_size_limit": engine.direct_size_limit,
+        "solver": engine.solver_backend.name,
+        "incremental_updates": engine.incremental_updates,
+    }
+    try:
+        return pickle.dumps(
+            (engine_config, plan.compiled, plan.scenario_source, plan.chunk_size, plan.sinks),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+    except (pickle.PicklingError, TypeError, AttributeError) as exc:
+        raise ExecutorIncompatibility(
+            f"{shard_kind}-sharded sweeps must pickle the scenario source, the "
+            "compiled grid and every sink into the worker processes; use a "
+            "picklable source (e.g. MatrixScenarioSource / "
+            f"CrossProductScenarioSource) or the threads executor: {exc}"
+        ) from exc
+
+
+def load_shard_state(payload: bytes) -> dict:
+    """Rebuild the worker-side sweep context from a pickled payload.
 
     The worker's engine mirrors the parent's solver configuration (cache
     size, direct-vs-CG threshold) so shards solve exactly the way the
@@ -372,7 +375,7 @@ def _init_shard_worker(payload: bytes) -> None:
     from .engine import BatchedAnalysisEngine
 
     engine_config, compiled, source, chunk_size, sink_prototypes = pickle.loads(payload)
-    _WORKER_STATE.update(
+    return dict(
         engine=BatchedAnalysisEngine(
             default_workers=1, default_executor=SerialExecutor(), **engine_config
         ),
@@ -383,15 +386,14 @@ def _init_shard_worker(payload: bytes) -> None:
     )
 
 
-def _solve_shard(begin: int, end: int) -> tuple:
-    """Run the serial chunk pipeline over ``[begin, end)`` in this worker.
+def solve_shard_range(state: dict, begin: int, end: int) -> tuple:
+    """Run the serial chunk pipeline over ``[begin, end)`` of one sweep.
 
     The shard runs as its own sweep of ``end - begin`` scenarios: the
     source is shifted by ``begin`` and fresh sink copies observe
     shard-local offsets — :meth:`MergeableSink.merge` re-bases any
     indices when the parent folds the snapshots back together.
     """
-    state = _WORKER_STATE
     source = state["source"]
     sinks: Sequence[ScenarioSink] = copy.deepcopy(state["sink_prototypes"])
 
@@ -411,3 +413,55 @@ def _solve_shard(begin: int, end: int) -> tuple:
         reused,
         tuple(sink.snapshot() for sink in sinks),
     )
+
+
+def shard_ranges(num_scenarios: int, shards: int) -> list[tuple[int, int]]:
+    """Split ``[0, num_scenarios)`` into ``shards`` contiguous near-equal ranges."""
+    bounds = [num_scenarios * i // shards for i in range(shards + 1)]
+    return [(bounds[i], bounds[i + 1]) for i in range(shards)]
+
+
+def fold_shard_outcomes(
+    plan: SweepPlan, outcomes: Sequence[tuple], reused: bool
+) -> "tuple[BatchReductions, bool, np.ndarray]":
+    """Scatter shard reductions and merge shard snapshots, ascending.
+
+    ``outcomes`` holds one :func:`solve_shard_range` tuple per shard, in
+    ascending ``begin`` order, covering ``[0, plan.num_scenarios)``
+    exactly.  Sinks must already be bound to the full sweep.
+    """
+    from .engine import BatchReductions
+
+    num_scenarios = plan.num_scenarios
+    worst = np.empty(num_scenarios, dtype=float)
+    average = np.empty(num_scenarios, dtype=float)
+    worst_index = np.empty(num_scenarios, dtype=np.int64)
+    iterations = np.zeros(num_scenarios, dtype=np.int64)
+    for begin, end, shard_worst, shard_avg, shard_index, shard_iter, shard_reused, snaps in (
+        outcomes
+    ):
+        worst[begin:end] = shard_worst
+        average[begin:end] = shard_avg
+        worst_index[begin:end] = shard_index
+        iterations[begin:end] = shard_iter
+        reused = reused or shard_reused
+        for sink, snapshot in zip(plan.sinks, snaps):
+            sink.merge(snapshot)
+    reductions = BatchReductions(
+        worst_ir_drop=worst, average_ir_drop=average, worst_node_index=worst_index
+    )
+    return reductions, reused, iterations
+
+
+_WORKER_STATE: dict = {}
+"""Per-worker sweep context, installed once by the pool initializer."""
+
+
+def _init_shard_worker(payload: bytes) -> None:
+    """Unpickle the sweep context into this pool worker process."""
+    _WORKER_STATE.update(load_shard_state(payload))
+
+
+def _solve_shard(begin: int, end: int) -> tuple:
+    """Pool-worker entry: solve ``[begin, end)`` from the installed context."""
+    return solve_shard_range(_WORKER_STATE, begin, end)

@@ -637,6 +637,184 @@ class ReservoirQuantileSink(_ScalarStreamSink):
         )
 
 
+class QuantileSketchSink(_ScalarStreamSink):
+    """Deterministic log-bucketed quantile sketch of a per-scenario scalar.
+
+    A DDSketch-style estimator: every scalar ``v >= min_value`` lands in
+    the logarithmic bucket ``ceil(log(v) / log(gamma))`` with
+    ``gamma = (1 + relative_error) / (1 - relative_error)``, and the sketch
+    keeps only the integer count per occupied bucket.  Reported quantile
+    values are the buckets' relative-error midpoints
+    (``2 * gamma**i / (gamma + 1)``), so every estimate is within
+    ``relative_error`` (relative) of the true empirical quantile whenever
+    that quantile is at least ``min_value``.  Scalars below ``min_value``
+    are pooled in a dedicated low bucket reported as ``0.0`` — quantiles
+    landing there carry no relative-error guarantee (on IR-drop sweeps the
+    tracked statistics sit far above any sensible ``min_value``).
+
+    Unlike the reservoir sink, the state is a pure integer counter array:
+    it is invariant to the *order* scalars arrive in, and the merge is
+    aligned counter addition.  A sweep split into contiguous shards —
+    process-sharded, remote-sharded, any chunk size — therefore merges to
+    the **bitwise-identical** sketch the sequential sweep builds, at every
+    shard count.  That determinism is what makes this the recommended
+    quantile sink under the process and remote executors, where
+    :class:`P2QuantileSink` is rejected (order-dependent markers) and
+    :class:`ReservoirQuantileSink` merges only statistically.
+
+    Memory is one ``int64`` per occupied bucket:
+    ``O(log(max / min_value) / relative_error)``.  The bucket span is
+    capped at ``max_buckets`` — a sweep whose dynamic range would exceed
+    it raises instead of silently degrading the error bound.
+
+    Args:
+        quantiles: Quantile levels in [0, 1], strictly ascending.
+        statistic: Per-scenario scalar to track (``"worst"`` or ``"mean"``).
+        relative_error: Guaranteed relative accuracy ``alpha`` in (0, 1)
+            for quantile values ``>= min_value``.
+        min_value: Smallest magnitude resolved by the log buckets; smaller
+            scalars pool in the low bucket.
+        max_buckets: Hard cap on the contiguous bucket span.
+    """
+
+    def __init__(
+        self,
+        quantiles: Sequence[float],
+        statistic: str = "worst",
+        relative_error: float = 0.01,
+        min_value: float = 1e-9,
+        max_buckets: int = 8192,
+    ) -> None:
+        super().__init__(statistic)
+        self.quantiles = _validated_quantiles(quantiles)
+        if not 0.0 < relative_error < 1.0:
+            raise ValueError(f"relative_error must be in (0, 1), got {relative_error}")
+        if min_value <= 0.0:
+            raise ValueError(f"min_value must be positive, got {min_value}")
+        if max_buckets < 1:
+            raise ValueError("max_buckets must be at least 1")
+        self.relative_error = float(relative_error)
+        self.min_value = float(min_value)
+        self.max_buckets = int(max_buckets)
+        self._gamma = (1.0 + self.relative_error) / (1.0 - self.relative_error)
+        self._log_gamma = np.log(self._gamma)
+        self._counts = np.zeros(0, dtype=np.int64)
+        self._index_offset = 0  # bucket index of _counts[0]
+        self._low_count = 0  # scalars below min_value
+
+    def _bucket_indices(self, values: np.ndarray) -> np.ndarray:
+        return np.ceil(np.log(values) / self._log_gamma).astype(np.int64)
+
+    def _ensure_span(self, lo: int, hi: int) -> None:
+        """Grow the dense counter array to cover bucket indices [lo, hi]."""
+        if self._counts.size == 0:
+            span = hi - lo + 1
+            if span > self.max_buckets:
+                raise ValueError(
+                    f"sketch span {span} buckets exceeds max_buckets={self.max_buckets}; "
+                    "raise max_buckets or relative_error"
+                )
+            self._counts = np.zeros(span, dtype=np.int64)
+            self._index_offset = lo
+            return
+        lo = min(lo, self._index_offset)
+        hi = max(hi, self._index_offset + self._counts.size - 1)
+        span = hi - lo + 1
+        if span > self.max_buckets:
+            raise ValueError(
+                f"sketch span {span} buckets exceeds max_buckets={self.max_buckets}; "
+                "raise max_buckets or relative_error"
+            )
+        if span == self._counts.size:
+            return
+        grown = np.zeros(span, dtype=np.int64)
+        start = self._index_offset - lo
+        grown[start : start + self._counts.size] = self._counts
+        self._counts = grown
+        self._index_offset = lo
+
+    def _consume_scalars(self, scalars: np.ndarray, scenario_offset: int) -> None:
+        scalars = np.asarray(scalars, dtype=float)
+        if not np.isfinite(scalars).all():
+            raise ValueError("quantile sketch requires finite per-scenario scalars")
+        low = scalars < self.min_value
+        self._low_count += int(low.sum())
+        values = scalars[~low]
+        if values.size == 0:
+            return
+        indices = self._bucket_indices(values)
+        self._ensure_span(int(indices.min()), int(indices.max()))
+        self._counts += np.bincount(
+            indices - self._index_offset, minlength=self._counts.size
+        ).astype(np.int64)
+
+    def snapshot(self) -> SinkSnapshot:
+        """Freeze the bucket counters (order-invariant shard state)."""
+        self._require_bound()
+        return SinkSnapshot(
+            sink_type=type(self).__name__,
+            num_scenarios=self._consumed,
+            state={
+                "quantiles": self.quantiles,
+                "statistic": self.statistic,
+                "relative_error": self.relative_error,
+                "min_value": self.min_value,
+                "counts": self._counts.copy(),
+                "index_offset": self._index_offset,
+                "low_count": self._low_count,
+            },
+        )
+
+    def merge(self, snapshot: SinkSnapshot) -> None:
+        """Fold a shard sketch by aligned counter addition (exact, bitwise).
+
+        Counter addition is associative and commutative over integers, so
+        any shard partition of the sweep merges to the identical sketch —
+        the property the remote executor's work-stolen shards rely on.
+        """
+        self._begin_merge(snapshot)
+        state = snapshot.state
+        if (
+            state["quantiles"] != self.quantiles
+            or state["statistic"] != self.statistic
+            or state["relative_error"] != self.relative_error
+            or state["min_value"] != self.min_value
+        ):
+            raise ValueError(
+                "cannot merge quantile sketches with different quantiles / statistic / "
+                "relative_error / min_value"
+            )
+        other = np.asarray(state["counts"], dtype=np.int64)
+        self._low_count += int(state["low_count"])
+        if other.size:
+            offset = int(state["index_offset"])
+            self._ensure_span(offset, offset + other.size - 1)
+            start = offset - self._index_offset
+            self._counts[start : start + other.size] += other
+        self._finish_merge(snapshot)
+
+    def result(self) -> QuantileEstimate:
+        """Quantiles from the bucket midpoints (relative error ≤ ``relative_error``)."""
+        self._require_bound()
+        total = self._low_count + int(self._counts.sum())
+        if total == 0:
+            values = np.full(len(self.quantiles), np.nan)
+        else:
+            ranks = np.floor(np.asarray(self.quantiles) * (total - 1)).astype(np.int64)
+            cumulative = self._low_count + np.cumsum(self._counts)
+            positions = np.searchsorted(cumulative, ranks, side="right")
+            indices = positions + self._index_offset
+            midpoints = 2.0 * np.exp(indices * self._log_gamma) / (self._gamma + 1.0)
+            values = np.where(ranks < self._low_count, 0.0, midpoints)
+        return QuantileEstimate(
+            statistic=self.statistic,
+            quantiles=self.quantiles,
+            values=np.asarray(values, dtype=float),
+            num_scenarios=self._consumed,
+            exact=False,
+        )
+
+
 @dataclass(frozen=True)
 class NodeHistogram:
     """Per-node IR-drop histogram accumulated over a sweep.

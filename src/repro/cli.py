@@ -36,7 +36,8 @@ from .analysis import (
     JointExceedanceSink,
     NodeHistogramSink,
     P2QuantileSink,
-    ReservoirQuantileSink,
+    QuantileSketchSink,
+    RemoteExecutor,
     TopKScenarioSink,
 )
 from .core import PowerPlanningDL, format_key_values, format_table
@@ -163,9 +164,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--executor", choices=EXECUTOR_NAMES, default=None,
         help=(
             "sweep-execution strategy: serial, threads (chunk solves on a "
-            "thread pool, one ordered fold) or processes (scenario range "
-            "sharded across worker processes, mergeable sinks; quantiles "
-            "switch from P2 to a mergeable reservoir sample)"
+            "thread pool, one ordered fold), processes (scenario range "
+            "sharded across worker processes, mergeable sinks) or remote "
+            "(range sharded across fleet workers behind a coordinator; "
+            "embedded localhost fleet unless --coordinator is given). "
+            "Under processes/remote, quantiles switch from P2 to a "
+            "deterministic mergeable sketch"
+        ),
+    )
+    sweep.add_argument(
+        "--coordinator", default=None, metavar="URL",
+        help=(
+            "base URL of a standing sweep coordinator (see `python -m "
+            "repro.analysis.remote coordinator`); implies --executor "
+            "remote. Without it the remote executor serves an embedded "
+            "localhost coordinator and spawns its own workers. Unset "
+            "reads the REPRO_REMOTE_COORDINATOR environment"
         ),
     )
     sweep.add_argument(
@@ -450,6 +464,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.executor == "serial" and args.workers not in (None, 1):
         print("error: --executor serial runs single-threaded; drop --workers", file=sys.stderr)
         return 2
+    if args.coordinator is not None and args.executor not in (None, "remote"):
+        print("error: --coordinator only applies to --executor remote", file=sys.stderr)
+        return 2
     if args.top_k < 1:
         print("error: --top-k must be at least 1", file=sys.stderr)
         return 2
@@ -476,11 +493,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     load_matrix, pad_matrix = mega_sweep_matrices(
         grid, bench.floorplan, args.gamma, args.num_loads, args.num_pads, seed=args.seed
     )
-    if args.executor == "processes":
+    executor = args.executor
+    if args.coordinator is not None:
+        executor = RemoteExecutor(workers=args.workers, coordinator=args.coordinator)
+    if args.executor in ("processes", "remote") or args.coordinator is not None:
         # P2 marker state is order-dependent and cannot merge across
-        # process shards; the reservoir sample merges (weighted
-        # resampling) and is exact while the sweep fits in it.
-        quantile_sink = ReservoirQuantileSink(4096, quantiles, seed=args.seed)
+        # shards; the log-bucket sketch merges by counter addition and is
+        # bitwise identical at every shard count (relative error <= 1%).
+        quantile_sink = QuantileSketchSink(quantiles)
     else:
         quantile_sink = P2QuantileSink(quantiles)
     histogram_sink = NodeHistogramSink.uniform(
@@ -495,8 +515,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         pad_matrix,
         chunk_size=args.chunk_size,
         sinks=(quantile_sink, histogram_sink, exceedance_sink, joint_sink, topk_sink),
-        workers=args.workers,
-        executor=args.executor,
+        workers=None if args.coordinator is not None else args.workers,
+        executor=executor,
     )
 
     estimate = quantile_sink.result()

@@ -6,7 +6,8 @@ worker processes, each with its own factorization and its own fold — is
 and every exact mergeable sink, at every shard count (1, an even split,
 and a non-divisor).  The reservoir sink merges by weighted resampling and
 is validated statistically; the order-dependent P² sink is rejected up
-front with a pointer to the reservoir.  Also covered: executor resolution
+front with a pointer to the quantile sketch.  Also covered: executor
+resolution
 precedence (explicit executor > workers= > environment default), the
 lenient fallback of :data:`EXECUTOR_ENV`, the adaptive chunk-width
 heuristic, and top-k rematerialisation.
@@ -257,9 +258,9 @@ class TestProcessShardedEquivalence:
 
 
 class TestProcessShardedRejections:
-    def test_p2_rejected_with_pointer_to_reservoir(self, ibmpg1_grid, load_sweep):
+    def test_p2_rejected_with_pointer_to_sketch(self, ibmpg1_grid, load_sweep):
         engine = BatchedAnalysisEngine()
-        with pytest.raises(ExecutorIncompatibility, match="ReservoirQuantileSink"):
+        with pytest.raises(ExecutorIncompatibility, match="QuantileSketchSink"):
             engine.analyze_batch(
                 ibmpg1_grid,
                 load_sweep,
