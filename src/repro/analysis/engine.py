@@ -63,9 +63,12 @@ from .executors import (
 from .irdrop import IRDropResult
 from .mna import system_from_compiled
 from .sinks import IRDropSink, ScenarioSink
-from .solver import LinearSolverError, PowerGridSolver, SolverMethod
+# The legacy module still owns the CG fallback solver and the method
+# enum; LinearSolverError moved to .solvers (its canonical home).
+from .solver import PowerGridSolver, SolverMethod  # reprolint: disable=RPR005
 from .solvers import (
     Factorization,
+    LinearSolverError,
     UpdateDivergenceError,
     UpdatePolicy,
     make_update_factorization,
@@ -641,12 +644,12 @@ class BatchedAnalysisEngine:
         self.incremental_updates = bool(incremental_updates)
         self.update_policy = update_policy or UpdatePolicy()
         self._cg_solver = PowerGridSolver(method=SolverMethod.CG)
-        self._cache: OrderedDict[str, _FactorCacheEntry] = OrderedDict()
         self._cache_lock = threading.Lock()
-        self._factorizations = 0
-        self._hits = 0
-        self._updates = 0
-        self._update_fallbacks = 0
+        self._cache: OrderedDict[str, _FactorCacheEntry] = OrderedDict()  # guarded-by: _cache_lock
+        self._factorizations = 0  # guarded-by: _cache_lock
+        self._hits = 0  # guarded-by: _cache_lock
+        self._updates = 0  # guarded-by: _cache_lock
+        self._update_fallbacks = 0  # guarded-by: _cache_lock
 
     def _executor_from_name(self, name: str) -> SweepExecutor:
         """Default-executor construction honouring ``default_workers``."""
@@ -659,29 +662,38 @@ class BatchedAnalysisEngine:
     # Cache management
     # ------------------------------------------------------------------
     def cache_info(self) -> EngineCacheInfo:
-        """Return factorization / cache-hit / incremental-update counters."""
-        return EngineCacheInfo(
-            factorizations=self._factorizations,
-            hits=self._hits,
-            entries=len(self._cache),
-            updates=self._updates,
-            update_fallbacks=self._update_fallbacks,
-            backend=self.solver_backend.name,
-        )
+        """Return factorization / cache-hit / incremental-update counters.
+
+        Taken under the cache lock so a snapshot read concurrently with
+        parallel chunk workers is coherent (counters and entry count from
+        one moment, not interleaved with a mid-flight factorization).
+        """
+        with self._cache_lock:
+            return EngineCacheInfo(
+                factorizations=self._factorizations,
+                hits=self._hits,
+                entries=len(self._cache),
+                updates=self._updates,
+                update_fallbacks=self._update_fallbacks,
+                backend=self.solver_backend.name,
+            )
 
     def clear_cache(self) -> None:
         """Drop all cached factorizations (every counter is kept)."""
-        self._cache.clear()
+        with self._cache_lock:
+            self._cache.clear()
 
     def _cache_key(self, fingerprint: str) -> str:
         """Per-backend cache key: factors from different backends never mix."""
         return f"{self.solver_backend.name}:{fingerprint}"
 
+    # requires-lock: _cache_lock
     def _store_entry(self, key: str, entry: _FactorCacheEntry) -> None:
         self._cache[key] = entry
         while len(self._cache) > self.cache_size:
             self._cache.popitem(last=False)
 
+    # requires-lock: _cache_lock
     def _fresh_entry(self, compiled: CompiledGrid) -> _FactorCacheEntry:
         factor = self.solver_backend.factor(compiled.reduced_matrix)
         self._factorizations += 1
@@ -689,7 +701,7 @@ class BatchedAnalysisEngine:
             factor=factor, direct=factor, base_conductance=compiled.conductance
         )
 
-    def _update_entry(
+    def _update_entry(  # requires-lock: _cache_lock
         self, compiled: CompiledGrid, prev: _FactorCacheEntry
     ) -> _FactorCacheEntry | None:
         """Build an incremental-update entry against ``prev``, or ``None``.

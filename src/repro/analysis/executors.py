@@ -397,7 +397,7 @@ def solve_shard_range(state: dict, begin: int, end: int) -> tuple:
     source = state["source"]
     sinks: Sequence[ScenarioSink] = copy.deepcopy(state["sink_prototypes"])
 
-    def shard_source(lo: int, hi: int):
+    def shard_source(lo: int, hi: int) -> "tuple[np.ndarray | None, np.ndarray | None]":
         return source(begin + lo, begin + hi)
 
     reductions, reused, iterations = state["engine"]._run_chunk_pipeline(

@@ -16,7 +16,9 @@ import numpy as np
 
 from ..grid.network import PowerGridNetwork
 from .mna import MNAAssembler
-from .solver import PowerGridSolver, SolverMethod
+# The legacy MNA-level analyzer is the documented consumer of the
+# deprecated solver module; new code goes through BatchedAnalysisEngine.
+from .solver import PowerGridSolver, SolverMethod  # reprolint: disable=RPR005
 
 
 @dataclass

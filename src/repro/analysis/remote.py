@@ -199,7 +199,7 @@ class SweepQueue:
 
     def __init__(self, retention: float = 600.0, clock: Callable[[], float] = time.monotonic):
         self._lock = threading.Lock()
-        self._sweeps: "OrderedDict[str, _SweepState]" = OrderedDict()
+        self._sweeps: "OrderedDict[str, _SweepState]" = OrderedDict()  # guarded-by: _lock
         self._retention = float(retention)
         self._clock = clock
         self._counter = itertools.count()
@@ -299,7 +299,7 @@ class SweepQueue:
                 return {"done": True, "error": sweep.error, "results": None}
             return {"done": True, "error": None, "results": dict(sweep.results)}
 
-    def _requeue(self, sweep: _SweepState, task: int, reason: str) -> None:
+    def _requeue(self, sweep: _SweepState, task: int, reason: str) -> None:  # requires-lock: _lock
         if task in sweep.results:
             return
         if sweep.attempts[task] >= sweep.max_attempts:
@@ -313,7 +313,7 @@ class SweepQueue:
         else:
             sweep.pending.append(task)
 
-    def _expire(self, now: float) -> None:
+    def _expire(self, now: float) -> None:  # requires-lock: _lock
         """Requeue overdue leases; drop finished sweeps nobody collected."""
         stale = []
         for sweep in self._sweeps.values():

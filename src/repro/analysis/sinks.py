@@ -49,6 +49,7 @@ import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..grid.compiled import CompiledGrid
+    from ..grid.network import PowerGridNetwork
     from .engine import BatchedAnalysisEngine, ScenarioSource
     from .irdrop import IRDropResult
 
@@ -78,7 +79,7 @@ class ScenarioSink(Protocol):
         """
         ...  # pragma: no cover - protocol
 
-    def result(self):
+    def result(self) -> object:
         """Return the finished statistic (sink-specific type)."""
         ...  # pragma: no cover - protocol
 
@@ -1239,7 +1240,7 @@ class TopKScenarioSink(IRDropSink):
     def rematerialize(
         self,
         engine: "BatchedAnalysisEngine",
-        network,
+        network: "PowerGridNetwork | CompiledGrid",
         scenario_source: "ScenarioSource",
         names: Sequence[str] | None = None,
     ) -> "list[IRDropResult]":

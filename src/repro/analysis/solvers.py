@@ -382,7 +382,9 @@ def make_update_factorization(
     return PreconditionedUpdateFactorization(matrix, base, rank, policy)
 
 
-def resolve_solver_backend(solver: "str | SpluBackend | CholmodBackend | None" = None):
+def resolve_solver_backend(
+    solver: "str | SpluBackend | CholmodBackend | None" = None,
+) -> "SpluBackend | CholmodBackend":
     """Resolve a solver policy into a concrete backend instance.
 
     Args:

@@ -216,6 +216,17 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--json-out", type=Path, default=None, help="write the sweep record as JSON here"
     )
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the repo invariant linter (alias for `python -m repro.devtools.lint`)",
+    )
+    lint.add_argument(
+        "lint_args",
+        nargs=argparse.REMAINDER,
+        metavar="...",
+        help="arguments forwarded verbatim (paths, --format, --select, ...)",
+    )
     return parser
 
 
@@ -609,6 +620,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Imported lazily: the linter is a dev tool, and the hot CLI paths
+    # (analyze/sweep) should not pay for it.
+    from .devtools.lint.cli import main as lint_main
+
+    return lint_main(args.lint_args)
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "analyze": _cmd_analyze,
@@ -616,13 +635,22 @@ _COMMANDS = {
     "train": _cmd_train,
     "predict": _cmd_predict,
     "sweep": _cmd_sweep,
+    "lint": _cmd_lint,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    raw = list(sys.argv[1:] if argv is None else argv)
+    if raw and raw[0] == "lint":
+        # Forward everything after `lint` verbatim: argparse's REMAINDER
+        # does not reliably capture leading `--flags` (bpo-17050), and the
+        # lint CLI owns its own option surface anyway.
+        from .devtools.lint.cli import main as lint_main
+
+        return lint_main(raw[1:])
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(raw)
     handler = _COMMANDS[args.command]
     return handler(args)
 

@@ -18,11 +18,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..analysis import SolverMethod
 from ..analysis.currents import line_currents, line_currents_from_voltages
 from ..analysis.em import EMChecker, EMReport
 from ..analysis.engine import ENGINE_METHOD, BatchedAnalysisEngine
 from ..analysis.irdrop import IRDropAnalyzer, IRDropResult
-from ..analysis.solver import SolverMethod
 from ..analysis.solvers import UpdatePolicy
 from ..grid.builder import GridBuilder, GridTopology
 from ..grid.compiled import CompiledGrid

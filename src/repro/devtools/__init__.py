@@ -1,0 +1,10 @@
+"""Developer tooling that ships with the repo but stays out of runtime paths.
+
+Nothing under :mod:`repro.devtools` is imported by the analysis, grid or
+design layers — these are the tools that *check* those layers.  Current
+contents:
+
+* :mod:`repro.devtools.lint` — the AST-based invariant linter
+  (``python -m repro.devtools.lint``) guarding the repo's determinism,
+  lock-discipline and picklability conventions.
+"""

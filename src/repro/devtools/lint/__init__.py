@@ -1,0 +1,40 @@
+"""AST-based invariant linter for the repo's determinism conventions.
+
+The sweep stack's headline guarantee — bitwise-identical results across
+every executor, shard count and chunk size — rests on conventions that
+ordinary linters cannot see: lock-guarded broker state, picklable shard
+payloads, the ``MergeableSink`` snapshot/merge contract, no wall-clock or
+unseeded randomness in fold paths.  This package machine-checks them::
+
+    python -m repro.devtools.lint src tests            # exit 1 on findings
+    python -m repro.devtools.lint --list-rules
+    repro lint src tests                               # CLI alias
+
+Rule codes are stable (``RPR001`` …); suppress one occurrence with
+``# reprolint: disable=RPR001`` on the offending line, or a whole file
+with ``# reprolint: disable-file=RPR001`` anywhere in it.  See
+``docs/architecture.md`` ("Invariants & static checks") for the mapping
+from each code to the runtime guarantee it protects.
+"""
+
+from .core import (
+    Finding,
+    ModuleContext,
+    Rule,
+    RULE_REGISTRY,
+    all_rules,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "RULE_REGISTRY",
+    "Rule",
+    "all_rules",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

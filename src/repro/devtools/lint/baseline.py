@@ -1,0 +1,55 @@
+"""Optional baseline file: adopt the linter without fixing history first.
+
+A baseline is a JSON list of finding fingerprints — ``(path, code,
+message)``, deliberately line-free so reformatting does not churn it.
+``--baseline FILE`` subtracts baselined findings (with multiplicity)
+from a run; ``--write-baseline FILE`` records the current findings.
+
+The repo itself carries **no** baseline — PR 9 fixed or annotated every
+finding instead — but downstream forks adopting the linter over a dirty
+tree get a ratchet: old findings are grandfathered, new ones block.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Sequence
+
+from .core import Finding
+
+
+def write_baseline(path: str | Path, findings: Sequence[Finding]) -> None:
+    entries = [
+        {"path": f.path, "code": f.code, "message": f.message} for f in findings
+    ]
+    Path(path).write_text(json.dumps(entries, indent=2) + "\n", encoding="utf-8")
+
+
+def load_baseline(path: str | Path) -> Counter:
+    """Fingerprint multiset of a baseline file (missing file = error)."""
+    raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(raw, list):
+        raise ValueError(f"baseline {path} must be a JSON list of findings")
+    counter: Counter = Counter()
+    for entry in raw:
+        try:
+            counter[(entry["path"], entry["code"], entry["message"])] += 1
+        except (TypeError, KeyError) as exc:
+            raise ValueError(
+                f"baseline {path}: each entry needs path/code/message keys"
+            ) from exc
+    return counter
+
+
+def apply_baseline(findings: Sequence[Finding], baseline: Counter) -> list[Finding]:
+    """Subtract baselined fingerprints, respecting multiplicity."""
+    remaining = Counter(baseline)
+    kept: list[Finding] = []
+    for finding in findings:
+        if remaining.get(finding.fingerprint, 0) > 0:
+            remaining[finding.fingerprint] -= 1
+        else:
+            kept.append(finding)
+    return kept

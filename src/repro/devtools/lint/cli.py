@@ -1,0 +1,152 @@
+"""Exit-code-driven CLI of the invariant linter.
+
+::
+
+    python -m repro.devtools.lint [paths...] [options]
+
+Exit codes: ``0`` clean, ``1`` findings, ``2`` usage / IO errors.  The
+default paths are ``src tests`` — exactly what CI's blocking
+``lint-invariants`` job runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .baseline import apply_baseline, load_baseline, write_baseline
+from .core import all_rules, lint_paths
+from .reporters import render_json, render_rule_list, render_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="AST-based invariant linter (lock discipline, picklability, "
+        "sink conformance, determinism, imports, env registry).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files / directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="stdout report format (default: text)",
+    )
+    parser.add_argument(
+        "--json-out",
+        metavar="FILE",
+        help="additionally write the JSON report to FILE (CI artifact)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="subtract the findings recorded in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="record the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--no-pragmas",
+        action="store_true",
+        help="ignore '# reprolint: disable' pragmas (audit mode)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def _resolve_rules(select: str | None, ignore: str | None):
+    rules = all_rules()
+    known = {rule.code for rule in rules}
+    for option, raw in (("--select", select), ("--ignore", ignore)):
+        if raw:
+            bad = [code for code in _split(raw) if code not in known]
+            if bad:
+                raise SystemExit(f"error: {option}: unknown rule codes {bad}")
+    if select:
+        wanted = set(_split(select))
+        rules = [rule for rule in rules if rule.code in wanted]
+    if ignore:
+        dropped = set(_split(ignore))
+        rules = [rule for rule in rules if rule.code not in dropped]
+    return rules
+
+
+def _split(raw: str) -> list[str]:
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(render_rule_list())
+        return 0
+
+    try:
+        rules = _resolve_rules(args.select, args.ignore)
+    except SystemExit as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    files_checked = 0
+
+    def count(_path: Path) -> None:
+        nonlocal files_checked
+        files_checked += 1
+
+    try:
+        findings = lint_paths(
+            args.paths,
+            rules=rules,
+            respect_pragmas=not args.no_pragmas,
+            on_file=count,
+        )
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        write_baseline(args.write_baseline, findings)
+        print(f"wrote {len(findings)} findings to baseline {args.write_baseline}")
+        return 0
+
+    if args.baseline:
+        try:
+            findings = apply_baseline(findings, load_baseline(args.baseline))
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    if args.json_out:
+        Path(args.json_out).write_text(
+            render_json(findings, files_checked), encoding="utf-8"
+        )
+    if args.format == "json":
+        sys.stdout.write(render_json(findings, files_checked))
+    else:
+        print(render_text(findings, files_checked))
+    return 1 if findings else 0

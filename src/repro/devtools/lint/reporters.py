@@ -1,0 +1,66 @@
+"""Finding reporters: human text and machine JSON.
+
+The JSON document is what CI uploads as the ``lint-report`` artifact, so
+its shape is a small stable contract: a ``summary`` block (counts per
+rule code, files checked, version) plus one record per finding.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Sequence
+
+from .core import RULE_REGISTRY, Finding
+
+REPORT_VERSION = 1
+
+
+def render_text(findings: Sequence[Finding], files_checked: int) -> str:
+    """``path:line:col: CODE [rule] message`` lines plus a summary tail."""
+    lines = [finding.render() for finding in findings]
+    if findings:
+        per_code = Counter(finding.code for finding in findings)
+        breakdown = ", ".join(f"{code}×{count}" for code, count in sorted(per_code.items()))
+        lines.append("")
+        lines.append(
+            f"{len(findings)} finding{'s' if len(findings) != 1 else ''} "
+            f"({breakdown}) in {files_checked} files"
+        )
+    else:
+        lines.append(f"clean: 0 findings in {files_checked} files")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], files_checked: int) -> str:
+    document = {
+        "version": REPORT_VERSION,
+        "summary": {
+            "files_checked": files_checked,
+            "total": len(findings),
+            "by_code": dict(sorted(Counter(f.code for f in findings).items())),
+        },
+        "findings": [
+            {
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "code": finding.code,
+                "rule": finding.rule,
+                "message": finding.message,
+            }
+            for finding in findings
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=False) + "\n"
+
+
+def render_rule_list() -> str:
+    """One line per registered rule, for ``--list-rules``."""
+    from . import rules as _rules  # noqa: F401  (registration side effect)
+
+    lines = []
+    for code in sorted(RULE_REGISTRY):
+        rule = RULE_REGISTRY[code]
+        lines.append(f"{code}  {rule.name:<18} {rule.description}")
+    return "\n".join(lines)

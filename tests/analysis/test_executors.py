@@ -278,7 +278,9 @@ class TestProcessShardedRejections:
         with pytest.raises(ExecutorIncompatibility, match="picklable"):
             engine.analyze_scenario_stream(
                 ibmpg1_grid,
-                lambda begin, end: (load_sweep[begin:end], None),
+                # The closure is the point of the test: the runtime rejection
+                # this asserts is what the lint rule catches statically.
+                lambda begin, end: (load_sweep[begin:end], None),  # reprolint: disable=RPR002
                 load_sweep.shape[0],
                 chunk_size=5,
                 executor="processes",

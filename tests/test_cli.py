@@ -12,7 +12,7 @@ class TestParser:
             action for action in parser._actions if hasattr(action, "choices") and action.choices
         ]
         commands = set(subactions[0].choices)
-        assert commands == {"generate", "analyze", "plan", "train", "predict", "sweep"}
+        assert commands == {"generate", "analyze", "plan", "train", "predict", "sweep", "lint"}
 
     def test_unknown_benchmark_rejected(self, capsys):
         with pytest.raises(SystemExit):
