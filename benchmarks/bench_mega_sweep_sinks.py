@@ -29,6 +29,16 @@ After the timed sequential sweep, the same mega-sweep is re-run twice more:
   resampled and recorded, not asserted).  The sequential-vs-process
   speedup is recorded and gated ``>= 2x`` by ``check_results.py`` on
   multi-core (``cpu_count >= 4``) full-scale runners;
+* the **hybrid executor** (process shards each running the threaded chunk
+  pipeline, with the grid shipped through one zero-copy shared-memory
+  payload) at several ``shard_workers × threads_per_shard`` combinations
+  — the merged reductions and every exact mergeable sink must again be
+  bitwise-identical to the sequential sweep (asserted at every scale).
+  The sequential-vs-hybrid speedup and ``payload_bytes_shared`` are
+  recorded; ``check_results.py`` gates ``hybrid_speedup >=
+  max(parallel_speedup, process_speedup)`` on ``>= 4``-core full-scale
+  runners and ``payload_bytes_shared > 0`` everywhere, so the zero-copy
+  claim is measured rather than asserted;
 * the **remote fleet executor** (embedded localhost coordinator +
   workers) at 1 / 2 / non-divisor shard counts — the merged reductions,
   every exact mergeable sink and the deterministic quantile sketch must
@@ -65,6 +75,7 @@ from conftest import bench_scale, full_scale
 from repro.analysis import (
     BatchedAnalysisEngine,
     ExceedanceCountSink,
+    HybridExecutor,
     JointExceedanceSink,
     NodeHistogramSink,
     P2QuantileSink,
@@ -90,6 +101,10 @@ REFERENCE_SCENARIO_BUDGET = 2048
 MIN_FULL_SCALE_SCENARIOS = 100_000
 PARALLEL_WORKERS = max(2, min(4, os.cpu_count() or 1))
 PROCESS_SHARD_COUNTS = tuple(sorted({2, PARALLEL_WORKERS}))
+HYBRID_CONFIGS = tuple(
+    sorted({(2, 2), (max(2, (os.cpu_count() or 1) // 2), 2)})
+)
+"""(shard_workers, threads_per_shard) combinations; the last one is timed."""
 REMOTE_WORKER_COUNTS = (1, 2, 3)
 """Single shard, even split and a non-divisor of the full scenario count."""
 SKETCH_RELATIVE_ERROR = 0.01
@@ -373,6 +388,63 @@ def test_mega_sweep_sinks(benchmark, results_dir):
     process_shards = PROCESS_SHARD_COUNTS[-1]
     process_speedup = result.analysis_time / process_elapsed if process_elapsed > 0 else 0.0
 
+    # --- Hybrid executor: process shards each running the threaded chunk
+    # pipeline, the grid shipped once through a shared-memory payload.
+    # Bitwise identity to the sequential sweep is asserted at every
+    # (shard_workers, threads_per_shard) combination and every scale; the
+    # last combination is timed.  check_results.py gates hybrid_speedup >=
+    # max(parallel_speedup, process_speedup) on >= 4-core full-scale
+    # runners, and payload_bytes_shared > 0 everywhere the shared-memory
+    # path is available.
+    hybrid_matches = True
+    hybrid_elapsed = 0.0
+    hybrid_stats: dict = {}
+    for shard_workers, threads_per_shard in HYBRID_CONFIGS:
+        hybrid_engine = BatchedAnalysisEngine()
+        hybrid_sinks = mergeable_sinks(nominal.worst_ir_drop, reservoir_capacity=4096)
+        hybrid_executor = HybridExecutor(
+            shard_workers=shard_workers, threads_per_shard=threads_per_shard
+        )
+        hybrid = hybrid_engine.analyze_mega_sweep(
+            grid,
+            load_matrix,
+            pad_matrix,
+            chunk_size=CHUNK_SIZE,
+            sinks=tuple(hybrid_sinks.values()),
+            executor=hybrid_executor,
+        )
+        hybrid_topk = hybrid_sinks["topk"].result()
+        hybrid_matches = hybrid_matches and all(
+            (
+                np.array_equal(hybrid.worst_ir_drop, result.worst_ir_drop),
+                np.array_equal(hybrid.average_ir_drop, result.average_ir_drop),
+                np.array_equal(hybrid.worst_node_index, result.worst_node_index),
+                np.array_equal(
+                    hybrid_sinks["histogram"].result().counts, sequential_histogram.counts
+                ),
+                np.array_equal(
+                    hybrid_sinks["exceedance"].result().counts, exceedance.counts
+                ),
+                np.array_equal(
+                    hybrid_sinks["joint"].result().violating_node_counts,
+                    joint.violating_node_counts,
+                ),
+                np.array_equal(hybrid_topk.scenario_index, topk.scenario_index),
+                np.array_equal(hybrid_topk.worst_ir_drop, topk.worst_ir_drop),
+                np.array_equal(
+                    hybrid_sinks["sketch"].result().values, sketch_estimate.values
+                ),
+            )
+        )
+        assert hybrid_matches, (
+            f"hybrid sweep diverged at {shard_workers} shards x "
+            f"{threads_per_shard} threads"
+        )
+        hybrid_elapsed = hybrid.analysis_time
+        hybrid_stats = dict(hybrid_executor.last_stats)
+    hybrid_shard_workers, hybrid_threads = HYBRID_CONFIGS[-1]
+    hybrid_speedup = result.analysis_time / hybrid_elapsed if hybrid_elapsed > 0 else 0.0
+
     # --- Remote fleet executor: the same sweep through the coordinator /
     # worker protocol (embedded localhost fleet), at 1 / 2 / non-divisor
     # shard counts (oversubscribe=1 pins shards == workers).  The merged
@@ -455,6 +527,18 @@ def test_mega_sweep_sinks(benchmark, results_dir):
         "process_reservoir_quantiles": dict(
             zip(map(str, QUANTILES), process_reservoir.values.tolist())
         ),
+        "hybrid_configs": [list(config) for config in HYBRID_CONFIGS],
+        "hybrid_shard_workers": hybrid_shard_workers,
+        "hybrid_threads_per_shard": hybrid_threads,
+        "hybrid_elapsed_seconds": hybrid_elapsed,
+        "hybrid_scenarios_per_second": (
+            result.num_scenarios / hybrid_elapsed if hybrid_elapsed > 0 else 0.0
+        ),
+        "hybrid_speedup": hybrid_speedup,
+        "hybrid_matches": hybrid_matches,
+        "hybrid_payload_bytes_shared": hybrid_stats.get("payload_bytes_shared", 0),
+        "hybrid_rebalances": hybrid_stats.get("rebalances", 0),
+        "hybrid_tasks": hybrid_stats.get("tasks", 0),
         "remote_worker_counts": list(REMOTE_WORKER_COUNTS),
         "remote_workers": remote_workers,
         "remote_elapsed_seconds": remote_elapsed,
@@ -507,6 +591,14 @@ def test_mega_sweep_sinks(benchmark, results_dir):
                 f"process x{process_shards} (s)": round(process_elapsed, 3),
                 "process speedup": round(process_speedup, 2),
                 "process matches": process_matches,
+                f"hybrid {hybrid_shard_workers}x{hybrid_threads} (s)": round(
+                    hybrid_elapsed, 3
+                ),
+                "hybrid speedup": round(hybrid_speedup, 2),
+                "hybrid matches": hybrid_matches,
+                "hybrid shared MB": round(
+                    hybrid_stats.get("payload_bytes_shared", 0) / 1e6, 3
+                ),
                 f"remote x{remote_workers} (s)": round(remote_elapsed, 3),
                 "remote speedup": round(remote_speedup, 2),
                 "remote matches": remote_matches,

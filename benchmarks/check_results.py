@@ -147,6 +147,38 @@ def check_mega_sweep_sinks(record: dict) -> list[str]:
             f"process-sharded mega-sweep speedup {record.get('process_speedup')} "
             f"below the 2.0x bar on a {record.get('cpu_count')}-core runner"
         )
+    if "hybrid_matches" not in record or "hybrid_payload_bytes_shared" not in record:
+        problems.append(
+            "record lacks the hybrid-executor fields (hybrid_matches / "
+            "hybrid_payload_bytes_shared) — produced by an older bench? re-run it"
+        )
+    else:
+        # Bitwise identity is unconditional — smoke runs included.
+        if not record["hybrid_matches"]:
+            problems.append(
+                "hybrid mega-sweep did not match the sequential sweep bitwise "
+                "for the exact sinks / reductions"
+            )
+        # At full scale the shared-memory payload path must actually have
+        # carried the grid: the zero-copy claim is measured, not asserted.
+        if _gate_performance(record) and record["hybrid_payload_bytes_shared"] <= 0:
+            problems.append(
+                "hybrid mega-sweep shipped its payload by pickle "
+                "(hybrid_payload_bytes_shared == 0); the shared-memory path "
+                "was not exercised"
+            )
+    # Multiplying the two axes must beat each axis alone — but only where
+    # there are enough real cores for both axes to make progress at once.
+    if _gate_performance(record) and int(record.get("cpu_count", 1)) >= 4:
+        single_axis = max(
+            record.get("parallel_speedup", 0.0), record.get("process_speedup", 0.0)
+        )
+        if record.get("hybrid_speedup", 0.0) < single_axis:
+            problems.append(
+                f"hybrid mega-sweep speedup {record.get('hybrid_speedup')} below "
+                f"the best single-axis speedup {single_axis} on a "
+                f"{record.get('cpu_count')}-core runner"
+            )
     if "remote_matches" not in record or "sketch_rel_error" not in record:
         problems.append(
             "record lacks the remote-executor fields (remote_matches / "
@@ -255,6 +287,49 @@ CHECKS = {
     "bench_planner_search.json": check_planner_search,
 }
 
+SUMMARY_FIELDS = {
+    "bench_engine_batched_solve.json": ("speedup",),
+    "bench_planner_iteration.json": ("iteration_build_speedup", "incremental_speedup"),
+    "bench_mega_sweep_sinks.json": (
+        "scenarios_per_second",
+        "parallel_speedup",
+        "process_speedup",
+        "hybrid_speedup",
+        "hybrid_payload_bytes_shared",
+        "remote_speedup",
+    ),
+    "bench_planner_search.json": ("solve_ratio_vs_baseline",),
+}
+"""Key numbers each bench contributes to the compact ``BENCH_summary.json``."""
+
+SUMMARY_NAME = "BENCH_summary.json"
+
+
+def write_summary(results_dir: Path, records: dict, failed: set) -> Path:
+    """Emit the one-line-per-bench summary CI uploads with the raw records.
+
+    JSON-lines on purpose: one self-contained object per bench, so the
+    perf trajectory stays greppable across PR artifacts
+    (``grep hybrid_speedup */BENCH_summary.json``).
+    """
+    lines = []
+    for name in sorted(records):
+        record = records[name]
+        entry = {
+            "bench": name.removeprefix("bench_").removesuffix(".json"),
+            "smoke": not _gate_performance(record),
+            "ok": name not in failed,
+        }
+        for field in SUMMARY_FIELDS.get(name, ()):
+            value = record.get(field)
+            if isinstance(value, float):
+                value = round(value, 4)
+            entry[field] = value
+        lines.append(json.dumps(entry))
+    path = results_dir / SUMMARY_NAME
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -272,7 +347,11 @@ def main(argv: list[str] | None = None) -> int:
 
     failures = []
     checked = 0
+    records: dict[str, dict] = {}
+    failed: set[str] = set()
     for path in sorted(args.results_dir.glob("*.json")):
+        if path.name == SUMMARY_NAME:
+            continue  # our own output from a previous run
         check = CHECKS.get(path.name)
         if check is None:
             print(f"  - {path.name}: no acceptance bars registered, skipped")
@@ -284,12 +363,18 @@ def main(argv: list[str] | None = None) -> int:
             continue
         problems = check(record)
         checked += 1
+        records[path.name] = record
         scale = record.get("scale", 1.0)
         if problems:
             failures.extend(f"{path.name}: {problem}" for problem in problems)
+            failed.add(path.name)
             print(f"  - {path.name} (scale={scale}): FAIL")
         else:
             print(f"  - {path.name} (scale={scale}): ok")
+
+    if records:
+        summary_path = write_summary(args.results_dir, records, failed)
+        print(f"compact summary written to {summary_path}")
 
     if failures:
         print(f"\n{len(failures)} benchmark regression(s):", file=sys.stderr)

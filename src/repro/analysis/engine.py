@@ -147,8 +147,13 @@ def resolve_chunk_size(
     Args:
         num_unknowns: Unknown count of the reduced system
             (:attr:`~repro.grid.compiled.CompiledGrid.num_unknowns`).
-        workers: In-flight chunk count (the executor's parallelism);
-            ``None`` uses ``os.cpu_count()``.
+        workers: In-flight chunk count — the executor's **effective
+            parallel width**.  For the hybrid executor that is
+            ``shard_workers × threads_per_shard`` (its ``parallelism``
+            property), since every shard process runs ``threads``
+            chunks in flight at once; the single-axis executors pass
+            their thread or shard count.  ``None`` uses
+            ``os.cpu_count()``.
         memory_budget_bytes: Total bytes the in-flight chunk state may
             occupy.
 
@@ -482,9 +487,10 @@ class StreamedSweepResult:
             worker's).
         workers: Parallelism the sweep ran with — solver threads for the
             serial / threaded executors, shard processes for the
-            process-sharded one.  Does not affect any exact result value.
-        executor: Name of the executor that drove the sweep (``"serial"``,
-            ``"threads"`` or ``"processes"``).
+            process-sharded one, ``shard_workers × threads_per_shard``
+            for the hybrid one.  Does not affect any exact result value.
+        executor: Name of the executor that drove the sweep (one of
+            :data:`~repro.analysis.executors.EXECUTOR_NAMES`).
         solver_method: The solver that produced every chunk
             (``"cached_lu"`` or ``"cg"``).
         solver_iterations: ``(num_scenarios,)`` per-scenario CG iteration

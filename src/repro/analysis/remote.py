@@ -87,6 +87,7 @@ Protocol (all bodies are pickles unless noted)::
 from __future__ import annotations
 
 import argparse
+import atexit
 import itertools
 import multiprocessing as mp
 import os
@@ -102,6 +103,7 @@ from urllib import request as _urlrequest
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from .executors import (
+    SharedGridPayload,
     SweepExecutor,
     SweepPlan,
     fold_shard_outcomes,
@@ -456,6 +458,24 @@ def _request(url: str, data: bytes | None = None, timeout: float = _HTTP_TIMEOUT
         return exc.code, exc.read()
 
 
+def _evict_shard_state(state: dict) -> None:
+    """Drop an evicted payload context, detaching any shared segment.
+
+    Shm-backed states hold numpy arrays viewing the attached segment;
+    the views must be freed before the mapping can close, so clear the
+    dict first and swallow the ``BufferError`` that stray exports (e.g.
+    a result tuple still in flight) would raise — the mapping then
+    closes when those exports die.
+    """
+    segment = state.pop("segment", None)
+    state.clear()
+    if segment is not None:
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - depends on GC timing
+            pass
+
+
 def run_worker(
     coordinator: str,
     poll_interval: float = 0.05,
@@ -537,7 +557,7 @@ def run_worker(
                 continue
             cache[sweep_id] = state
             while len(cache) > max_cached_sweeps:
-                cache.popitem(last=False)
+                _evict_shard_state(cache.popitem(last=False)[1])
         try:
             result = solve_shard_range(state, task["begin"], task["end"])
             report = {"sweep": sweep_id, "task": task["task"], "result": result}
@@ -565,6 +585,105 @@ def _embedded_worker(coordinator: str, poll_interval: float) -> None:
 
 
 # ----------------------------------------------------------------------
+# Warm embedded fleet (coordinator + workers reused across sweeps)
+# ----------------------------------------------------------------------
+class _EmbeddedFleet:
+    """A warm localhost coordinator + worker pool, reused across sweeps.
+
+    Spawning worker processes (and re-importing the engine in each) costs
+    far more than a small sweep itself, so embedded mode keeps one fleet
+    per start method alive for the life of the submitting process: the
+    coordinator thread keeps serving between sweeps, and idle workers
+    keep polling ``GET /task`` (``idle_timeout=None``) until
+    :func:`shutdown_warm_fleets` — registered ``atexit`` — terminates
+    them.  Workers are daemons and exit on their own when the
+    coordinator disappears, so even an unclean parent death cannot leak
+    the fleet.
+    """
+
+    def __init__(self, start_method: str | None) -> None:
+        method = start_method
+        if method is None:
+            method = "fork" if "fork" in mp.get_all_start_methods() else None
+        self._ctx = mp.get_context(method)
+        self._lock = threading.Lock()
+        self.server = make_coordinator("127.0.0.1", 0)
+        self.url = self.server.url
+        # Fleet workers never touch the inherited server state (they only
+        # speak HTTP to it), so spawning them while the serve thread runs
+        # is safe — the same pattern the per-sweep respawn always used.
+        self._serve_thread = threading.Thread(
+            target=self.server.serve_forever, kwargs={"poll_interval": 0.05}, daemon=True
+        )
+        self._serve_thread.start()
+        self.processes: list[mp.process.BaseProcess] = []  # guarded-by: _lock
+
+    def _spawn(self) -> mp.process.BaseProcess:
+        process = self._ctx.Process(
+            target=_embedded_worker,
+            args=(self.url, 0.01),
+            daemon=True,
+            name="repro-remote-worker",
+        )
+        process.start()
+        return process
+
+    def ensure(self, count: int) -> int:
+        """Top the pool up to ``count`` live workers; return the warm reuses."""
+        with self._lock:
+            self.processes = [process for process in self.processes if process.is_alive()]
+            reused = min(len(self.processes), count)
+            while len(self.processes) < count:
+                self.processes.append(self._spawn())
+        return reused
+
+    def repair(self) -> None:
+        """Respawn any worker that died mid-sweep (polled by the submitter)."""
+        with self._lock:
+            for index, process in enumerate(self.processes):
+                if not process.is_alive():
+                    self.processes[index] = self._spawn()
+
+    def shutdown(self) -> None:
+        with self._lock:
+            processes, self.processes = self.processes, []
+        for process in processes:
+            process.terminate()
+        for process in processes:
+            process.join(timeout=5.0)
+        self.server.shutdown()
+        self._serve_thread.join(timeout=5.0)
+        self.server.server_close()
+
+
+_FLEET_LOCK = threading.Lock()
+_WARM_FLEETS: dict = {}  # guarded-by: _FLEET_LOCK — start-method key -> _EmbeddedFleet
+
+
+def _warm_fleet(start_method: str | None) -> _EmbeddedFleet:
+    """Get or create the process-wide warm fleet for one start method."""
+    key = start_method or ""
+    with _FLEET_LOCK:
+        fleet = _WARM_FLEETS.get(key)
+        if fleet is None:
+            fleet = _EmbeddedFleet(start_method)
+            _WARM_FLEETS[key] = fleet
+    return fleet
+
+
+def shutdown_warm_fleets() -> None:
+    """Terminate the warm embedded fleets (atexit; also callable from tests)."""
+    with _FLEET_LOCK:
+        fleets = list(_WARM_FLEETS.values())
+        _WARM_FLEETS.clear()
+    for fleet in fleets:
+        fleet.shutdown()
+
+
+atexit.register(shutdown_warm_fleets)
+
+
+# ----------------------------------------------------------------------
 # The executor
 # ----------------------------------------------------------------------
 class RemoteExecutor(SweepExecutor):
@@ -586,15 +705,22 @@ class RemoteExecutor(SweepExecutor):
       coordinator whose worker fleet may span hosts; the executor polls
       the outcome.  An unreachable coordinator fails the sweep loudly —
       it is an operational error, not a plan incompatibility.
-    * **Embedded** (no coordinator configured): the executor binds a
-      localhost coordinator, spawns ``workers`` local worker processes
-      for the duration of the sweep, and tears everything down in a
-      ``finally`` — the whole distributed code path (HTTP leasing, work
-      stealing, snapshot shipping) exercised with zero setup.
+    * **Embedded** (no coordinator configured): the executor uses the
+      process-wide **warm fleet** — a localhost coordinator plus
+      ``workers`` local worker processes that stay alive across
+      ``analyze_*`` calls and are shut down ``atexit`` (see
+      :func:`shutdown_warm_fleets`) — so repeated sweeps pay the worker
+      spawn cost once.  Embedded payloads travel as
+      :class:`~repro.analysis.executors.SharedGridPayload` descriptors:
+      localhost workers attach the shared-memory segment by name
+      instead of unpickling a private copy of the grid.
 
     The range is split into ``workers × oversubscribe`` shards for
     pull-based work stealing; see the module docstring for the policy
-    and failure semantics.
+    and failure semantics.  After each :meth:`execute`, ``last_stats``
+    holds the observability counters of that sweep
+    (``workers_reused``, ``payload_bytes_shared``) — overwritten per
+    sweep, read by the CLI into the sweep record.
 
     Args:
         workers: Worker hint — embedded worker processes to spawn, and
@@ -612,6 +738,8 @@ class RemoteExecutor(SweepExecutor):
         timeout: Overall wall-clock budget of one sweep.
         start_method: ``multiprocessing`` start method of embedded
             workers; ``None`` prefers ``fork`` where available.
+        threads_per_shard: Solver threads each worker runs inside its
+            shard (the hybrid axis, shipped in the payload).
     """
 
     name = "remote"
@@ -626,6 +754,7 @@ class RemoteExecutor(SweepExecutor):
         poll_interval: float = 0.02,
         timeout: float = 600.0,
         start_method: str | None = None,
+        threads_per_shard: int = 1,
     ) -> None:
         if workers is None:
             env_workers = os.environ.get(REMOTE_WORKERS_ENV, "").strip()
@@ -648,6 +777,8 @@ class RemoteExecutor(SweepExecutor):
             raise ValueError("max_attempts must be at least 1")
         if timeout <= 0.0:
             raise ValueError("timeout must be positive")
+        if threads_per_shard < 1:
+            raise ValueError("threads_per_shard must be at least 1")
         if start_method is not None and start_method not in mp.get_all_start_methods():
             raise ValueError(
                 f"start_method {start_method!r} not available; "
@@ -663,10 +794,12 @@ class RemoteExecutor(SweepExecutor):
         self.poll_interval = float(poll_interval)
         self.timeout = float(timeout)
         self.start_method = start_method
+        self.threads_per_shard = threads_per_shard
+        self.last_stats: dict = {}
 
     @property
     def parallelism(self) -> int:
-        return self.workers
+        return self.workers * self.threads_per_shard
 
     def _context(self) -> mp.context.BaseContext:
         method = self.start_method
@@ -680,21 +813,44 @@ class RemoteExecutor(SweepExecutor):
         num_scenarios = plan.num_scenarios
         tasks = min(num_scenarios, self.workers * self.oversubscribe)
         if tasks <= 1:
+            self.last_stats = {"workers_reused": 0, "payload_bytes_shared": 0}
             return engine._run_chunk_pipeline(
-                compiled, plan.scenario_source, num_scenarios, plan.chunk_size, sinks, workers=1
+                compiled,
+                plan.scenario_source,
+                num_scenarios,
+                plan.chunk_size,
+                sinks,
+                workers=self.threads_per_shard,
             )
-        payload = pickle_sweep_payload(plan, "remote")
-        for sink in sinks:
-            sink.bind(compiled, num_scenarios)
-        reused = False
-        if not engine._use_cg(compiled):
-            _, reused = engine._factor(compiled)
-
-        ranges = shard_ranges(num_scenarios, tasks)
+        shared: SharedGridPayload | None = None
         if self.coordinator is not None:
-            results = self._run_sweep(self.coordinator, payload, ranges)
+            # Cross-host fleets cannot map this host's memory: ship the
+            # plain pickle payload.
+            payload = pickle_sweep_payload(plan, "remote", threads=self.threads_per_shard)
         else:
-            results = self._run_embedded(payload, ranges)
+            # Localhost workers attach the shared segment by name.
+            shared = SharedGridPayload.create(plan, "remote", threads=self.threads_per_shard)
+            payload = pickle.dumps(shared.descriptor, protocol=pickle.HIGHEST_PROTOCOL)
+        try:
+            for sink in sinks:
+                sink.bind(compiled, num_scenarios)
+            reused = False
+            if not engine._use_cg(compiled):
+                _, reused = engine._factor(compiled)
+
+            ranges = shard_ranges(num_scenarios, tasks)
+            workers_reused = 0
+            if self.coordinator is not None:
+                results = self._run_sweep(self.coordinator, payload, ranges)
+            else:
+                results, workers_reused = self._run_embedded(payload, ranges)
+        finally:
+            if shared is not None:
+                shared.close()
+        self.last_stats = {
+            "workers_reused": workers_reused,
+            "payload_bytes_shared": shared.nbytes if shared is not None else 0,
+        }
         outcomes = [results[task] for task in range(len(ranges))]
         return fold_shard_outcomes(plan, outcomes, reused)
 
@@ -753,43 +909,14 @@ class RemoteExecutor(SweepExecutor):
                 ensure_workers()
             time.sleep(self.poll_interval)
 
-    def _run_embedded(self, payload: bytes, ranges: list[tuple[int, int]]) -> dict[int, tuple]:
-        """Host a localhost coordinator + local workers for one sweep."""
-        ctx = self._context()
-        server = make_coordinator("127.0.0.1", 0)
-        url = server.url
-        num_workers = min(self.workers, len(ranges))
-
-        def spawn() -> mp.process.BaseProcess:
-            process = ctx.Process(
-                target=_embedded_worker, args=(url, 0.01), daemon=True, name="repro-remote-worker"
-            )
-            process.start()
-            return process
-
-        # Fork the workers before the server thread starts so the children
-        # never inherit a mid-request server state.
-        processes = [spawn() for _ in range(num_workers)]
-        serve_thread = threading.Thread(
-            target=server.serve_forever, kwargs={"poll_interval": 0.05}, daemon=True
-        )
-        serve_thread.start()
-
-        def ensure_workers() -> None:
-            for index, process in enumerate(processes):
-                if not process.is_alive():
-                    processes[index] = spawn()
-
-        try:
-            return self._run_sweep(url, payload, ranges, ensure_workers=ensure_workers)
-        finally:
-            for process in processes:
-                process.terminate()
-            for process in processes:
-                process.join(timeout=5.0)
-            server.shutdown()
-            serve_thread.join(timeout=5.0)
-            server.server_close()
+    def _run_embedded(
+        self, payload: bytes, ranges: list[tuple[int, int]]
+    ) -> tuple[dict[int, tuple], int]:
+        """Run one sweep on the warm localhost fleet; return (results, reused)."""
+        fleet = _warm_fleet(self.start_method)
+        reused = fleet.ensure(min(self.workers, len(ranges)))
+        results = self._run_sweep(fleet.url, payload, ranges, ensure_workers=fleet.repair)
+        return results, reused
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         target = self.coordinator or "embedded"

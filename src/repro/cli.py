@@ -31,6 +31,7 @@ from .analysis import (
     EXECUTOR_NAMES,
     SOLVER_NAMES,
     BatchedAnalysisEngine,
+    HybridExecutor,
     EMChecker,
     ExceedanceCountSink,
     JointExceedanceSink,
@@ -165,11 +166,28 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "sweep-execution strategy: serial, threads (chunk solves on a "
             "thread pool, one ordered fold), processes (scenario range "
-            "sharded across worker processes, mergeable sinks) or remote "
-            "(range sharded across fleet workers behind a coordinator; "
-            "embedded localhost fleet unless --coordinator is given). "
-            "Under processes/remote, quantiles switch from P2 to a "
-            "deterministic mergeable sketch"
+            "sharded across worker processes, mergeable sinks), hybrid "
+            "(process shards each running the threaded pipeline, "
+            "zero-copy shared-memory payload, cost-based rebalancing) or "
+            "remote (range sharded across fleet workers behind a "
+            "coordinator; embedded localhost fleet unless --coordinator "
+            "is given). Under processes/hybrid/remote, quantiles switch "
+            "from P2 to a deterministic mergeable sketch"
+        ),
+    )
+    sweep.add_argument(
+        "--shard-workers", type=int, default=None,
+        help=(
+            "hybrid executor: process shards to fan the scenario range "
+            "across (default: auto from the host CPU count, or the "
+            "REPRO_HYBRID_SHARD_WORKERS environment)"
+        ),
+    )
+    sweep.add_argument(
+        "--threads-per-shard", type=int, default=None,
+        help=(
+            "hybrid executor: solver threads inside each process shard "
+            "(default: auto, or the REPRO_HYBRID_THREADS environment)"
         ),
     )
     sweep.add_argument(
@@ -478,6 +496,23 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.coordinator is not None and args.executor not in (None, "remote"):
         print("error: --coordinator only applies to --executor remote", file=sys.stderr)
         return 2
+    for knob, value in (
+        ("--shard-workers", args.shard_workers),
+        ("--threads-per-shard", args.threads_per_shard),
+    ):
+        if value is not None and args.executor != "hybrid":
+            print(f"error: {knob} only applies to --executor hybrid", file=sys.stderr)
+            return 2
+        if value is not None and value < 1:
+            print(f"error: {knob} must be at least 1", file=sys.stderr)
+            return 2
+    if args.executor == "hybrid" and args.workers is not None:
+        print(
+            "error: the hybrid executor takes --shard-workers and "
+            "--threads-per-shard, not --workers",
+            file=sys.stderr,
+        )
+        return 2
     if args.top_k < 1:
         print("error: --top-k must be at least 1", file=sys.stderr)
         return 2
@@ -505,9 +540,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         grid, bench.floorplan, args.gamma, args.num_loads, args.num_pads, seed=args.seed
     )
     executor = args.executor
-    if args.coordinator is not None:
+    if args.coordinator is not None or args.executor == "remote":
         executor = RemoteExecutor(workers=args.workers, coordinator=args.coordinator)
-    if args.executor in ("processes", "remote") or args.coordinator is not None:
+    elif args.executor == "hybrid":
+        # Built here (instead of resolved by name inside the engine) so the
+        # per-sweep observability counters in `last_stats` can be read back
+        # into the summary and the JSON record below.
+        executor = HybridExecutor(
+            shard_workers=args.shard_workers, threads_per_shard=args.threads_per_shard
+        )
+    if args.executor in ("processes", "hybrid", "remote") or args.coordinator is not None:
         # P2 marker state is order-dependent and cannot merge across
         # shards; the log-bucket sketch merges by counter addition and is
         # bitwise identical at every shard count (relative error <= 1%).
@@ -526,9 +568,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         pad_matrix,
         chunk_size=args.chunk_size,
         sinks=(quantile_sink, histogram_sink, exceedance_sink, joint_sink, topk_sink),
-        workers=None if args.coordinator is not None else args.workers,
+        workers=args.workers if isinstance(executor, (str, type(None))) else None,
         executor=executor,
     )
+    # Sharded executor instances expose the counters of the sweep they
+    # just ran (shards, threads_per_shard, payload_bytes_shared,
+    # rebalances, workers_reused); name-resolved executors expose none.
+    executor_stats = dict(getattr(executor, "last_stats", None) or {})
 
     estimate = quantile_sink.result()
     exceedance = exceedance_sink.result()
@@ -544,6 +590,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         "nominal worst IR drop (mV)": nominal.worst_ir_drop_mv,
         "sweep worst IR drop (mV)": float(result.worst_ir_drop.max()) * 1000.0,
     }
+    for key, value in executor_stats.items():
+        summary[key.replace("_", " ")] = value
     for level, value in zip(estimate.quantiles, estimate.values):
         summary[f"P{level * 100:g} worst drop (mV)"] = float(value) * 1000.0
     summary.update(
@@ -588,6 +636,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "chunk_size": result.chunk_size,
             "executor": result.executor,
             "workers": result.workers,
+            "executor_stats": executor_stats,
             "nominal_worst_ir_drop": nominal.worst_ir_drop,
             "sweep_worst_ir_drop": float(result.worst_ir_drop.max()),
             "quantiles": dict(zip(map(str, estimate.quantiles), estimate.values.tolist())),

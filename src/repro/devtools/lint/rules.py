@@ -237,8 +237,8 @@ _ANALYZE_ENTRY_POINTS = {
     "analyze_mega_sweep",
     "analyze_statistical",
 }
-_SHARDED_EXECUTOR_NAMES = {"processes", "remote"}
-_SHARDED_EXECUTOR_CLASSES = {"ProcessShardedExecutor", "RemoteExecutor"}
+_SHARDED_EXECUTOR_NAMES = {"processes", "hybrid", "remote"}
+_SHARDED_EXECUTOR_CLASSES = {"ProcessShardedExecutor", "HybridExecutor", "RemoteExecutor"}
 #: Positional slot of the scenario source per entry point (after self).
 _SOURCE_POSITIONS = {"analyze_scenario_stream": 1}
 

@@ -25,8 +25,17 @@ KNOWN_ENV_VARS: dict[str, str] = {
         "tier-1 once with 2 to exercise the parallel chunk pipeline."
     ),
     "REPRO_TEST_EXECUTOR": (
-        "Default sweep executor (serial|threads|processes|remote) for "
-        "every analyze_* call that passes neither executor= nor workers=."
+        "Default sweep executor (serial|threads|processes|hybrid|remote) "
+        "for every analyze_* call that passes neither executor= nor "
+        "workers=."
+    ),
+    "REPRO_HYBRID_SHARD_WORKERS": (
+        "Process-shard count of HybridExecutor when shard_workers= is "
+        "not passed; auto-resolved from os.cpu_count() when unset."
+    ),
+    "REPRO_HYBRID_THREADS": (
+        "Solver threads inside each HybridExecutor process shard when "
+        "threads_per_shard= is not passed."
     ),
     "REPRO_TEST_SOLVER": (
         "Default factorization backend (splu|cholmod|auto) of "

@@ -24,6 +24,7 @@ from repro.analysis import (
     CrossProductScenarioSource,
     ExceedanceCountSink,
     ExecutorIncompatibility,
+    HybridExecutor,
     JointExceedanceSink,
     MatrixScenarioSource,
     MergeableSink,
@@ -32,6 +33,8 @@ from repro.analysis import (
     ProcessShardedExecutor,
     ReservoirQuantileSink,
     SerialExecutor,
+    SharedGridPayload,
+    SweepPlan,
     ThreadedExecutor,
     TopKScenarioSink,
     VectorlessAnalyzer,
@@ -44,7 +47,13 @@ from repro.analysis.engine import (
     MAX_CHUNK_SIZE,
     MIN_CHUNK_SIZE,
 )
-from repro.analysis.executors import EXECUTOR_ENV
+from repro.analysis.executors import (
+    EXECUTOR_ENV,
+    EXECUTOR_NAMES,
+    HYBRID_SHARD_WORKERS_ENV,
+    HYBRID_THREADS_ENV,
+    attach_shard_state,
+)
 from repro.grid import (
     PerturbationKind,
     PerturbationSpec,
@@ -509,3 +518,327 @@ class TestRematerialize:
             TopKScenarioSink(2).rematerialize(
                 engine, ibmpg1_grid, MatrixScenarioSource(load_matrix=load_sweep)
             )
+
+
+class TestHybridEquivalence:
+    """Merge-equivalence matrix: hybrid == sequential, bitwise, for every
+    (shards, threads, chunk_size) combination — shards covering the
+    degenerate single shard, an even split and a non-divisor of 37, and
+    chunk sizes including the pathological width of 1."""
+
+    @pytest.mark.parametrize("chunk_size", [1, 7])
+    @pytest.mark.parametrize("threads", [1, 2])
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_batch_bitwise_matches_sequential(
+        self, ibmpg1_grid, load_sweep, nominal_worst, shards, threads, chunk_size
+    ):
+        engine = BatchedAnalysisEngine()
+        seq_sinks = mergeable_sinks(nominal_worst)
+        sequential = engine.analyze_batch(
+            ibmpg1_grid,
+            load_sweep,
+            chunk_size=chunk_size,
+            sinks=tuple(seq_sinks.values()),
+            executor=SerialExecutor(),
+        )
+        hybrid_sinks = mergeable_sinks(nominal_worst)
+        executor = HybridExecutor(shard_workers=shards, threads_per_shard=threads)
+        hybrid = engine.analyze_batch(
+            ibmpg1_grid,
+            load_sweep,
+            chunk_size=chunk_size,
+            sinks=tuple(hybrid_sinks.values()),
+            executor=executor,
+        )
+        assert_reductions_identical(sequential, hybrid)
+        assert_exact_sinks_identical(seq_sinks, hybrid_sinks)
+        assert np.array_equal(sequential.solver_iterations, hybrid.solver_iterations)
+        assert hybrid_sinks["topk"].num_consumed == load_sweep.shape[0]
+        stats = executor.last_stats
+        assert stats["shards"] == min(shards, load_sweep.shape[0])
+        assert stats["threads_per_shard"] == threads
+        if stats["shards"] > 1:
+            assert stats["payload_bytes_shared"] > 0
+            assert stats["tasks"] >= stats["shards"]
+
+    def test_mega_sweep_bitwise_matches_sequential(
+        self, ibmpg1_grid, ibmpg1_bench, nominal_worst
+    ):
+        load_matrix, pad_matrix = mega_sweep_matrices(
+            ibmpg1_grid, ibmpg1_bench.floorplan, 0.2, 12, 8, seed=7
+        )
+        engine = BatchedAnalysisEngine()
+        seq_sinks = mergeable_sinks(nominal_worst)
+        sequential = engine.analyze_mega_sweep(
+            ibmpg1_grid,
+            load_matrix,
+            pad_matrix,
+            chunk_size=13,
+            sinks=tuple(seq_sinks.values()),
+            workers=1,
+        )
+        hybrid_sinks = mergeable_sinks(nominal_worst)
+        hybrid = engine.analyze_mega_sweep(
+            ibmpg1_grid,
+            load_matrix,
+            pad_matrix,
+            chunk_size=13,
+            sinks=tuple(hybrid_sinks.values()),
+            executor=HybridExecutor(shard_workers=2, threads_per_shard=2),
+        )
+        assert_reductions_identical(sequential, hybrid)
+        assert_exact_sinks_identical(seq_sinks, hybrid_sinks)
+        assert hybrid.executor == "hybrid"
+
+    def test_rebalance_off_matches_on(self, ibmpg1_grid, load_sweep, nominal_worst):
+        """Balancing redistributes work, never results."""
+        engine = BatchedAnalysisEngine()
+        results = {}
+        for rebalance in (False, True):
+            sinks = mergeable_sinks(nominal_worst)
+            executor = HybridExecutor(
+                shard_workers=3, threads_per_shard=2, rebalance=rebalance
+            )
+            results[rebalance] = (
+                engine.analyze_batch(
+                    ibmpg1_grid,
+                    load_sweep,
+                    chunk_size=5,
+                    sinks=tuple(sinks.values()),
+                    executor=executor,
+                ),
+                sinks,
+                dict(executor.last_stats),
+            )
+        assert_reductions_identical(results[False][0], results[True][0])
+        assert_exact_sinks_identical(results[False][1], results[True][1])
+        assert results[False][2]["rebalances"] == 0
+        assert results[False][2]["tasks"] == 3
+
+    def test_p2_rejected_before_sinks_bind(self, ibmpg1_grid, load_sweep):
+        engine = BatchedAnalysisEngine()
+        p2 = P2QuantileSink([0.5])
+        with pytest.raises(ExecutorIncompatibility, match="hybrid"):
+            engine.analyze_batch(
+                ibmpg1_grid,
+                load_sweep,
+                chunk_size=7,
+                sinks=[p2],
+                executor=HybridExecutor(shard_workers=2),
+            )
+        # The rejection left the sink unbound and reusable.
+        engine.analyze_batch(ibmpg1_grid, load_sweep, chunk_size=7, sinks=[p2], workers=1)
+        assert p2.result().num_scenarios == load_sweep.shape[0]
+
+
+class TestHybridResolution:
+    def test_registered_and_constructible_by_name(self):
+        assert "hybrid" in EXECUTOR_NAMES
+        executor = make_executor("hybrid", 3)
+        assert isinstance(executor, HybridExecutor)
+        assert executor.shard_workers == 3
+
+    def test_parallelism_is_the_product(self):
+        assert HybridExecutor(shard_workers=4, threads_per_shard=2).parallelism == 8
+
+    def test_chunk_budget_uses_effective_width(self):
+        """The 256 MiB in-flight budget is spent across shards x threads:
+        16384 unknowns x 32 B = 512 KiB per scenario slot, so 8 in-flight
+        chunks get 64 scenarios each — half the width the same grid gets
+        when only the 4 process shards were budgeted."""
+        width = HybridExecutor(shard_workers=4, threads_per_shard=2).parallelism
+        assert resolve_chunk_size(16384, workers=width) == 64
+        assert resolve_chunk_size(16384, workers=4) == 128
+
+    def test_adaptive_chunk_uses_parallelism(self, ibmpg1_grid, load_sweep):
+        engine = BatchedAnalysisEngine()
+        executor = HybridExecutor(shard_workers=2, threads_per_shard=2)
+        source = MatrixScenarioSource(load_matrix=load_sweep)
+        result = engine.analyze_scenario_stream(
+            ibmpg1_grid, source, load_sweep.shape[0], executor=executor
+        )
+        compiled = ibmpg1_grid.compile()
+        assert result.chunk_size == resolve_chunk_size(compiled.num_unknowns, 4)
+        assert result.executor == "hybrid"
+        assert result.workers == 4
+
+    def test_env_knobs(self, monkeypatch):
+        monkeypatch.setenv(HYBRID_SHARD_WORKERS_ENV, "3")
+        monkeypatch.setenv(HYBRID_THREADS_ENV, "2")
+        executor = HybridExecutor()
+        assert executor.shard_workers == 3
+        assert executor.threads_per_shard == 2
+        monkeypatch.setenv(HYBRID_SHARD_WORKERS_ENV, "many")
+        with pytest.raises(ValueError, match=HYBRID_SHARD_WORKERS_ENV):
+            HybridExecutor()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="shard_workers"):
+            HybridExecutor(shard_workers=0)
+        with pytest.raises(ValueError, match="threads_per_shard"):
+            HybridExecutor(shard_workers=2, threads_per_shard=0)
+        with pytest.raises(ValueError, match="max_oversubscribe"):
+            HybridExecutor(shard_workers=2, max_oversubscribe=0)
+        with pytest.raises(ValueError, match="start_method"):
+            HybridExecutor(shard_workers=2, start_method="telepathy")
+
+    def test_env_default_falls_back_for_incompatible_sweeps(
+        self, monkeypatch, ibmpg1_grid, load_sweep
+    ):
+        monkeypatch.setenv(EXECUTOR_ENV, "hybrid")
+        engine = BatchedAnalysisEngine()
+        sink = P2QuantileSink([0.5])
+        with pytest.warns(RuntimeWarning, match="hybrid"):
+            engine.analyze_batch(ibmpg1_grid, load_sweep, chunk_size=7, sinks=[sink])
+        assert sink.result().num_scenarios == load_sweep.shape[0]
+
+    def test_env_default_matches_serial(self, monkeypatch, ibmpg1_grid, load_sweep):
+        monkeypatch.setenv(EXECUTOR_ENV, "hybrid")
+        reference = BatchedAnalysisEngine(default_executor="serial").analyze_batch(
+            ibmpg1_grid, load_sweep, chunk_size=7
+        )
+        hybrid = BatchedAnalysisEngine().analyze_batch(ibmpg1_grid, load_sweep, chunk_size=7)
+        assert_reductions_identical(reference, hybrid)
+
+
+class TestSharedGridPayload:
+    """Lifetime contract: parent owns the segment, the with-block unlinks
+    on success and on error alike, children only attach, and the pickle
+    fallback is a warned no-op."""
+
+    @staticmethod
+    def _plan(grid, load_sweep) -> SweepPlan:
+        return SweepPlan(
+            engine=BatchedAnalysisEngine(),
+            compiled=grid.compile(),
+            scenario_source=MatrixScenarioSource(load_matrix=load_sweep),
+            num_scenarios=load_sweep.shape[0],
+            chunk_size=7,
+            sinks=(),
+        )
+
+    @staticmethod
+    def _segment_gone(name: str) -> bool:
+        from multiprocessing import shared_memory
+
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            return True
+        segment.close()
+        return False
+
+    def test_attach_rebuilds_identical_state(self, ibmpg1_grid, load_sweep):
+        plan = self._plan(ibmpg1_grid, load_sweep)
+        with SharedGridPayload.create(plan, "test", threads=2) as shared:
+            kind, name, _, spans = shared.descriptor
+            assert kind == "shm"
+            assert shared.nbytes == sum(length for _, length in spans) > 0
+            state = attach_shard_state(shared.descriptor)
+            assert state["threads"] == 2
+            assert state["chunk_size"] == plan.chunk_size
+            assert state["compiled"].fingerprint == plan.compiled.fingerprint
+            clone_csr = state["compiled"].reduced_matrix
+            assert (clone_csr != plan.compiled.reduced_matrix).nnz == 0
+            # Release the attached views, then the child-side mapping,
+            # before the parent unlinks (the order workers observe).
+            segment = state.pop("segment")
+            del state, clone_csr
+            segment.close()
+
+    def test_unlinked_on_success(self, ibmpg1_grid, load_sweep):
+        plan = self._plan(ibmpg1_grid, load_sweep)
+        with SharedGridPayload.create(plan, "test") as shared:
+            name = shared.descriptor[1]
+            assert not self._segment_gone(name)
+        assert self._segment_gone(name)
+        shared.close()  # idempotent
+
+    def test_unlinked_on_error(self, ibmpg1_grid, load_sweep):
+        plan = self._plan(ibmpg1_grid, load_sweep)
+        with pytest.raises(RuntimeError, match="mid-sweep"):
+            with SharedGridPayload.create(plan, "test") as shared:
+                name = shared.descriptor[1]
+                raise RuntimeError("mid-sweep failure")
+        assert self._segment_gone(name)
+
+    def test_pickle_fallback_warns_and_matches(
+        self, monkeypatch, ibmpg1_grid, load_sweep, nominal_worst
+    ):
+        from multiprocessing import shared_memory
+
+        def refuse(*args, **kwargs):
+            raise OSError("no shared memory in this sandbox")
+
+        monkeypatch.setattr(shared_memory, "SharedMemory", refuse)
+        plan = self._plan(ibmpg1_grid, load_sweep)
+        with pytest.warns(RuntimeWarning, match="test executor cannot allocate"):
+            shared = SharedGridPayload.create(plan, "test")
+        assert shared.descriptor[0] == "pickle"
+        assert shared.nbytes == 0
+        shared.close()  # no segment: a no-op
+        # The whole hybrid sweep still runs — and stays bitwise-identical —
+        # on the in-band payload path.
+        engine = BatchedAnalysisEngine()
+        seq_sinks = mergeable_sinks(nominal_worst)
+        sequential = engine.analyze_batch(
+            ibmpg1_grid,
+            load_sweep,
+            chunk_size=7,
+            sinks=tuple(seq_sinks.values()),
+            executor=SerialExecutor(),
+        )
+        hybrid_sinks = mergeable_sinks(nominal_worst)
+        executor = HybridExecutor(shard_workers=2, threads_per_shard=2)
+        with pytest.warns(RuntimeWarning, match="hybrid executor cannot allocate"):
+            hybrid = engine.analyze_batch(
+                ibmpg1_grid,
+                load_sweep,
+                chunk_size=7,
+                sinks=tuple(hybrid_sinks.values()),
+                executor=executor,
+            )
+        assert_reductions_identical(sequential, hybrid)
+        assert_exact_sinks_identical(seq_sinks, hybrid_sinks)
+        assert executor.last_stats["payload_bytes_shared"] == 0
+
+    def test_unpicklable_plan_rejected(self, ibmpg1_grid, load_sweep):
+        plan = SweepPlan(
+            engine=BatchedAnalysisEngine(),
+            compiled=ibmpg1_grid.compile(),
+            # The closure is the point: unpicklable sources must raise the
+            # same incompatibility the pickle payload raises, before any
+            # segment is allocated.
+            scenario_source=lambda begin, end: (load_sweep[begin:end], None),  # reprolint: disable=RPR002
+            num_scenarios=load_sweep.shape[0],
+            chunk_size=7,
+            sinks=(),
+        )
+        with pytest.raises(ExecutorIncompatibility, match="picklable"):
+            SharedGridPayload.create(plan, "test")
+
+    def test_process_sharded_uses_shared_payload(
+        self, ibmpg1_grid, load_sweep, nominal_worst
+    ):
+        """The PR-8 executor gets the zero-copy startup win for free."""
+        engine = BatchedAnalysisEngine()
+        seq_sinks = mergeable_sinks(nominal_worst)
+        sequential = engine.analyze_batch(
+            ibmpg1_grid,
+            load_sweep,
+            chunk_size=7,
+            sinks=tuple(seq_sinks.values()),
+            workers=1,
+        )
+        shard_sinks = mergeable_sinks(nominal_worst)
+        executor = ProcessShardedExecutor(shards=2)
+        sharded = engine.analyze_batch(
+            ibmpg1_grid,
+            load_sweep,
+            chunk_size=7,
+            sinks=tuple(shard_sinks.values()),
+            executor=executor,
+        )
+        assert_reductions_identical(sequential, sharded)
+        assert_exact_sinks_identical(seq_sinks, shard_sinks)
+        assert executor.last_stats["payload_bytes_shared"] > 0

@@ -29,7 +29,12 @@ from repro.analysis import (
     run_worker,
 )
 from repro.analysis.executors import EXECUTOR_ENV, EXECUTOR_NAMES
-from repro.analysis.remote import COORDINATOR_ENV, REMOTE_WORKERS_ENV, _request
+from repro.analysis.remote import (
+    COORDINATOR_ENV,
+    REMOTE_WORKERS_ENV,
+    _request,
+    shutdown_warm_fleets,
+)
 from repro.grid import (
     PerturbationKind,
     PerturbationSpec,
@@ -408,3 +413,70 @@ class TestResolution:
                 sinks=[P2QuantileSink([0.5])],
                 executor=RemoteExecutor(workers=2),
             )
+
+
+# ----------------------------------------------------------------------
+# Warm embedded fleet
+# ----------------------------------------------------------------------
+class TestWarmEmbeddedFleet:
+    @pytest.fixture(autouse=True)
+    def cold_fleet(self, monkeypatch):
+        """Each test starts (and ends) with no warm fleet alive."""
+        monkeypatch.delenv(COORDINATOR_ENV, raising=False)
+        shutdown_warm_fleets()
+        yield
+        shutdown_warm_fleets()
+
+    def test_workers_reused_across_sweeps(self, ibmpg1_grid, load_sweep):
+        executor = RemoteExecutor(workers=2, oversubscribe=2, timeout=120.0)
+        sinks = (QuantileSketchSink((0.5, 0.9)),)
+        first, _ = run_remote_sweep(ibmpg1_grid, load_sweep, executor, sinks)
+        assert executor.last_stats["workers_reused"] == 0  # cold start
+        assert executor.last_stats["payload_bytes_shared"] > 0
+        second, _ = run_remote_sweep(
+            ibmpg1_grid, load_sweep, executor, (QuantileSketchSink((0.5, 0.9)),)
+        )
+        assert executor.last_stats["workers_reused"] == 2
+        assert np.array_equal(
+            first.reductions.worst_ir_drop, second.reductions.worst_ir_drop
+        )
+
+    def test_fleet_shared_between_executor_instances(self, ibmpg1_grid, load_sweep):
+        sinks = (TopKScenarioSink(4),)
+        run_remote_sweep(
+            ibmpg1_grid, load_sweep, RemoteExecutor(workers=2, timeout=120.0), sinks
+        )
+        executor = RemoteExecutor(workers=2, timeout=120.0)
+        run_remote_sweep(ibmpg1_grid, load_sweep, executor, (TopKScenarioSink(4),))
+        assert executor.last_stats["workers_reused"] == 2
+
+    def test_shutdown_is_idempotent_and_cools_the_fleet(self, ibmpg1_grid, load_sweep):
+        executor = RemoteExecutor(workers=2, timeout=120.0)
+        run_remote_sweep(ibmpg1_grid, load_sweep, executor, (TopKScenarioSink(4),))
+        shutdown_warm_fleets()
+        shutdown_warm_fleets()  # second call: nothing left, no error
+        run_remote_sweep(ibmpg1_grid, load_sweep, executor, (TopKScenarioSink(4),))
+        assert executor.last_stats["workers_reused"] == 0  # cold again
+
+    def test_embedded_matches_serial_with_threads_per_shard(
+        self, ibmpg1_grid, load_sweep
+    ):
+        sinks = (QuantileSketchSink((0.5, 0.9)), TopKScenarioSink(4))
+        serial, _ = run_remote_sweep(ibmpg1_grid, load_sweep, "serial", sinks)
+        executor = RemoteExecutor(
+            workers=2, threads_per_shard=2, oversubscribe=2, timeout=120.0
+        )
+        hybrid_sinks = (QuantileSketchSink((0.5, 0.9)), TopKScenarioSink(4))
+        remote, _ = run_remote_sweep(ibmpg1_grid, load_sweep, executor, hybrid_sinks)
+        assert np.array_equal(
+            serial.reductions.worst_ir_drop, remote.reductions.worst_ir_drop
+        )
+        assert np.array_equal(sinks[0].result().values, hybrid_sinks[0].result().values)
+        assert np.array_equal(
+            sinks[1].result().scenario_index, hybrid_sinks[1].result().scenario_index
+        )
+
+    def test_threads_per_shard_config(self):
+        assert RemoteExecutor(workers=3, threads_per_shard=2).parallelism == 6
+        with pytest.raises(ValueError, match="threads_per_shard"):
+            RemoteExecutor(workers=2, threads_per_shard=0)
